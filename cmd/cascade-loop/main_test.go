@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSpec = `{
+	"name": "clitest",
+	"iters": 8192,
+	"arrays": [
+		{"name": "A", "len": 8192, "init": "i % 11"},
+		{"name": "C", "len": 8192}
+	],
+	"reads":  [{"array": "A", "index": {}}],
+	"writes": [{"array": "C", "index": {}}],
+	"final":  {"exprs": ["r0 * 2"], "cycles": 2}
+}`
+
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpec(t *testing.T) {
+	path := writeSpec(t, testSpec)
+	for _, m := range []string{"ppro", "r10000"} {
+		if err := run(path, m, 2, 8*1024, false); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunSpecPrecompute(t *testing.T) {
+	path := writeSpec(t, testSpec)
+	if err := run(path, "ppro", 0, 8*1024, true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/spec.json", "ppro", 2, 1024, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeSpec(t, `{"name": "x"}`)
+	if err := run(bad, "ppro", 2, 1024, false); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	good := writeSpec(t, testSpec)
+	if err := run(good, "vax", 2, 1024, false); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	// A small native run: verifies the checksums agree across strategies
+	// (run prints CHECKSUM MISMATCH on divergence but returns nil, so
+	// exercise the kernel directly too).
+	if err := run(1<<16, 2, 2048, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildKernelChecksumStable(t *testing.T) {
+	k1, sum1 := buildKernel(1 << 12)
+	k2, sum2 := buildKernel(1 << 12)
+	k1.Execute(0, k1.Iters)
+	k2.Execute(0, k2.Iters)
+	if sum1() != sum2() {
+		t.Error("kernel construction not deterministic")
+	}
+}
+
+func TestKernelGatherMatchesExecute(t *testing.T) {
+	const n = 1 << 12
+	k1, sum1 := buildKernel(n)
+	k1.Execute(0, n)
+
+	k2, sum2 := buildKernel(n)
+	buf := make([]float64, n*k2.SlotsPerIter)
+	k2.Gather(0, n, buf)
+	k2.ExecuteFromBuffer(0, n, buf)
+
+	if sum1() != sum2() {
+		t.Error("gather path result differs from direct execution")
+	}
+}

@@ -1,0 +1,231 @@
+// Command cascade-sim regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	cascade-sim -exp table1|fig2|...|conflicts|amdahl|gallery|ablations|all [flags]
+//
+// The -scale flag shrinks the PARMVR dataset for quick runs (1.0 is the
+// paper-scale enlarged dataset; figures in EXPERIMENTS.md use 1.0). The
+// -csv flag switches table output to CSV for plotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cascade"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/synthetic"
+	"repro/internal/wave5"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig3, fig4, fig5, fig6, fig7, conflicts, amdahl, gallery, ablations, all")
+		scale   = flag.Float64("scale", 1.0, "PARMVR dataset scale factor (1.0 = paper-scale)")
+		chunkKB = flag.Int("chunk", cascade.DefaultChunkBytes/1024, "chunk size in KB for fig2/fig3/fig4/fig5")
+		n       = flag.Int("n", synthetic.DefaultN, "synthetic-loop array length for fig7")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart   = flag.Bool("chart", false, "draw ASCII charts instead of tables (figures only)")
+		asJSON  = flag.Bool("json", false, "emit raw results as JSON (figures and studies)")
+		quiet   = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *exp, *scale, *chunkKB*1024, *n, outputMode(*csv, *chart, *asJSON), *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "cascade-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// outputMode folds the formatting flags into one selector.
+func outputMode(csv, chart, asJSON bool) string {
+	switch {
+	case asJSON:
+		return "json"
+	case chart:
+		return "chart"
+	case csv:
+		return "csv"
+	default:
+		return "table"
+	}
+}
+
+// emitJSON writes a result value as indented JSON.
+func emitJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string, quiet bool) error {
+	params := wave5.DefaultParams().Scaled(scale)
+	progress := func(format string, args ...interface{}) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	emit := func(t *report.Table) {
+		if mode == "csv" {
+			t.RenderCSV(w)
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+
+	runOne := func(name string) error {
+		start := time.Now()
+		defer func() { progress("%s done in %.1fs", name, time.Since(start).Seconds()) }()
+		switch name {
+		case "table1":
+			emit(experiments.Table1())
+		case "fig2":
+			progress("fig2: PARMVR processor sweep (scale %.2f)...", scale)
+			r, err := experiments.Fig2(params, chunkBytes)
+			if err != nil {
+				return err
+			}
+			switch mode {
+			case "json":
+				if err := emitJSON(w, r); err != nil {
+					return err
+				}
+			case "chart":
+				r.RenderChart(w)
+			default:
+				r.Render(w)
+			}
+		case "fig3", "fig4", "fig5":
+			progress("%s: per-loop breakdown (scale %.2f)...", name, scale)
+			for _, cfg := range experiments.Machines() {
+				b, err := experiments.LoopBreakdown(cfg.WithProcs(4), params, chunkBytes)
+				if err != nil {
+					return err
+				}
+				switch {
+				case mode == "json":
+					if err := emitJSON(w, b); err != nil {
+						return err
+					}
+				case name == "fig3" && mode == "chart":
+					b.RenderChartFig3(w)
+				case name == "fig3":
+					b.RenderFig3(w)
+				case name == "fig4" && mode == "chart":
+					b.RenderChartFig4(w)
+				case name == "fig4":
+					b.RenderFig4(w)
+				case name == "fig5" && mode == "chart":
+					b.RenderChartFig5(w)
+				case name == "fig5":
+					b.RenderFig5(w)
+				}
+			}
+		case "fig6":
+			progress("fig6: chunk-size sweep (scale %.2f)...", scale)
+			r, err := experiments.Fig6(params)
+			if err != nil {
+				return err
+			}
+			switch mode {
+			case "json":
+				if err := emitJSON(w, r); err != nil {
+					return err
+				}
+			case "chart":
+				r.RenderChart(w)
+			default:
+				r.Render(w)
+			}
+		case "fig7":
+			progress("fig7: synthetic future-machine sweep (n=%d)...", n)
+			r, err := experiments.Fig7(n)
+			if err != nil {
+				return err
+			}
+			switch mode {
+			case "json":
+				if err := emitJSON(w, r); err != nil {
+					return err
+				}
+			case "chart":
+				r.RenderChart(w)
+			default:
+				r.Render(w)
+			}
+		case "gallery":
+			progress("gallery: kernel suite (n=%d)...", n)
+			for _, cfg := range experiments.Machines() {
+				g, err := experiments.Gallery(cfg, n, chunkBytes)
+				if err != nil {
+					return err
+				}
+				g.Render(w)
+			}
+		case "amdahl":
+			progress("amdahl: application-level study (scale %.2f)...", scale)
+			for _, cfg := range experiments.Machines() {
+				a, err := experiments.Amdahl(cfg, params, chunkBytes)
+				if err != nil {
+					return err
+				}
+				switch mode {
+				case "json":
+					if err := emitJSON(w, a); err != nil {
+						return err
+					}
+				case "chart":
+					a.RenderChart(w)
+				default:
+					a.Render(w)
+				}
+			}
+		case "conflicts":
+			progress("conflicts: sequential miss classification (scale %.2f)...", scale)
+			for _, cfg := range experiments.Machines() {
+				c, err := experiments.ConflictAnalysis(cfg, params)
+				if err != nil {
+					return err
+				}
+				c.Render(w)
+			}
+		case "ablations":
+			progress("ablations (scale %.2f)...", scale)
+			for _, f := range []func(wave5.Params) (*experiments.AblationResult, error){
+				experiments.AblationJumpOut,
+				experiments.AblationPrecompute,
+				experiments.AblationChunking,
+				experiments.AblationCompilerPrefetch,
+				experiments.AblationTLB,
+				experiments.AblationPriorParallel,
+				experiments.AblationVictimCache,
+			} {
+				a, err := f(params)
+				if err != nil {
+					return err
+				}
+				a.Render(w)
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

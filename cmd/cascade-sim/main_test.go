@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallScale keeps CLI tests fast while exercising every experiment path.
+const smallScale = 0.02
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "table1", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "PentiumPro", "R10000", "100-200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1CSV(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "table1", smallScale, 64*1024, 1<<14, "csv", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Processor,Memory Level") {
+		t.Errorf("CSV header missing:\n%s", b.String())
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig2", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 2") {
+		t.Error("missing Figure 2 header")
+	}
+}
+
+func TestRunFigBreakdowns(t *testing.T) {
+	for _, exp := range []string{"fig3", "fig4", "fig5"} {
+		var b strings.Builder
+		if err := run(&b, exp, smallScale, 64*1024, 1<<14, "table", true); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(b.String(), "gather_ex") {
+			t.Errorf("%s: missing loop rows", exp)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig7", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 7") {
+		t.Error("missing Figure 7 header")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "ablations", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"jump-out", "precomputation", "chunk sizing", "MIPSpro", "TLB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations output missing %q", want)
+		}
+	}
+}
+
+func TestRunConflicts(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "conflicts", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"miss classification", "Conflict", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("conflicts output missing %q", want)
+		}
+	}
+}
+
+func TestRunCharts(t *testing.T) {
+	for _, exp := range []string{"fig2", "fig3", "fig7"} {
+		var b strings.Builder
+		if err := run(&b, exp, smallScale, 64*1024, 1<<14, "chart", true); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("%s: missing figure title", exp)
+		}
+		if !strings.Contains(out, "#") && !strings.Contains(out, "* = ") {
+			t.Errorf("%s: no chart marks in output:\n%s", exp, out)
+		}
+	}
+}
+
+func TestOutputMode(t *testing.T) {
+	if outputMode(false, false, false) != "table" || outputMode(true, false, false) != "csv" || outputMode(false, true, false) != "chart" || outputMode(true, true, true) != "json" {
+		t.Error("outputMode mapping wrong")
+	}
+}
+
+func TestRunAmdahl(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "amdahl", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Application speedup") {
+		t.Error("missing amdahl output")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig2", smallScale, 64*1024, 1<<14, "json", true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Points []struct {
+			Machine  string
+			Strategy string
+			Procs    int
+			Speedup  float64
+		}
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Points) == 0 {
+		t.Fatal("no points in JSON")
+	}
+	if decoded.Points[0].Strategy != "Prefetched" && decoded.Points[0].Strategy != "Restructured" {
+		t.Errorf("strategy label = %q", decoded.Points[0].Strategy)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", smallScale, 64*1024, 1<<14, "table", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command futureloop runs the paper's §3.4 synthetic loop
+//
+//	do i = 1, n, k
+//	   X(IJ(i)) = X(IJ(i)) + A(i) + B(i)
+//
+// under cascaded execution with unbounded processors (the paper's
+// methodology for projecting future machines) and reports the speedup
+// over sequential execution.
+//
+// Example:
+//
+//	futureloop -machine ppro -variant sparse -chunk 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/synthetic"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "ppro", "machine: ppro or r10000")
+		variant     = flag.String("variant", "dense", "dense or sparse")
+		helperName  = flag.String("helper", "restructure", "prefetch or restructure")
+		chunkKB     = flag.Int("chunk", 8, "chunk size in KB")
+		n           = flag.Int("n", synthetic.DefaultN, "array length")
+	)
+	flag.Parse()
+	if err := run(*machineName, *variant, *helperName, *chunkKB*1024, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "futureloop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machineName, variant, helperName string, chunkBytes, n int) error {
+	var cfg machine.Config
+	switch strings.ToLower(machineName) {
+	case "ppro", "pentiumpro":
+		cfg = machine.PentiumPro(1)
+	case "r10000", "r10k":
+		cfg = machine.R10000(1)
+	default:
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
+
+	var params synthetic.Params
+	switch strings.ToLower(variant) {
+	case "dense":
+		params = synthetic.Dense(n)
+	case "sparse":
+		params = synthetic.Sparse(n)
+	default:
+		return fmt.Errorf("unknown variant %q (want dense or sparse)", variant)
+	}
+
+	var helper cascade.Helper
+	switch strings.ToLower(helperName) {
+	case "prefetch", "prefetched":
+		helper = cascade.HelperPrefetch
+	case "restructure", "restructured":
+		helper = cascade.HelperRestructure
+	default:
+		return fmt.Errorf("unknown helper %q", helperName)
+	}
+
+	_, lbase, err := synthetic.Build(params)
+	if err != nil {
+		return err
+	}
+	base, err := cascade.SequentialBaseline(cfg, lbase)
+	if err != nil {
+		return err
+	}
+
+	space, l, err := synthetic.Build(params)
+	if err != nil {
+		return err
+	}
+	opts := cascade.Options{
+		Helper:     helper,
+		ChunkBytes: chunkBytes,
+		JumpOut:    true,
+		Space:      space,
+	}
+	r, err := cascade.RunUnbounded(cfg, l, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s, %s, %s helper, %s chunks, n=%d (arrays %s each)\n",
+		cfg.Name, params.Name(), helper, report.KB(chunkBytes), n, report.MB(n*4))
+	fmt.Printf("sequential:      %s cycles (%.1f cycles/iteration)\n",
+		report.Int(base.Cycles), float64(base.Cycles)/float64(lbase.Iters))
+	fmt.Printf("cascaded (inf p): %s cycles = %s exec + %s transfers over %d chunks\n",
+		report.Int(r.Cycles), report.Int(r.ExecCycles), report.Int(r.TransferCycles), r.Chunks)
+	fmt.Printf("speedup:         %.2f\n", r.SpeedupOver(base))
+	return nil
+}

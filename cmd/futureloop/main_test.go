@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	for _, m := range []string{"ppro", "r10000"} {
+		for _, v := range []string{"dense", "sparse"} {
+			for _, h := range []string{"prefetch", "restructure"} {
+				if err := run(m, v, h, 4*1024, 1<<14); err != nil {
+					t.Errorf("%s/%s/%s: %v", m, v, h, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("vax", "dense", "prefetch", 1024, 1<<14); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("ppro", "diagonal", "prefetch", 1024, 1<<14); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if err := run("ppro", "dense", "psychic", 1024, 1<<14); err == nil {
+		t.Error("unknown helper accepted")
+	}
+	if err := run("ppro", "dense", "prefetch", 1024, 3); err == nil {
+		t.Error("tiny n accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Command parmvr runs the PARMVR workload (the wave5 stand-in) under one
+// execution strategy and prints a per-loop report: cycles, speedup over
+// the sequential baseline, helper completion, and execution-phase cache
+// misses.
+//
+// Example:
+//
+//	parmvr -machine r10000 -procs 8 -helper restructure -chunk 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "ppro", "machine: ppro or r10000")
+		procs       = flag.Int("procs", 0, "processor count (default: machine's full size)")
+		helperName  = flag.String("helper", "restructure", "strategy: sequential, prefetch, restructure")
+		chunkKB     = flag.Int("chunk", cascade.DefaultChunkBytes/1024, "chunk size in KB")
+		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
+		precompute  = flag.Bool("precompute", false, "restructuring helper precomputes read-only work")
+		noJumpOut   = flag.Bool("no-jump-out", false, "helpers run to completion instead of jumping out on signal")
+	)
+	flag.Parse()
+	if err := run(*machineName, *procs, *helperName, *chunkKB*1024, *scale, *precompute, !*noJumpOut); err != nil {
+		fmt.Fprintln(os.Stderr, "parmvr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machineName string, procs int, helperName string, chunkBytes int, scale float64, precompute, jumpOut bool) error {
+	var cfg machine.Config
+	switch strings.ToLower(machineName) {
+	case "ppro", "pentiumpro":
+		cfg = machine.PentiumPro(4)
+	case "r10000", "r10k":
+		cfg = machine.R10000(8)
+	default:
+		return fmt.Errorf("unknown machine %q (want ppro or r10000)", machineName)
+	}
+	if procs > 0 {
+		cfg = cfg.WithProcs(procs)
+	}
+
+	var helper cascade.Helper
+	sequential := false
+	switch strings.ToLower(helperName) {
+	case "sequential", "seq":
+		sequential = true
+	case "prefetch", "prefetched":
+		helper = cascade.HelperPrefetch
+	case "restructure", "restructured":
+		helper = cascade.HelperRestructure
+	default:
+		return fmt.Errorf("unknown helper %q", helperName)
+	}
+
+	params := wave5.DefaultParams().Scaled(scale)
+	fmt.Fprintf(os.Stderr, "parmvr: %s, %d procs, %s, %s chunks, %d particles, %d cells\n",
+		cfg.Name, cfg.Procs, helperName, report.KB(chunkBytes), params.Particles, params.Cells)
+
+	// Baseline for speedups.
+	baseW, err := wave5.Build(params)
+	if err != nil {
+		return err
+	}
+	baseM, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	baselines := make([]cascade.Result, 0, wave5.NumLoops)
+	for _, l := range baseW.Loops {
+		baselines = append(baselines, cascade.RunSequential(baseM, l, true))
+	}
+
+	t := report.NewTable("PARMVR per-loop results",
+		"Loop", "Footprint", "Cycles", "Speedup", "Helper done", "Exec L1 miss", "Exec L2 miss")
+	var total, baseTotal int64
+	if sequential {
+		for i, r := range baselines {
+			l := baseW.Loops[i]
+			t.Add(l.Name, report.MB(l.FootprintBytes()), report.Int(r.Cycles), "1.00", "-",
+				report.Int(r.ExecL1.Misses), report.Int(r.ExecL2.Misses))
+			total += r.Cycles
+		}
+		baseTotal = total
+	} else {
+		w, err := wave5.Build(params)
+		if err != nil {
+			return err
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return err
+		}
+		for i, l := range w.Loops {
+			opts := cascade.DefaultOptions(helper, w.Space)
+			opts.ChunkBytes = chunkBytes
+			opts.Precompute = precompute
+			opts.JumpOut = jumpOut
+			r, err := cascade.Run(m, l, opts)
+			if err != nil {
+				return err
+			}
+			t.Add(l.Name, report.MB(l.FootprintBytes()), report.Int(r.Cycles),
+				report.Float(r.SpeedupOver(baselines[i])),
+				report.Float(r.HelperCompletion()),
+				report.Int(r.ExecL1.Misses), report.Int(r.ExecL2.Misses))
+			total += r.Cycles
+			baseTotal += baselines[i].Cycles
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\nTotal: %s cycles; overall speedup %.2f\n",
+		report.Int(total), float64(baseTotal)/float64(total))
+	return nil
+}

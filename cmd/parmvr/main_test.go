@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunStrategies(t *testing.T) {
+	for _, h := range []string{"sequential", "prefetch", "restructure"} {
+		if err := run("ppro", 2, h, 16*1024, 0.02, false, true); err != nil {
+			t.Errorf("%s: %v", h, err)
+		}
+	}
+}
+
+func TestRunR10000WithOptions(t *testing.T) {
+	if err := run("r10000", 4, "restructure", 16*1024, 0.02, true, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("vax", 2, "sequential", 1024, 0.02, false, true); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("ppro", 2, "psychic", 1024, 0.02, false, true); err == nil {
+		t.Error("unknown helper accepted")
+	}
+}

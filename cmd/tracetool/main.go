@@ -1,0 +1,245 @@
+// Command tracetool records, analyzes and replays address traces of the
+// repository's workloads.
+//
+//	tracetool record  -workload parmvr:gather_ex -o gather.trc
+//	tracetool analyze gather.trc
+//	tracetool replay  -machine r10000 gather.trc
+//
+// Flags come before the trace-file argument (standard Go flag order).
+//
+// Workloads are "parmvr:<loopname>" (any of the fifteen PARMVR loops),
+// "synthetic:dense", "synthetic:sparse", "gallery:<kernel>" (see
+// internal/gallery) or "spec:<file.json>" (see internal/loopspec). Traces
+// are captured from a sequential uniprocessor run and stored in the
+// compact CXTR01 format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cascade"
+	"repro/internal/gallery"
+	"repro/internal/loopir"
+	"repro/internal/loopspec"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/synthetic"
+	"repro/internal/trace"
+	"repro/internal/wave5"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracetool record  -workload parmvr:<loop>|synthetic:<variant>|gallery:<kernel>|spec:<file.json> [-scale f] [-n elems] -o out.trc
+  tracetool analyze [-line bytes] [-window accesses] <file.trc>
+  tracetool replay  [-machine ppro|r10000] <file.trc>`)
+}
+
+// buildWorkload resolves a workload name to a loop.
+func buildWorkload(name string, scale float64, n int) (*loopir.Loop, error) {
+	kind, arg, ok := strings.Cut(name, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload %q: want kind:name", name)
+	}
+	switch kind {
+	case "parmvr":
+		w, err := wave5.Build(wave5.DefaultParams().Scaled(scale))
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range w.Loops {
+			if l.Name == arg {
+				return l, nil
+			}
+		}
+		return nil, fmt.Errorf("no PARMVR loop %q (have %s)", arg, strings.Join(w.LoopNames(), ", "))
+	case "synthetic":
+		var p synthetic.Params
+		switch arg {
+		case "dense":
+			p = synthetic.Dense(n)
+		case "sparse":
+			p = synthetic.Sparse(n)
+		default:
+			return nil, fmt.Errorf("synthetic variant %q: want dense or sparse", arg)
+		}
+		_, l, err := synthetic.Build(p)
+		return l, err
+	case "gallery":
+		k, err := gallery.Lookup(arg)
+		if err != nil {
+			return nil, err
+		}
+		_, l, err := k.Build(n)
+		return l, err
+	case "spec":
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := loopspec.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		_, l, err := loopspec.Build(spec)
+		return l, err
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", kind)
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "synthetic:dense", "workload to trace")
+	scale := fs.Float64("scale", 0.1, "PARMVR dataset scale")
+	n := fs.Int("n", 1<<18, "synthetic array length")
+	out := fs.String("o", "trace.trc", "output file")
+	fs.Parse(args)
+
+	l, err := buildWorkload(*workload, *scale, *n)
+	if err != nil {
+		return err
+	}
+	m := machine.MustNew(machine.PentiumPro(1))
+	tr := &trace.Trace{}
+	m.Proc(0).SetObserver(tr.Observer())
+	cascade.RunSequential(m, l, false)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bytes, err := tr.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %s accesses, %s on disk (%.1f bits/access)\n",
+		l.Name, report.Int(int64(tr.Len())), report.MB(int(bytes)),
+		8*float64(bytes)/float64(tr.Len()))
+	return f.Close()
+}
+
+func loadTrace(fs *flag.FlagSet) (*trace.Trace, error) {
+	if fs.NArg() < 1 {
+		return nil, fmt.Errorf("missing trace file argument")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Decode(f)
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	line := fs.Int("line", 32, "line size for analysis")
+	window := fs.Int("window", 100000, "working-set window in accesses")
+	fs.Parse(args)
+	tr, err := loadTrace(fs)
+	if err != nil {
+		return err
+	}
+
+	lines, bytes := tr.Footprint(*line)
+	fmt.Printf("%s accesses, footprint %s lines (%s), %s accessed\n",
+		report.Int(int64(tr.Len())), report.Int(int64(lines)),
+		report.MB(lines**line), report.MB(int(bytes)))
+
+	h := tr.ReuseDistances(*line)
+	fmt.Printf("\nreuse distances (line %dB): %s cold\n", *line, report.Int(h.Cold))
+	t := report.NewTable("", "distance d+1 in", "accesses", "cum. hit rate if capacity >= d")
+	var cum int64
+	lo := int64(1)
+	for _, nAcc := range h.Buckets {
+		cum += nAcc
+		t.Add(fmt.Sprintf("[%s, %s)", report.Int(lo), report.Int(lo*2)),
+			report.Int(nAcc),
+			report.Float(float64(cum)/float64(h.Total)))
+		lo *= 2
+	}
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nLRU hit rate by fully-associative capacity:\n")
+	for _, capLines := range []int{255, 1023, 4095, 16383, 65535} {
+		hits := h.HitsUnder(capLines)
+		fmt.Printf("  %8s lines (%7s): %.1f%%\n",
+			report.Int(int64(capLines+1)), report.MB((capLines+1)**line),
+			100*float64(hits)/float64(h.Total))
+	}
+
+	ws := tr.WorkingSet(*window, *line)
+	if len(ws) > 0 {
+		minL, maxL, sum := ws[0].Lines, ws[0].Lines, 0
+		for _, p := range ws {
+			if p.Lines < minL {
+				minL = p.Lines
+			}
+			if p.Lines > maxL {
+				maxL = p.Lines
+			}
+			sum += p.Lines
+		}
+		fmt.Printf("\nworking set per %s-access window: min %s / avg %s / max %s lines\n",
+			report.Int(int64(*window)), report.Int(int64(minL)),
+			report.Int(int64(sum/len(ws))), report.Int(int64(maxL)))
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	machineName := fs.String("machine", "ppro", "machine: ppro or r10000")
+	fs.Parse(args)
+	tr, err := loadTrace(fs)
+	if err != nil {
+		return err
+	}
+	var cfg machine.Config
+	switch strings.ToLower(*machineName) {
+	case "ppro", "pentiumpro":
+		cfg = machine.PentiumPro(1)
+	case "r10000", "r10k":
+		cfg = machine.R10000(1)
+	default:
+		return fmt.Errorf("unknown machine %q", *machineName)
+	}
+	res, err := trace.Replay(tr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s accesses in %s cycles (%.2f cy/access)\n",
+		cfg.Name, report.Int(res.Accesses), report.Int(res.Cycles),
+		float64(res.Cycles)/float64(res.Accesses))
+	fmt.Printf("L1: %s misses (%.1f%%)   L2: %s misses (%.1f%%)\n",
+		report.Int(res.L1.Misses), 100*res.L1.MissRate(),
+		report.Int(res.L2.Misses), 100*res.L2.MissRate())
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordAnalyzeReplay(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trc")
+	if err := record([]string{"-workload", "synthetic:dense", "-n", "8192", "-o", out}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := analyze([]string{"-window", "1000", out}); err != nil {
+		t.Errorf("analyze: %v", err)
+	}
+	if err := replay([]string{"-machine", "r10000", out}); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+}
+
+func TestRecordPARMVRLoop(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.trc")
+	if err := record([]string{"-workload", "parmvr:push_vx", "-scale", "0.01", "-o", out}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := replay([]string{out}); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+}
+
+func TestRecordGalleryAndSpec(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.trc")
+	if err := record([]string{"-workload", "gallery:triad", "-n", "4096", "-o", out}); err != nil {
+		t.Fatalf("gallery record: %v", err)
+	}
+	spec := filepath.Join(t.TempDir(), "s.json")
+	os.WriteFile(spec, []byte(`{
+		"name": "copy", "iters": 1024,
+		"arrays": [{"name": "A", "len": 1024, "init": "i"}, {"name": "C", "len": 1024}],
+		"reads": [{"array": "A", "index": {}}],
+		"writes": [{"array": "C", "index": {}}],
+		"final": {"exprs": ["r0"]}
+	}`), 0o644)
+	out2 := filepath.Join(t.TempDir(), "s.trc")
+	if err := record([]string{"-workload", "spec:" + spec, "-o", out2}); err != nil {
+		t.Fatalf("spec record: %v", err)
+	}
+	if err := analyze([]string{out2}); err != nil {
+		t.Errorf("analyze: %v", err)
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	cases := []string{
+		"nocolon",
+		"parmvr:nosuchloop",
+		"synthetic:diagonal",
+		"quantum:loop",
+		"gallery:nosuchkernel",
+		"spec:/nonexistent.json",
+	}
+	for _, w := range cases {
+		if _, err := buildWorkload(w, 0.01, 4096); err == nil {
+			t.Errorf("workload %q accepted", w)
+		}
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := replay([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := replay([]string{"/nonexistent.trc"}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trc")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if err := replay([]string{bad}); err == nil {
+		t.Error("garbage file accepted")
+	}
+	good := filepath.Join(t.TempDir(), "g.trc")
+	if err := record([]string{"-workload", "synthetic:sparse", "-n", "4096", "-o", good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-machine", "vax", good}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Future: project cascaded execution onto machines whose memory latency
+// keeps growing relative to execution rate — the question §3.4 of the
+// paper asks with its synthetic loop.
+//
+// The example defines a family of hypothetical machines (today's Pentium
+// Pro geometry with memory latencies from 58 up to 1000 cycles), runs the
+// sparse synthetic loop under unbounded-processor cascading on each, and
+// prints the speedup trend: the further memory recedes, the more
+// cascaded execution pays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/synthetic"
+)
+
+func futureMachine(memLatency int64) machine.Config {
+	cfg := machine.PentiumPro(1)
+	cfg.Name = fmt.Sprintf("future-mem%d", memLatency)
+	cfg.MemLatency = memLatency
+	cfg.MemDesc = fmt.Sprintf("%d", memLatency)
+	cfg.C2CLatency = memLatency
+	return cfg
+}
+
+func main() {
+	const n = 1 << 20 // 4MB arrays
+	params := synthetic.Sparse(n)
+
+	fmt.Println("sparse synthetic loop, restructured helper, unbounded processors, 2KB chunks")
+	fmt.Printf("%-10s %14s %14s %9s\n", "mem (cy)", "sequential", "cascaded", "speedup")
+	for _, lat := range []int64{58, 100, 200, 400, 700, 1000} {
+		cfg := futureMachine(lat)
+
+		_, lbase, err := synthetic.Build(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := cascade.SequentialBaseline(cfg, lbase)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		space, l, err := synthetic.Build(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cascade.RunUnbounded(cfg, l, cascade.Options{
+			Helper:     cascade.HelperRestructure,
+			ChunkBytes: 2 * 1024,
+			JumpOut:    true,
+			Space:      space,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %14d %14d %8.1fx\n", lat, base.Cycles, res.Cycles, res.SpeedupOver(base))
+	}
+}

@@ -1,0 +1,148 @@
+// PIC: a miniature particle-in-cell mover built directly on the library's
+// API — the workload class the paper's introduction motivates (wave5's
+// PARMVR is a PIC mover).
+//
+// Three phases per step, each an unparallelizable loop the library
+// cascades independently:
+//
+//	gather:  F(i)   = E(C(i)) * Q(i)     (random gather from the grid)
+//	push:    V(i)  += dt * F(i)          (lockstep streams)
+//	deposit: R(C(i)) += Q(i)             (random scatter to the grid)
+//
+// The example runs one full step sequentially and cascaded (prefetch and
+// restructure) on the 8-way R10000 and reports per-phase speedups —
+// illustrating the paper's finding that gathers restructure brilliantly
+// while scatters barely benefit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+const (
+	particles = 1 << 20 // 8MB per particle array
+	cells     = 1 << 14 // 128KB grid
+	dt        = 0.01
+)
+
+// step holds one PIC step's loops over a fresh dataset.
+type step struct {
+	space *memsim.Space
+	loops []*loopir.Loop
+}
+
+func buildStep() *step {
+	s := memsim.NewSpace()
+	// Particle arrays on conflicting congruence classes, as contiguous
+	// Fortran COMMON layout would produce.
+	f := s.AllocAt("F", particles, 8, 0, 1<<20)
+	v := s.AllocAt("V", particles, 8, 0, 1<<20)
+	q := s.AllocAt("Q", particles, 8, 128<<10, 1<<20)
+	c := s.AllocAt("C", particles, 4, 192<<10, 1<<20)
+	e := s.Alloc("E", cells, 8, 4096)
+	r := s.Alloc("R", cells, 8, 4096)
+
+	rng := uint64(42)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1; return rng }
+	q.Fill(func(int) float64 { return 1 + float64(next()%100)/100 })
+	v.Fill(func(int) float64 { return float64(next()%200)/100 - 1 })
+	e.Fill(func(int) float64 { return float64(next()%400)/100 - 2 })
+	c.Fill(func(int) float64 { return float64(next() % cells) })
+
+	gatherRef := loopir.Indirect{Tbl: c, Entry: loopir.Ident}
+	rref := loopir.Ref{Array: r, Index: gatherRef}
+	loops := []*loopir.Loop{
+		{
+			Name:  "gather",
+			Iters: particles,
+			RO: []loopir.Ref{
+				{Array: e, Index: gatherRef},
+				{Array: q, Index: loopir.Ident},
+			},
+			Writes:    []loopir.Ref{{Array: f, Index: loopir.Ident}},
+			PreCycles: 6, FinalCycles: 2,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
+			Final: func(_ int, pre, _ []float64) []float64 {
+				return pre
+			},
+		},
+		{
+			Name:  "push",
+			Iters: particles,
+			RO:    []loopir.Ref{{Array: f, Index: loopir.Ident}},
+			RW:    []loopir.Ref{{Array: v, Index: loopir.Ident}},
+			Writes: []loopir.Ref{
+				{Array: v, Index: loopir.Ident},
+			},
+			PreCycles: 4, FinalCycles: 3,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{dt * ro[0]} },
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "deposit",
+			Iters: particles,
+			RO:    []loopir.Ref{{Array: q, Index: loopir.Ident}},
+			RW:    []loopir.Ref{rref},
+			Writes: []loopir.Ref{
+				rref,
+			},
+			PreCycles: 0, FinalCycles: 4,
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+	}
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return &step{space: s, loops: loops}
+}
+
+func main() {
+	// Both machines: the contrast is the paper's story — on the R10000
+	// the compiler's own prefetching already hides the strided misses, so
+	// only restructuring (which removes the gather itself) helps, while
+	// the Pentium Pro benefits from both helpers.
+	for _, cfg := range []machine.Config{machine.PentiumPro(4), machine.R10000(8)} {
+		fmt.Printf("=== %s (%d procs) ===\n", cfg.Name, cfg.Procs)
+
+		seq := buildStep()
+		m := machine.MustNew(cfg)
+		seqCycles := make([]int64, len(seq.loops))
+		for i, l := range seq.loops {
+			seqCycles[i] = cascade.RunSequential(m, l, true).Cycles
+		}
+
+		for _, helper := range []cascade.Helper{cascade.HelperPrefetch, cascade.HelperRestructure} {
+			st := buildStep()
+			mm := machine.MustNew(cfg)
+			fmt.Printf("%s helper:\n", helper)
+			var total, seqTotal int64
+			for i, l := range st.loops {
+				res, err := cascade.Run(mm, l, cascade.DefaultOptions(helper, st.space))
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-8s %12d cycles  speedup %.2f  (helper %.0f%%)\n",
+					l.Name, res.Cycles, float64(seqCycles[i])/float64(res.Cycles),
+					100*res.HelperCompletion())
+				total += res.Cycles
+				seqTotal += seqCycles[i]
+			}
+			fmt.Printf("  %-8s %12d cycles  speedup %.2f\n\n", "step", total,
+				float64(seqTotal)/float64(total))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: cascade a simple unparallelizable loop.
+//
+// The loop is a classic loop-carried-looking recurrence the compiler
+// cannot parallelize (the X(K(i)) scatter may collide), computing
+//
+//	X(K(i)) = X(K(i)) + W(i)
+//
+// We run it sequentially, then under cascaded execution with the
+// restructuring helper, on the simulated 4-way Pentium Pro server, and
+// verify the results are bit-for-bit identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// buildLoop allocates the arrays and describes the loop's references and
+// value semantics. A fresh copy per run keeps comparisons fair.
+func buildLoop(n int) (*memsim.Space, *loopir.Loop) {
+	space := memsim.NewSpace()
+	x := space.Alloc("X", n, 8, 8)
+	k := space.Alloc("K", n, 4, 4)
+	w := space.Alloc("W", n, 8, 8)
+	x.Fill(func(i int) float64 { return float64(i) })
+	k.Fill(func(i int) float64 { return float64((i * 31) % n) }) // scatter pattern
+	w.Fill(func(i int) float64 { return 0.25 * float64(i%17) })
+
+	xref := loopir.Ref{Array: x, Index: loopir.Indirect{Tbl: k, Entry: loopir.Ident}}
+	loop := &loopir.Loop{
+		Name:  "scatter-add",
+		Iters: n,
+		RO:    []loopir.Ref{{Array: w, Index: loopir.Ident}},
+		RW:    []loopir.Ref{xref},
+		Writes: []loopir.Ref{
+			xref,
+		},
+		PreCycles:   1,
+		FinalCycles: 2,
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := loop.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return space, loop
+}
+
+func main() {
+	const n = 1 << 20 // 8MB of X: far beyond the caches
+
+	// 1. Sequential baseline on one processor of the 4-way machine.
+	_, seqLoop := buildLoop(n)
+	seqMachine := machine.MustNew(machine.PentiumPro(4))
+	baseline := cascade.RunSequential(seqMachine, seqLoop, true)
+	want := seqLoop.Writes[0].Array.Snapshot()
+
+	// 2. Cascaded execution, restructuring helper, 64KB chunks.
+	space, casLoop := buildLoop(n)
+	casMachine := machine.MustNew(machine.PentiumPro(4))
+	result, err := cascade.Run(casMachine, casLoop, cascade.DefaultOptions(cascade.HelperRestructure, space))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Same answer?
+	if eq, idx := casLoop.Writes[0].Array.Equal(want); !eq {
+		log.Fatalf("cascaded result diverged at element %d", idx)
+	}
+
+	fmt.Printf("sequential: %d cycles\n", baseline.Cycles)
+	fmt.Printf("cascaded:   %d cycles over %d chunks (helper completed %.0f%% of iterations)\n",
+		result.Cycles, result.Chunks, 100*result.HelperCompletion())
+	fmt.Printf("speedup:    %.2fx, exec-phase L2 misses %d -> %d\n",
+		result.SpeedupOver(baseline), baseline.ExecL2.Misses, result.ExecL2.Misses)
+	fmt.Println("results verified bit-for-bit identical")
+}

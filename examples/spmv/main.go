@@ -1,0 +1,117 @@
+// SpMV: sparse matrix-vector multiply in COO form, y[r[k]] += v[k] *
+// x[c[k]] — a loop no compiler can parallelize (row indices may repeat)
+// and a double-indirection workload: every iteration gathers x through
+// the column index AND scatters into y through the row index.
+//
+// Restructuring shines here: the helper packs v[k]*x[c[k]] (the whole
+// gather side, precomputed) plus the row index into the sequential
+// buffer, leaving the execution phase a pure stream-in/scatter-out loop.
+// The example builds a banded random matrix, runs all three strategies on
+// the simulated Pentium Pro, checks the results agree bit-for-bit, and
+// prints the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/report"
+)
+
+const (
+	rows = 1 << 17 // 128K rows/cols
+	nnz  = 1 << 21 // 2M nonzeros (~16 per row)
+)
+
+// buildSpMV constructs the COO loop over fresh arrays.
+func buildSpMV() (*memsim.Space, *loopir.Loop) {
+	s := memsim.NewSpace()
+	val := s.Alloc("VAL", nnz, 8, 4096)
+	row := s.Alloc("ROW", nnz, 4, 4096)
+	col := s.Alloc("COL", nnz, 4, 4096)
+	x := s.Alloc("X", rows, 8, 4096)
+	y := s.Alloc("Y", rows, 8, 4096)
+
+	rng := uint64(99)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+	val.Fill(func(int) float64 { return 1 + float64(next()%1000)/1000 })
+	x.Fill(func(int) float64 { return float64(next()%100) / 10 })
+	// Banded structure: nonzero k belongs to row k/(nnz/rows), column
+	// within a +-2048 band around the diagonal (wrapping).
+	perRow := nnz / rows
+	row.Fill(func(k int) float64 { return float64(k / perRow) })
+	col.Fill(func(k int) float64 {
+		r := k / perRow
+		off := int(next()%4096) - 2048
+		c := (r + off + rows) % rows
+		return float64(c)
+	})
+
+	yref := loopir.Ref{Array: y, Index: loopir.Indirect{Tbl: row, Entry: loopir.Ident}}
+	l := &loopir.Loop{
+		Name:  "spmv-coo",
+		Iters: nnz,
+		RO: []loopir.Ref{
+			{Array: val, Index: loopir.Ident},
+			{Array: x, Index: loopir.Indirect{Tbl: col, Entry: loopir.Ident}},
+		},
+		RW:        []loopir.Ref{yref},
+		Writes:    []loopir.Ref{yref},
+		PreCycles: 3, FinalCycles: 2,
+		NPre: 1,
+		Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := l.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return s, l
+}
+
+func main() {
+	cfg := machine.PentiumPro(4)
+	fmt.Printf("SpMV (COO): %d nonzeros over %d rows, %s footprint, %s (%d procs)\n",
+		nnz, rows, report.MB(buildFootprint()), cfg.Name, cfg.Procs)
+
+	_, lseq := buildSpMV()
+	base := cascade.RunSequential(machine.MustNew(cfg), lseq, true)
+	want := lseq.Writes[0].Array.Snapshot()
+	fmt.Printf("%-22s %14s cycles\n", "sequential", report.Int(base.Cycles))
+
+	for _, pre := range []bool{false, true} {
+		for _, h := range []cascade.Helper{cascade.HelperPrefetch, cascade.HelperRestructure} {
+			if pre && h != cascade.HelperRestructure {
+				continue
+			}
+			space, l := buildSpMV()
+			opts := cascade.DefaultOptions(h, space)
+			opts.Precompute = pre
+			res, err := cascade.Run(machine.MustNew(cfg), l, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if eq, idx := l.Writes[0].Array.Equal(want); !eq {
+				log.Fatalf("%v: y diverged at %d", h, idx)
+			}
+			name := h.String()
+			if pre {
+				name += "+precompute"
+			}
+			fmt.Printf("%-22s %14s cycles  speedup %.2f  (helper %.0f%%)\n",
+				name, report.Int(res.Cycles), res.SpeedupOver(base), 100*res.HelperCompletion())
+		}
+	}
+	fmt.Println("all results verified identical to sequential execution")
+}
+
+// buildFootprint reports the workload's total simulated bytes.
+func buildFootprint() int {
+	_, l := buildSpMV()
+	return l.FootprintBytes()
+}

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/memsim"
+)
+
+// missKind is the classical three-way miss taxonomy.
+type missKind uint8
+
+const (
+	missCompulsory missKind = iota // first reference to the line ever
+	missCapacity                   // would miss even in a fully-associative cache
+	missConflict                   // present in the fully-associative shadow, so
+	// only the set mapping caused the miss
+)
+
+// classifier implements Hill's miss classification: alongside the real
+// cache it maintains (a) the set of all lines ever referenced and (b) a
+// fully-associative LRU cache with the same total line count. A miss that
+// the fully-associative cache would have hit is a conflict miss; a miss on
+// a never-seen line is compulsory; the rest are capacity misses.
+type classifier struct {
+	capacityLines int
+	seen          map[memsim.Addr]struct{}
+	lru           *list.List // of memsim.Addr, front = most recent
+	inLRU         map[memsim.Addr]*list.Element
+}
+
+func newClassifier(capacityLines int) *classifier {
+	return &classifier{
+		capacityLines: capacityLines,
+		seen:          make(map[memsim.Addr]struct{}),
+		lru:           list.New(),
+		inLRU:         make(map[memsim.Addr]*list.Element),
+	}
+}
+
+func (cl *classifier) reset() {
+	cl.seen = make(map[memsim.Addr]struct{})
+	cl.lru = list.New()
+	cl.inLRU = make(map[memsim.Addr]*list.Element)
+}
+
+// touch records a reference that hit in the real cache; the shadow must see
+// the same reference stream to stay meaningful.
+func (cl *classifier) touch(lineAddr memsim.Addr) {
+	if e, ok := cl.inLRU[lineAddr]; ok {
+		cl.lru.MoveToFront(e)
+		return
+	}
+	cl.insert(lineAddr)
+}
+
+// classifyMiss records a reference that missed in the real cache and
+// returns its classification.
+func (cl *classifier) classifyMiss(lineAddr memsim.Addr) missKind {
+	kind := missCapacity
+	if _, ok := cl.seen[lineAddr]; !ok {
+		kind = missCompulsory
+		cl.seen[lineAddr] = struct{}{}
+	} else if e, ok := cl.inLRU[lineAddr]; ok {
+		kind = missConflict
+		cl.lru.MoveToFront(e)
+		return kind
+	}
+	cl.insert(lineAddr)
+	return kind
+}
+
+func (cl *classifier) insert(lineAddr memsim.Addr) {
+	cl.seen[lineAddr] = struct{}{}
+	e := cl.lru.PushFront(lineAddr)
+	cl.inLRU[lineAddr] = e
+	if cl.lru.Len() > cl.capacityLines {
+		back := cl.lru.Back()
+		cl.lru.Remove(back)
+		delete(cl.inLRU, back.Value.(memsim.Addr))
+	}
+}

@@ -1,0 +1,375 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// LineSource supplies lines that miss the entire private hierarchy and
+// arbitrates write permission. The uniprocessor implementation is
+// MemorySource; the multiprocessor implementation is the snooping bus in
+// internal/coherence.
+type LineSource interface {
+	// FetchLine obtains the L2-line at lineAddr. It returns the latency of
+	// the fetch beyond the hierarchy's own lookup costs and the coherence
+	// state the line should be installed in (Modified for writes, Shared
+	// or Modified for reads depending on remote copies).
+	FetchLine(lineAddr memsim.Addr, write bool) (lat int64, st State)
+	// UpgradeLine obtains write permission for a line held Shared,
+	// invalidating remote copies. It returns the latency of doing so.
+	UpgradeLine(lineAddr memsim.Addr) int64
+	// WritebackLine is notified when a Modified line leaves the hierarchy.
+	// Writebacks are buffered on the paper's machines, so no latency is
+	// charged; the notification exists for statistics and memory-state
+	// bookkeeping.
+	WritebackLine(lineAddr memsim.Addr)
+}
+
+// MemorySource is the uniprocessor LineSource: every fetch costs the fixed
+// memory latency.
+type MemorySource struct {
+	Latency int64
+	Fetches int64 // number of memory fetches served
+}
+
+// FetchLine implements LineSource.
+func (m *MemorySource) FetchLine(_ memsim.Addr, write bool) (int64, State) {
+	m.Fetches++
+	if write {
+		return m.Latency, Modified
+	}
+	return m.Latency, Shared
+}
+
+// UpgradeLine implements LineSource; with no other caches an upgrade is free.
+func (m *MemorySource) UpgradeLine(memsim.Addr) int64 { return 0 }
+
+// WritebackLine implements LineSource.
+func (m *MemorySource) WritebackLine(memsim.Addr) {}
+
+// Level identifies which level of the memory system satisfied an access.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = 1
+	// LevelL2 means the access missed L1 and hit L2.
+	LevelL2 Level = 2
+	// LevelMem means the access missed the private hierarchy entirely.
+	LevelMem Level = 3
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Result describes one access: its total latency, the level that satisfied
+// it, and the portion of the latency beyond the L1 hit cost (the part a
+// non-blocking cache can overlap with other outstanding misses).
+type Result struct {
+	Cycles      int64
+	Level       Level
+	MissPenalty int64
+}
+
+// Hierarchy is one processor's private L1+L2 pair in front of a LineSource.
+// L2 includes L1: every L1 line's data is also present in L2, and L2
+// evictions back-invalidate the corresponding L1 lines. A Modified L1 line
+// implies the enclosing L2 line is Modified.
+type Hierarchy struct {
+	L1, L2 *Cache
+	Source LineSource
+
+	// StoreBuffered models a write buffer: stores perform their full
+	// state transitions (allocation, coherence upgrades, statistics) but
+	// charge only the L1 issue latency to the executing instruction
+	// stream — both paper machines retire stores through store buffers,
+	// so store misses and invalidation round-trips are off the critical
+	// path. Loads are unaffected.
+	StoreBuffered bool
+
+	// TLB, when non-nil, models address translation: every demand access
+	// consults it, and a miss serially adds the page-walk latency.
+	// Helpers warm the TLB as a side effect of their accesses, exactly as
+	// they warm the caches.
+	TLB *TLB
+
+	victims *victimBuffer
+}
+
+// EnableVictimBuffer attaches a fully-associative victim cache of the
+// given entry count beside L1; victim hits cost the L1 latency plus lat.
+func (h *Hierarchy) EnableVictimBuffer(entries int, lat int64) {
+	h.victims = newVictimBuffer(entries, lat)
+}
+
+// VictimStats returns the victim buffer's counters (zero when disabled).
+func (h *Hierarchy) VictimStats() VictimStats {
+	if h.victims == nil {
+		return VictimStats{}
+	}
+	return h.victims.stats
+}
+
+// NewHierarchy builds a hierarchy over the given source. The L2 line size
+// must be a multiple of the L1 line size (true of both paper machines).
+func NewHierarchy(l1, l2 Config, src LineSource) *Hierarchy {
+	if l2.LineSize%l1.LineSize != 0 {
+		panic(fmt.Sprintf("cache: L2 line size %d not a multiple of L1 line size %d", l2.LineSize, l1.LineSize))
+	}
+	if l2.Size < l1.Size {
+		panic(fmt.Sprintf("cache: L2 size %d smaller than L1 size %d; inclusion impossible", l2.Size, l1.Size))
+	}
+	return &Hierarchy{L1: New(l1), L2: New(l2), Source: src}
+}
+
+// Reset empties both levels (and the TLB and victim buffer) and clears
+// statistics.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	if h.TLB != nil {
+		h.TLB.Reset()
+	}
+	if h.victims != nil {
+		h.victims.reset()
+	}
+}
+
+// ResetStats zeroes all counters, keeping contents.
+func (h *Hierarchy) ResetStats() {
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	if h.TLB != nil {
+		h.TLB.ResetStats()
+	}
+}
+
+// Access performs a demand access of size bytes at addr, spanning as many
+// L1 lines as needed (element accesses in the workloads span exactly one).
+// It returns the aggregate latency and the deepest level touched.
+func (h *Hierarchy) Access(addr memsim.Addr, size int, write bool) Result {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: Access size %d", size))
+	}
+	var walk int64
+	if h.TLB != nil {
+		// One translation per access; elements are naturally aligned and
+		// never span pages. The walk serializes with the access.
+		walk = h.TLB.Access(addr)
+	}
+	first := addr.Line(h.L1.cfg.LineSize)
+	last := (addr + memsim.Addr(size) - 1).Line(h.L1.cfg.LineSize)
+	res := h.accessLine(first, write)
+	res.Cycles += walk
+	for l := first + memsim.Addr(h.L1.cfg.LineSize); l <= last; l += memsim.Addr(h.L1.cfg.LineSize) {
+		r := h.accessLine(l, write)
+		res.Cycles += r.Cycles
+		res.MissPenalty += r.MissPenalty
+		if r.Level > res.Level {
+			res.Level = r.Level
+		}
+	}
+	return res
+}
+
+// accessLine handles a single L1-line-aligned demand access.
+func (h *Hierarchy) accessLine(l1Addr memsim.Addr, write bool) Result {
+	res := h.accessLineTimed(l1Addr, write)
+	if write && h.StoreBuffered {
+		return Result{Cycles: h.L1.cfg.HitLatency, Level: res.Level}
+	}
+	return res
+}
+
+// accessLineTimed performs the access with full latency accounting.
+func (h *Hierarchy) accessLineTimed(l1Addr memsim.Addr, write bool) Result {
+	l2Addr := l1Addr.Line(h.L2.cfg.LineSize)
+	cycles := h.L1.cfg.HitLatency
+
+	if hit, st := h.L1.Touch(l1Addr, write); hit {
+		if write && st == Shared {
+			// Write permission must come from the coherence layer.
+			cycles += h.Source.UpgradeLine(l2Addr)
+			h.L2.SetState(l2Addr, Modified)
+			h.L1.SetState(l1Addr, Modified)
+		}
+		return Result{Cycles: cycles, Level: LevelL1}
+	}
+
+	if h.victims != nil {
+		if st, ok := h.victims.take(l1Addr); ok {
+			cycles += h.victims.lat
+			if write && st == Shared {
+				cycles += h.Source.UpgradeLine(l2Addr)
+				h.L2.SetState(l2Addr, Modified)
+				st = Modified
+			} else if write {
+				st = Modified
+			}
+			h.fillL1(l1Addr, st, false)
+			return Result{Cycles: cycles, Level: LevelL1, MissPenalty: h.victims.lat}
+		}
+	}
+
+	cycles += h.L2.cfg.HitLatency
+	if hit, st := h.L2.Touch(l2Addr, write); hit {
+		if write && st == Shared {
+			cycles += h.Source.UpgradeLine(l2Addr)
+			h.L2.SetState(l2Addr, Modified)
+			st = Modified
+		}
+		l1State := st
+		if write {
+			l1State = Modified
+		}
+		h.fillL1(l1Addr, l1State, false)
+		return Result{Cycles: cycles, Level: LevelL2, MissPenalty: cycles - h.L1.cfg.HitLatency}
+	}
+
+	lat, st := h.Source.FetchLine(l2Addr, write)
+	cycles += lat
+	h.fillL2(l2Addr, st, false)
+	h.fillL1(l1Addr, st, false)
+	return Result{Cycles: cycles, Level: LevelMem, MissPenalty: cycles - h.L1.cfg.HitLatency}
+}
+
+// fillL1 installs an L1 line, propagating a dirty victim's state into L2
+// (which must contain the victim, by inclusion).
+func (h *Hierarchy) fillL1(l1Addr memsim.Addr, st State, prefetch bool) {
+	v := h.L1.Fill(l1Addr, st, prefetch)
+	if v.Valid && v.Modified {
+		vl2 := v.Addr.Line(h.L2.cfg.LineSize)
+		if !h.L2.SetState(vl2, Modified) {
+			panic(fmt.Sprintf("cache: inclusion violated: L1 victim %s absent from L2", v.Addr))
+		}
+	}
+	if v.Valid && h.victims != nil {
+		vst := Shared
+		if v.Modified {
+			vst = Modified
+		}
+		h.victims.insert(v.Addr, vst)
+	}
+	if st == Modified {
+		// Invariant: a Modified L1 line implies a Modified L2 line.
+		h.L2.SetState(l1Addr.Line(h.L2.cfg.LineSize), Modified)
+	}
+}
+
+// fillL2 installs an L2 line, back-invalidating any L1 sublines of the
+// victim and writing back dirty victims to the source.
+func (h *Hierarchy) fillL2(l2Addr memsim.Addr, st State, prefetch bool) {
+	v := h.L2.Fill(l2Addr, st, prefetch)
+	if !v.Valid {
+		return
+	}
+	dirty := v.Modified
+	for sub := v.Addr; sub < v.Addr+memsim.Addr(h.L2.cfg.LineSize); sub += memsim.Addr(h.L1.cfg.LineSize) {
+		if h.L1.Invalidate(sub) == Modified {
+			dirty = true
+		}
+	}
+	if h.victims != nil {
+		h.victims.invalidate(v.Addr, h.L2.cfg.LineSize)
+	}
+	if dirty {
+		h.Source.WritebackLine(v.Addr)
+	}
+}
+
+// PrefetchLine installs the L2 line containing addr (and its first L1
+// subline) without charging demand latency or demand statistics. It models
+// both the compiler-inserted prefetches of the R10000's MIPSpro toolchain
+// and hardware preload instructions. It reports whether a fetch from the
+// source was needed.
+func (h *Hierarchy) PrefetchLine(addr memsim.Addr) bool {
+	l1Addr := addr.Line(h.L1.cfg.LineSize)
+	l2Addr := addr.Line(h.L2.cfg.LineSize)
+	if h.L1.Probe(l1Addr) != Invalid {
+		return false
+	}
+	if h.L2.Probe(l2Addr) != Invalid {
+		// Promote to L1 only; state follows L2's.
+		st := h.L2.Probe(l2Addr)
+		h.fillL1(l1Addr, st, true)
+		return false
+	}
+	_, st := h.Source.FetchLine(l2Addr, false)
+	h.fillL2(l2Addr, st, true)
+	h.fillL1(l1Addr, st, true)
+	return true
+}
+
+// Probe reports the hierarchy's coherence state for the L2 line at addr.
+func (h *Hierarchy) Probe(addr memsim.Addr) State {
+	return h.L2.Probe(addr.Line(h.L2.cfg.LineSize))
+}
+
+// CoherenceInvalidate removes the L2 line (and its L1 sublines) in response
+// to a remote write. It reports whether any removed copy was Modified, in
+// which case the caller (the bus) takes responsibility for the data.
+func (h *Hierarchy) CoherenceInvalidate(l2Addr memsim.Addr) (wasModified bool) {
+	for sub := l2Addr; sub < l2Addr+memsim.Addr(h.L2.cfg.LineSize); sub += memsim.Addr(h.L1.cfg.LineSize) {
+		if h.L1.Invalidate(sub) == Modified {
+			wasModified = true
+		}
+	}
+	if h.victims != nil {
+		h.victims.invalidate(l2Addr, h.L2.cfg.LineSize)
+	}
+	if h.L2.Invalidate(l2Addr) == Modified {
+		wasModified = true
+	}
+	return wasModified
+}
+
+// CoherenceDowngrade demotes a Modified line to Shared in response to a
+// remote read, reporting whether this hierarchy held it Modified (and so
+// supplies the data).
+func (h *Hierarchy) CoherenceDowngrade(l2Addr memsim.Addr) (hadModified bool) {
+	for sub := l2Addr; sub < l2Addr+memsim.Addr(h.L2.cfg.LineSize); sub += memsim.Addr(h.L1.cfg.LineSize) {
+		if h.L1.Downgrade(sub) == Modified {
+			hadModified = true
+		}
+	}
+	if h.victims != nil && h.victims.downgrade(l2Addr, h.L2.cfg.LineSize) {
+		hadModified = true
+	}
+	if h.L2.Downgrade(l2Addr) == Modified {
+		hadModified = true
+	}
+	return hadModified
+}
+
+// CheckInclusion verifies the L1-subset-of-L2 invariant, returning an error
+// describing the first violation. It is O(L1 lines) and intended for tests.
+func (h *Hierarchy) CheckInclusion() error {
+	var err error
+	h.L1.ForEachLine(func(addr memsim.Addr, st State) {
+		if err != nil {
+			return
+		}
+		l2Addr := addr.Line(h.L2.cfg.LineSize)
+		l2st := h.L2.Probe(l2Addr)
+		if l2st == Invalid {
+			err = fmt.Errorf("L1 line %s (%s) has no enclosing L2 line", addr, st)
+			return
+		}
+		if st == Modified && l2st != Modified {
+			err = fmt.Errorf("L1 line %s is Modified but L2 line %s is %s", addr, l2Addr, l2st)
+		}
+	})
+	return err
+}

@@ -1,0 +1,333 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+// testHierarchy mimics the Pentium Pro geometry at 1/8 scale so tests can
+// exercise capacity effects cheaply: L1 1KB/2-way/32B/3cy, L2 8KB/4-way/32B/7cy,
+// memory 58cy.
+func testHierarchy() (*Hierarchy, *MemorySource) {
+	src := &MemorySource{Latency: 58}
+	h := NewHierarchy(
+		Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 8 * 1024, Assoc: 4, LineSize: 32, HitLatency: 7},
+		src,
+	)
+	return h, src
+}
+
+// r10kLikeHierarchy has an L2 line four times the L1 line, like the R10000.
+func r10kLikeHierarchy() *Hierarchy {
+	src := &MemorySource{Latency: 150}
+	return NewHierarchy(
+		Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 16 * 1024, Assoc: 2, LineSize: 128, HitLatency: 6},
+		src,
+	)
+}
+
+func TestAccessLatencies(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x4000)
+
+	// Cold: L1 lookup + L2 lookup + memory.
+	r := h.Access(addr, 8, false)
+	if r.Cycles != 3+7+58 || r.Level != LevelMem {
+		t.Fatalf("cold access = %+v, want 68 cycles at mem", r)
+	}
+	if r.MissPenalty != 7+58 {
+		t.Errorf("cold MissPenalty = %d, want 65", r.MissPenalty)
+	}
+
+	// Warm: L1 hit.
+	r = h.Access(addr, 8, false)
+	if r.Cycles != 3 || r.Level != LevelL1 || r.MissPenalty != 0 {
+		t.Fatalf("warm access = %+v, want 3 cycles at L1", r)
+	}
+
+	// Evict from L1 but not L2, then re-access: L2 hit.
+	// L1 way size = 512B; two more lines at stride 512 evict addr from its set.
+	h.Access(addr+512, 8, false)
+	h.Access(addr+1024, 8, false)
+	r = h.Access(addr, 8, false)
+	if r.Cycles != 3+7 || r.Level != LevelL2 {
+		t.Fatalf("L2 access = %+v, want 10 cycles at L2", r)
+	}
+}
+
+func TestAccessSizeSpanningLines(t *testing.T) {
+	h, _ := testHierarchy()
+	// 64 bytes starting at a line boundary touches two lines.
+	r := h.Access(0x4000, 64, false)
+	if r.Cycles != 2*(3+7+58) {
+		t.Errorf("two-line access = %d cycles, want %d", r.Cycles, 2*(3+7+58))
+	}
+	if h.L1.Stats().Accesses != 2 {
+		t.Errorf("L1 accesses = %d, want 2", h.L1.Stats().Accesses)
+	}
+}
+
+func TestAccessZeroSizePanics(t *testing.T) {
+	h, _ := testHierarchy()
+	defer func() {
+		if recover() == nil {
+			t.Error("Access size 0 should panic")
+		}
+	}()
+	h.Access(0x0, 0, false)
+}
+
+func TestWriteMakesModified(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x100)
+	h.Access(addr, 8, true)
+	if st := h.L1.Probe(addr.Line(32)); st != Modified {
+		t.Errorf("L1 state after write = %v, want M", st)
+	}
+	if st := h.Probe(addr); st != Modified {
+		t.Errorf("L2 state after write = %v, want M", st)
+	}
+}
+
+func TestReadThenWriteUpgrades(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x100)
+	h.Access(addr, 8, false)
+	if st := h.Probe(addr); st != Shared {
+		t.Fatalf("state after read = %v, want S", st)
+	}
+	h.Access(addr, 8, true)
+	if st := h.Probe(addr); st != Modified {
+		t.Errorf("state after write = %v, want M", st)
+	}
+	if up := h.L1.Stats().Upgrades + h.L2.Stats().Upgrades; up == 0 {
+		t.Error("expected at least one recorded upgrade")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	h, src := testHierarchy()
+	addr := memsim.Addr(0x0)
+	h.Access(addr, 8, true) // dirty line
+	// Walk enough distinct lines to evict addr from L2 (8KB cache): 16KB walk.
+	for a := memsim.Addr(0x100000); a < 0x100000+16*1024; a += 32 {
+		h.Access(a, 8, false)
+	}
+	if h.Probe(addr) != Invalid {
+		t.Fatal("dirty line still resident; walk too small")
+	}
+	if src.Fetches == 0 {
+		t.Error("no memory fetches recorded")
+	}
+	if h.L2.Stats().Writebacks == 0 {
+		t.Error("dirty eviction did not count a writeback")
+	}
+}
+
+func TestInclusionMaintainedUnderRandomStream(t *testing.T) {
+	f := func(seed int64) bool {
+		h, _ := testHierarchy()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			addr := memsim.Addr(rng.Intn(64 * 1024))
+			h.Access(addr, 8, rng.Intn(3) == 0)
+			if rng.Intn(10) == 0 {
+				h.PrefetchLine(memsim.Addr(rng.Intn(64 * 1024)))
+			}
+		}
+		return h.CheckInclusion() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInclusionWithWideL2Lines(t *testing.T) {
+	f := func(seed int64) bool {
+		h := r10kLikeHierarchy()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			addr := memsim.Addr(rng.Intn(128 * 1024))
+			h.Access(addr, 8, rng.Intn(3) == 0)
+		}
+		return h.CheckInclusion() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideL2LineSublinePromotion(t *testing.T) {
+	h := r10kLikeHierarchy()
+	// Touch first word: fetches the 128B L2 line, fills one 32B L1 line.
+	h.Access(0x1000, 8, false)
+	// Touch the last word of the same L2 line: should be an L2 hit.
+	r := h.Access(0x1078, 8, false)
+	if r.Level != LevelL2 {
+		t.Errorf("subline access level = %v, want L2 (wide line already fetched)", r.Level)
+	}
+}
+
+func TestPrefetchLine(t *testing.T) {
+	h, src := testHierarchy()
+	addr := memsim.Addr(0x2000)
+	if fetched := h.PrefetchLine(addr); !fetched {
+		t.Fatal("prefetch of absent line should fetch")
+	}
+	if fetched := h.PrefetchLine(addr); fetched {
+		t.Error("second prefetch should be a no-op")
+	}
+	// Demand access now hits L1 and demand stats show no miss for it.
+	r := h.Access(addr, 8, false)
+	if r.Level != LevelL1 {
+		t.Errorf("post-prefetch access level = %v, want L1", r.Level)
+	}
+	if h.L1.Stats().PrefetchFills == 0 || h.L2.Stats().PrefetchFills == 0 {
+		t.Error("prefetch fills not counted")
+	}
+	if src.Fetches != 1 {
+		t.Errorf("memory fetches = %d, want 1", src.Fetches)
+	}
+	// Prefetch must not inflate demand accesses: only the one demand access.
+	if h.L1.Stats().Accesses != 1 {
+		t.Errorf("L1 demand accesses = %d, want 1", h.L1.Stats().Accesses)
+	}
+}
+
+func TestPrefetchPromotesFromL2(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x3000)
+	h.Access(addr, 8, false)
+	// Evict from L1 only.
+	h.Access(addr+512, 8, false)
+	h.Access(addr+1024, 8, false)
+	if h.L1.Probe(addr.Line(32)) != Invalid {
+		t.Fatal("setup failed: line still in L1")
+	}
+	if fetched := h.PrefetchLine(addr); fetched {
+		t.Error("prefetch hitting L2 should not fetch from memory")
+	}
+	if h.L1.Probe(addr.Line(32)) == Invalid {
+		t.Error("prefetch did not promote line into L1")
+	}
+}
+
+func TestCoherenceInvalidate(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x100)
+	h.Access(addr, 8, true)
+	if !h.CoherenceInvalidate(addr.Line(32)) {
+		t.Error("invalidating a Modified line should report modified")
+	}
+	if h.Probe(addr) != Invalid || h.L1.Probe(addr.Line(32)) != Invalid {
+		t.Error("line still present after coherence invalidate")
+	}
+	if h.CoherenceInvalidate(addr.Line(32)) {
+		t.Error("invalidating an absent line should report clean")
+	}
+}
+
+func TestCoherenceDowngrade(t *testing.T) {
+	h, _ := testHierarchy()
+	addr := memsim.Addr(0x100)
+	h.Access(addr, 8, true)
+	if !h.CoherenceDowngrade(addr.Line(32)) {
+		t.Error("downgrading a Modified line should report modified")
+	}
+	if h.Probe(addr) != Shared {
+		t.Errorf("state after downgrade = %v, want S", h.Probe(addr))
+	}
+	if h.CoherenceDowngrade(addr.Line(32)) {
+		t.Error("downgrading a Shared line should report clean")
+	}
+}
+
+func TestCoherenceDowngradeWideLine(t *testing.T) {
+	h := r10kLikeHierarchy()
+	h.Access(0x1000, 8, true) // L1 line 0x1000 Modified, L2 line 0x1000 (128B) Modified
+	l2Line := memsim.Addr(0x1000).Line(128)
+	if !h.CoherenceDowngrade(l2Line) {
+		t.Error("expected modified report")
+	}
+	if h.L1.Probe(0x1000) != Shared {
+		t.Errorf("L1 subline = %v, want S", h.L1.Probe(0x1000))
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Errorf("inclusion violated: %v", err)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h, _ := testHierarchy()
+	h.Access(0x0, 8, true)
+	h.Reset()
+	if h.L1.ValidLines() != 0 || h.L2.ValidLines() != 0 {
+		t.Error("lines remain after Reset")
+	}
+	if h.L1.Stats().Accesses != 0 {
+		t.Error("stats remain after Reset")
+	}
+}
+
+func TestNewHierarchyPanics(t *testing.T) {
+	l1 := Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 64, HitLatency: 3}
+	l2bad := Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 32, HitLatency: 7}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("L2 line smaller than L1 line should panic")
+			}
+		}()
+		NewHierarchy(l1, l2bad, &MemorySource{Latency: 58})
+	}()
+	l1big := Config{Name: "L1", Size: 16384, Assoc: 2, LineSize: 32, HitLatency: 3}
+	l2small := Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 32, HitLatency: 7}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("L2 smaller than L1 should panic")
+			}
+		}()
+		NewHierarchy(l1big, l2small, &MemorySource{Latency: 58})
+	}()
+}
+
+func TestSequentialWalkMissRate(t *testing.T) {
+	// A sequential walk over 8-byte elements with 32-byte lines should miss
+	// once per line: miss rate 1/4 in a cold cache far larger than a line.
+	h, _ := testHierarchy()
+	for a := memsim.Addr(0x10000); a < 0x10000+1024; a += 8 {
+		h.Access(a, 8, false)
+	}
+	s := h.L1.Stats()
+	if s.Accesses != 128 || s.Misses != 32 {
+		t.Errorf("walk: accesses=%d misses=%d, want 128/32", s.Accesses, s.Misses)
+	}
+}
+
+func TestConflictingArraysThrash(t *testing.T) {
+	// Two arrays at the same way-size congruence accessed alternately in a
+	// 2-way L1 coexist; three thrash. This is the phenomenon restructuring
+	// eliminates, so the model must reproduce it.
+	h, _ := testHierarchy() // L1 way size 512
+	base := []memsim.Addr{0x10000, 0x10000 + 512, 0x10000 + 1024}
+	// Warm all three lines (same L1 set).
+	for _, b := range base {
+		h.Access(b, 8, false)
+	}
+	l1Before := h.L1.Stats().Misses
+	for i := 0; i < 30; i++ {
+		for _, b := range base {
+			h.Access(b, 8, false)
+		}
+	}
+	thrash := h.L1.Stats().Misses - l1Before
+	if thrash < 60 { // 3 lines in a 2-way set: ~every access misses
+		t.Errorf("conflict thrashing produced only %d L1 misses in 90 accesses", thrash)
+	}
+}

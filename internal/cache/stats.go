@@ -1,0 +1,72 @@
+package cache
+
+// Stats counts events at one cache level. All counters are monotonically
+// increasing; Reset on the owning cache zeroes them.
+type Stats struct {
+	Accesses      int64 // demand lookups (reads + writes)
+	Hits          int64 // demand lookups that found the line
+	Misses        int64 // demand lookups that did not
+	ReadMisses    int64
+	WriteMisses   int64
+	Fills         int64 // lines installed (demand + prefetch)
+	PrefetchFills int64 // lines installed by prefetch only
+	Evictions     int64 // valid lines displaced
+	Writebacks    int64 // modified lines displaced (dirty victim)
+	Invalidations int64 // lines removed by coherence actions
+	Downgrades    int64 // M->S transitions forced by coherence
+	Upgrades      int64 // S->M transitions on write hits
+
+	// Miss classification (populated only when classification is enabled).
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+}
+
+// MissRate returns misses / accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns s - other, for measuring the events of a region bracketed
+// by two snapshots.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Accesses:      s.Accesses - other.Accesses,
+		Hits:          s.Hits - other.Hits,
+		Misses:        s.Misses - other.Misses,
+		ReadMisses:    s.ReadMisses - other.ReadMisses,
+		WriteMisses:   s.WriteMisses - other.WriteMisses,
+		Fills:         s.Fills - other.Fills,
+		PrefetchFills: s.PrefetchFills - other.PrefetchFills,
+		Evictions:     s.Evictions - other.Evictions,
+		Writebacks:    s.Writebacks - other.Writebacks,
+		Invalidations: s.Invalidations - other.Invalidations,
+		Downgrades:    s.Downgrades - other.Downgrades,
+		Upgrades:      s.Upgrades - other.Upgrades,
+		Compulsory:    s.Compulsory - other.Compulsory,
+		Capacity:      s.Capacity - other.Capacity,
+		Conflict:      s.Conflict - other.Conflict,
+	}
+}
+
+// Add accumulates other into s, for aggregating across processors.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.ReadMisses += other.ReadMisses
+	s.WriteMisses += other.WriteMisses
+	s.Fills += other.Fills
+	s.PrefetchFills += other.PrefetchFills
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	s.Invalidations += other.Invalidations
+	s.Downgrades += other.Downgrades
+	s.Upgrades += other.Upgrades
+	s.Compulsory += other.Compulsory
+	s.Capacity += other.Capacity
+	s.Conflict += other.Conflict
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// TLBConfig describes a data TLB. A zero value (Entries == 0) disables
+// translation modelling.
+type TLBConfig struct {
+	Entries     int   // total entries (power of two)
+	Assoc       int   // associativity; == Entries means fully associative
+	PageSize    int   // bytes per page (power of two)
+	MissLatency int64 // page-walk / software-refill cost in cycles
+}
+
+// Enabled reports whether the configuration models a TLB.
+func (c TLBConfig) Enabled() bool { return c.Entries > 0 }
+
+// Validate checks the configuration (only when enabled).
+func (c TLBConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch {
+	case !memsim.IsPow2(c.Entries):
+		return fmt.Errorf("tlb: entries %d not a power of two", c.Entries)
+	case !memsim.IsPow2(c.Assoc) || c.Assoc > c.Entries:
+		return fmt.Errorf("tlb: associativity %d invalid for %d entries", c.Assoc, c.Entries)
+	case !memsim.IsPow2(c.PageSize):
+		return fmt.Errorf("tlb: page size %d not a power of two", c.PageSize)
+	case c.MissLatency < 0:
+		return fmt.Errorf("tlb: negative miss latency")
+	}
+	return nil
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses/accesses (0 when untouched).
+func (s TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// tlbEntry is one translation slot.
+type tlbEntry struct {
+	page  memsim.Addr
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative, LRU data TLB. Translations are presence-only;
+// the simulator has no distinct virtual and physical spaces, so the TLB
+// models only the *cost* of translation locality, which is what the
+// workloads feel.
+type TLB struct {
+	cfg      TLBConfig
+	sets     []tlbEntry
+	tick     uint64
+	stats    TLBStats
+	setMask  memsim.Addr
+	setShift uint
+}
+
+// NewTLB builds a TLB; it panics on invalid configuration (configs are
+// validated with machine configs first) and returns nil for a disabled
+// one.
+func NewTLB(cfg TLBConfig) *TLB {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		panic("cache: " + err.Error())
+	}
+	t := &TLB{
+		cfg:  cfg,
+		sets: make([]tlbEntry, cfg.Entries),
+	}
+	numSets := cfg.Entries / cfg.Assoc
+	t.setMask = memsim.Addr(numSets - 1)
+	for s := cfg.PageSize; s > 1; s >>= 1 {
+		t.setShift++
+	}
+	return t
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Reset empties the TLB and zeroes its statistics.
+func (t *TLB) Reset() {
+	for i := range t.sets {
+		t.sets[i] = tlbEntry{}
+	}
+	t.tick = 0
+	t.stats = TLBStats{}
+}
+
+// ResetStats zeroes counters, keeping contents.
+func (t *TLB) ResetStats() { t.stats = TLBStats{} }
+
+// Access translates addr, returning the cycle cost (0 on a hit, the miss
+// latency on a refill). Misses install the page, LRU within the set.
+func (t *TLB) Access(addr memsim.Addr) int64 {
+	t.stats.Accesses++
+	page := addr >> t.setShift
+	setIdx := int(page & t.setMask)
+	set := t.sets[setIdx*t.cfg.Assoc : (setIdx+1)*t.cfg.Assoc]
+	t.tick++
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].lru = t.tick
+			return 0
+		}
+	}
+	t.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{page: page, valid: true, lru: t.tick}
+	return t.cfg.MissLatency
+}
+
+// Reach returns the bytes of address space the TLB can map.
+func (t *TLB) Reach() int { return t.cfg.Entries * t.cfg.PageSize }

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func tlbConfig() TLBConfig {
+	return TLBConfig{Entries: 8, Assoc: 2, PageSize: 4096, MissLatency: 25}
+}
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := tlbConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (TLBConfig{}).Validate(); err != nil {
+		t.Errorf("disabled config should validate: %v", err)
+	}
+	bad := []TLBConfig{
+		{Entries: 7, Assoc: 1, PageSize: 4096},
+		{Entries: 8, Assoc: 3, PageSize: 4096},
+		{Entries: 8, Assoc: 16, PageSize: 4096},
+		{Entries: 8, Assoc: 2, PageSize: 1000},
+		{Entries: 8, Assoc: 2, PageSize: 4096, MissLatency: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewTLBDisabled(t *testing.T) {
+	if NewTLB(TLBConfig{}) != nil {
+		t.Error("disabled config should yield nil TLB")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(tlbConfig())
+	if cost := tlb.Access(0x1000); cost != 25 {
+		t.Errorf("cold access cost = %d, want 25", cost)
+	}
+	if cost := tlb.Access(0x1FF8); cost != 0 {
+		t.Errorf("same-page access cost = %d, want 0", cost)
+	}
+	if cost := tlb.Access(0x2000); cost != 25 {
+		t.Errorf("next-page access cost = %d, want 25", cost)
+	}
+	s := tlb.Stats()
+	if s.Accesses != 3 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.MissRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("miss rate = %v", got)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tlb := NewTLB(tlbConfig()) // 4 sets, 2 ways
+	// Pages 0, 4, 8 map to set 0 (set = page % 4).
+	page := func(k int) memsim.Addr { return memsim.Addr(k * 4096) }
+	tlb.Access(page(0))
+	tlb.Access(page(4))
+	tlb.Access(page(0)) // page 0 most recent; 4 is LRU
+	tlb.Access(page(8)) // evicts 4
+	if cost := tlb.Access(page(0)); cost != 0 {
+		t.Error("page 0 should still be mapped")
+	}
+	if cost := tlb.Access(page(4)); cost == 0 {
+		t.Error("page 4 should have been evicted")
+	}
+}
+
+func TestTLBReach(t *testing.T) {
+	tlb := NewTLB(tlbConfig())
+	if got := tlb.Reach(); got != 8*4096 {
+		t.Errorf("Reach = %d", got)
+	}
+}
+
+func TestTLBResets(t *testing.T) {
+	tlb := NewTLB(tlbConfig())
+	tlb.Access(0x0)
+	tlb.ResetStats()
+	if tlb.Stats() != (TLBStats{}) {
+		t.Error("ResetStats failed")
+	}
+	if cost := tlb.Access(0x0); cost != 0 {
+		t.Error("ResetStats must keep translations")
+	}
+	tlb.Reset()
+	if cost := tlb.Access(0x0); cost == 0 {
+		t.Error("Reset must drop translations")
+	}
+}
+
+func TestHierarchyChargesTLBWalks(t *testing.T) {
+	src := &MemorySource{Latency: 58}
+	h := NewHierarchy(
+		Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 8 * 1024, Assoc: 4, LineSize: 32, HitLatency: 7},
+		src,
+	)
+	h.TLB = NewTLB(tlbConfig())
+	r := h.Access(0x4000, 8, false)
+	if r.Cycles != 3+7+58+25 {
+		t.Errorf("cold access with TLB walk = %d cycles, want %d", r.Cycles, 3+7+58+25)
+	}
+	// Walk cost must be serial (not part of the overlappable penalty).
+	if r.MissPenalty != 7+58 {
+		t.Errorf("MissPenalty = %d, want %d", r.MissPenalty, 7+58)
+	}
+	r = h.Access(0x4008, 8, false)
+	if r.Cycles != 3 {
+		t.Errorf("warm same-page access = %d cycles, want 3", r.Cycles)
+	}
+	if h.TLB.Stats().Misses != 1 {
+		t.Errorf("TLB misses = %d", h.TLB.Stats().Misses)
+	}
+	h.Reset()
+	if h.TLB.Stats().Accesses != 0 {
+		t.Error("hierarchy Reset must reset the TLB")
+	}
+}
+
+func TestTLBSparseWalkThrashes(t *testing.T) {
+	// A walk whose stride exceeds reach/entries touches more pages than
+	// the TLB maps: every page re-entry misses.
+	tlb := NewTLB(tlbConfig()) // reach 32KB, 8 entries
+	misses := func() int64 { return tlb.Stats().Misses }
+	// Touch 16 distinct pages round-robin, twice.
+	for round := 0; round < 2; round++ {
+		for p := 0; p < 16; p++ {
+			tlb.Access(memsim.Addr(p * 4096))
+		}
+	}
+	if got := misses(); got != 32 {
+		t.Errorf("thrashing walk misses = %d, want 32 (every access)", got)
+	}
+}

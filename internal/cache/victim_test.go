@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+func victimHierarchy(entries int) *Hierarchy {
+	src := &MemorySource{Latency: 58}
+	h := NewHierarchy(
+		Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 8 * 1024, Assoc: 4, LineSize: 32, HitLatency: 7},
+		src,
+	)
+	h.EnableVictimBuffer(entries, 2)
+	return h
+}
+
+func TestVictimBufferCatchesConflictEvictions(t *testing.T) {
+	h := victimHierarchy(4)
+	// Three lines in one L1 set (way size 512): thrash without a victim
+	// buffer, but all three fit L1(2) + victim(4).
+	lines := []memsim.Addr{0x0, 0x200, 0x400}
+	for _, a := range lines {
+		h.Access(a, 8, false)
+	}
+	statsBefore := h.L1.Stats()
+	for i := 0; i < 30; i++ {
+		for _, a := range lines {
+			r := h.Access(a, 8, false)
+			if r.Cycles > 3+2 {
+				t.Fatalf("access to %s cost %d cycles; victim buffer should cap at 5", a, r.Cycles)
+			}
+		}
+	}
+	_ = statsBefore
+	if h.VictimStats().Hits == 0 {
+		t.Error("no victim hits recorded")
+	}
+}
+
+func TestVictimDisabledByDefault(t *testing.T) {
+	src := &MemorySource{Latency: 58}
+	h := NewHierarchy(
+		Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 8 * 1024, Assoc: 4, LineSize: 32, HitLatency: 7},
+		src,
+	)
+	if h.VictimStats() != (VictimStats{}) {
+		t.Error("stats nonzero without a buffer")
+	}
+	h.EnableVictimBuffer(0, 2)
+	h.Access(0x0, 8, false)
+	if h.VictimStats() != (VictimStats{}) {
+		t.Error("zero-entry buffer should stay disabled")
+	}
+}
+
+func TestVictimPreservesDirtyState(t *testing.T) {
+	h := victimHierarchy(4)
+	a := memsim.Addr(0x0)
+	h.Access(a, 8, true) // a Modified in L1
+	// Evict a from L1 via two same-set fills.
+	h.Access(0x200, 8, false)
+	h.Access(0x400, 8, false)
+	// Victim hit must restore Modified so a subsequent write needs no
+	// upgrade.
+	r := h.Access(a, 8, false)
+	if r.Cycles != 3+2 {
+		t.Fatalf("victim hit cost %d, want 5", r.Cycles)
+	}
+	if st := h.L1.Probe(a); st != Modified {
+		t.Errorf("state after victim restore = %v, want M", st)
+	}
+}
+
+func TestVictimCoherenceInvalidate(t *testing.T) {
+	h := victimHierarchy(4)
+	a := memsim.Addr(0x0)
+	h.Access(a, 8, true)
+	h.Access(0x200, 8, false)
+	h.Access(0x400, 8, false) // a now lives in the victim buffer
+	if !h.CoherenceInvalidate(a.Line(32)) {
+		t.Error("invalidate should report the victim buffer's Modified copy")
+	}
+	// The line must be gone everywhere: re-access fetches from memory.
+	r := h.Access(a, 8, false)
+	if r.Level != LevelMem {
+		t.Errorf("level after invalidate = %v, want mem", r.Level)
+	}
+}
+
+func TestVictimCoherenceDowngrade(t *testing.T) {
+	h := victimHierarchy(4)
+	a := memsim.Addr(0x0)
+	h.Access(a, 8, true)
+	h.Access(0x200, 8, false)
+	h.Access(0x400, 8, false)
+	if !h.CoherenceDowngrade(a.Line(32)) {
+		t.Error("downgrade should report the victim buffer's Modified copy")
+	}
+}
+
+func TestVictimRandomStreamConsistency(t *testing.T) {
+	// With a victim buffer attached, inclusion and the single-location
+	// invariant (a line is in L1 or the buffer, never both) must survive
+	// arbitrary access streams.
+	f := func(seed int64) bool {
+		h := victimHierarchy(8)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			addr := memsim.Addr(rng.Intn(32 * 1024))
+			h.Access(addr, 8, rng.Intn(3) == 0)
+		}
+		if h.CheckInclusion() != nil {
+			return false
+		}
+		// No line present both in L1 and the buffer.
+		dup := false
+		h.L1.ForEachLine(func(addr memsim.Addr, _ State) {
+			for _, e := range h.victims.entries {
+				if e.state != Invalid && e.addr == addr {
+					dup = true
+				}
+			}
+		})
+		return !dup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVictimReset(t *testing.T) {
+	h := victimHierarchy(2)
+	h.Access(0x0, 8, false)
+	h.Access(0x200, 8, false)
+	h.Access(0x400, 8, false)
+	h.Reset()
+	if h.VictimStats().Inserts != 0 {
+		t.Error("Reset kept victim stats")
+	}
+	r := h.Access(0x0, 8, false)
+	if r.Level != LevelMem {
+		t.Error("Reset kept victim contents")
+	}
+}

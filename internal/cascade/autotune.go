@@ -1,0 +1,88 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// TuneTrial is one probed chunk size.
+type TuneTrial struct {
+	ChunkBytes int
+	// CyclesPerIter is the probe's cost normalized per iteration, the
+	// quantity compared across trials.
+	CyclesPerIter float64
+	// HelperCompletion of the probe, diagnostic.
+	HelperCompletion float64
+}
+
+// DefaultTuneSizesKB is the chunk-size grid AutoTune probes by default —
+// the Figure 6 axis.
+var DefaultTuneSizesKB = []int{4, 8, 16, 32, 64, 128, 256, 512}
+
+// AutoTune empirically selects a chunk size for a loop on a machine, the
+// way the paper does in §2.2/Figure 6 ("the effect of chunk size on
+// performance is examined empirically") but automated: each candidate
+// size is probed on a prefix of the loop large enough to reach the
+// cascade's steady state, and the best cycles-per-iteration wins.
+//
+// build must return a freshly built workload each call (same layout and
+// values every time), so probes do not contaminate each other's array
+// values or cache placement. sizesKB defaults to DefaultTuneSizesKB.
+func AutoTune(cfg machine.Config, build func() (*memsim.Space, *loopir.Loop, error),
+	helper Helper, sizesKB []int) (bestBytes int, trials []TuneTrial, err error) {
+
+	if len(sizesKB) == 0 {
+		sizesKB = DefaultTuneSizesKB
+	}
+	for _, kb := range sizesKB {
+		if kb <= 0 {
+			return 0, nil, fmt.Errorf("cascade: AutoTune size %dKB", kb)
+		}
+		space, l, err := build()
+		if err != nil {
+			return 0, nil, err
+		}
+		probe := *l // shallow copy: same arrays, truncated iteration space
+		probe.Iters = probeIters(l, kb*1024, cfg.Procs)
+
+		m, err := machine.New(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		opts := DefaultOptions(helper, space)
+		opts.ChunkBytes = kb * 1024
+		res, err := Run(m, &probe, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		trials = append(trials, TuneTrial{
+			ChunkBytes:       kb * 1024,
+			CyclesPerIter:    float64(res.Cycles) / float64(probe.Iters),
+			HelperCompletion: res.HelperCompletion(),
+		})
+	}
+	best := trials[0]
+	for _, tr := range trials[1:] {
+		if tr.CyclesPerIter < best.CyclesPerIter {
+			best = tr
+		}
+	}
+	return best.ChunkBytes, trials, nil
+}
+
+// probeIters sizes a probe: enough chunks that every processor executes
+// several (steady state), capped at the full loop.
+func probeIters(l *loopir.Loop, chunkBytes, procs int) int {
+	per := ItersPerChunk(l, chunkBytes)
+	want := per * procs * 4
+	if min := 4096; want < min {
+		want = min
+	}
+	if want > l.Iters {
+		want = l.Iters
+	}
+	return want
+}

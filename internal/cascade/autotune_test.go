@@ -1,0 +1,91 @@
+package cascade
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+func tuneBuild(n int) func() (*memsim.Space, *loopir.Loop, error) {
+	return func() (*memsim.Space, *loopir.Loop, error) {
+		s, l, _ := buildWorkload(n, true)
+		return s, l, nil
+	}
+}
+
+func TestAutoTuneSelectsReasonableSize(t *testing.T) {
+	const n = 60000
+	cfg := machine.PentiumPro(4)
+	best, trials, err := AutoTune(cfg, tuneBuild(n), HelperRestructure, []int{4, 64, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	// 2MB chunks exceed the whole probe (and the caches): they must not win.
+	if best == 2048*1024 {
+		t.Errorf("AutoTune chose 2MB chunks (trials: %+v)", trials)
+	}
+	// The winner must actually have the lowest cycles-per-iteration.
+	for _, tr := range trials {
+		winner := trialFor(trials, best)
+		if tr.CyclesPerIter < winner.CyclesPerIter {
+			t.Errorf("trial %dKB (%.2f cy/it) beats winner %dKB (%.2f cy/it)",
+				tr.ChunkBytes/1024, tr.CyclesPerIter, best/1024, winner.CyclesPerIter)
+		}
+	}
+}
+
+func trialFor(trials []TuneTrial, bytes int) TuneTrial {
+	for _, tr := range trials {
+		if tr.ChunkBytes == bytes {
+			return tr
+		}
+	}
+	return TuneTrial{}
+}
+
+func TestAutoTuneDefaultGrid(t *testing.T) {
+	const n = 30000
+	best, trials, err := AutoTune(machine.PentiumPro(2), tuneBuild(n), HelperPrefetch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != len(DefaultTuneSizesKB) {
+		t.Errorf("trials = %d, want %d", len(trials), len(DefaultTuneSizesKB))
+	}
+	if best <= 0 {
+		t.Error("no winner")
+	}
+}
+
+func TestAutoTuneErrors(t *testing.T) {
+	if _, _, err := AutoTune(machine.PentiumPro(2), tuneBuild(1000), HelperPrefetch, []int{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	boom := errors.New("boom")
+	bad := func() (*memsim.Space, *loopir.Loop, error) { return nil, nil, boom }
+	if _, _, err := AutoTune(machine.PentiumPro(2), bad, HelperPrefetch, nil); !errors.Is(err, boom) {
+		t.Errorf("builder error not propagated: %v", err)
+	}
+	if _, _, err := AutoTune(machine.PentiumPro(0), tuneBuild(1000), HelperPrefetch, []int{4}); err == nil {
+		t.Error("bad machine accepted")
+	}
+}
+
+func TestProbeItersBounds(t *testing.T) {
+	_, l, _ := buildWorkload(100000, false)
+	if got := probeIters(l, 4*1024, 4); got > l.Iters {
+		t.Errorf("probe exceeds loop: %d", got)
+	}
+	small, _, _ := buildWorkload(2000, false)
+	_ = small
+	_, tiny, _ := buildWorkload(2000, false)
+	if got := probeIters(tiny, 1024*1024, 8); got != tiny.Iters {
+		t.Errorf("probe of tiny loop = %d, want full %d", got, tiny.Iters)
+	}
+}

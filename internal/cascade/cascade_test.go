@@ -1,0 +1,397 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// buildWorkload constructs a PARMVR-flavoured loop: an indirect
+// read-modify-write scatter plus two read-only streams, with the arrays
+// deliberately placed at the same L1-set congruence (PentiumPro way size
+// 4KB) so that conflict misses matter, as in the paper's loops.
+func buildWorkload(n int, conflict bool) (*memsim.Space, *loopir.Loop, *memsim.Array) {
+	s := memsim.NewSpace()
+	alloc := func(name string, n, elem int) *memsim.Array {
+		if conflict {
+			return s.AllocAt(name, n, elem, 0, 4096)
+		}
+		return s.Alloc(name, n, elem, elem)
+	}
+	x := alloc("X", n, 8)
+	ij := alloc("IJ", n, 4)
+	a := alloc("A", n, 8)
+	b := alloc("B", n, 8)
+	x.Fill(func(i int) float64 { return float64(i % 97) })
+	ij.Fill(func(i int) float64 { return float64(i) })
+	a.Fill(func(i int) float64 { return float64(i % 13) })
+	b.Fill(func(i int) float64 { return float64(i % 7) })
+	xref := loopir.Ref{Array: x, Index: loopir.Indirect{Tbl: ij, Entry: loopir.Ident}}
+	l := &loopir.Loop{
+		Name:  "test",
+		Iters: n,
+		RO: []loopir.Ref{
+			{Array: a, Index: loopir.Ident},
+			{Array: b, Index: loopir.Ident},
+		},
+		RW:          []loopir.Ref{xref},
+		Writes:      []loopir.Ref{xref},
+		PreCycles:   2,
+		FinalCycles: 2,
+		NPre:        1,
+		Pre:         func(_ int, ro []float64) []float64 { return []float64{ro[0] + 2*ro[1]} },
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return s, l, x
+}
+
+func TestSplitCoversAllIterationsInOrder(t *testing.T) {
+	f := func(rawIters uint16, rawChunk uint16) bool {
+		s := memsim.NewSpace()
+		a := s.Alloc("A", 70000, 8, 8)
+		c := s.Alloc("C", 70000, 8, 8)
+		l := &loopir.Loop{
+			Name:   "cov",
+			Iters:  1 + int(rawIters),
+			RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+			Writes: []loopir.Ref{{Array: c, Index: loopir.Ident}},
+			Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+		}
+		chunkBytes := 1 + int(rawChunk)
+		chunks := Split(l, chunkBytes)
+		next := 0
+		for _, ch := range chunks {
+			if ch.Lo != next || ch.Hi <= ch.Lo {
+				return false
+			}
+			next = ch.Hi
+		}
+		return next == l.Iters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItersPerChunkMinimumOne(t *testing.T) {
+	s := memsim.NewSpace()
+	a := s.Alloc("A", 10, 8, 8)
+	c := s.Alloc("C", 10, 8, 8)
+	l := &loopir.Loop{
+		Name: "tiny", Iters: 10,
+		RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+		Writes: []loopir.Ref{{Array: c, Index: loopir.Ident}},
+		Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if got := ItersPerChunk(l, 1); got != 1 {
+		t.Errorf("ItersPerChunk(1 byte) = %d, want 1", got)
+	}
+	if got := ItersPerChunk(l, 160); got != 10 {
+		t.Errorf("ItersPerChunk(160) = %d, want 10 (16 B/iter)", got)
+	}
+}
+
+func TestChunkAccessors(t *testing.T) {
+	c := Chunk{Lo: 10, Hi: 25}
+	if c.Iters() != 15 {
+		t.Errorf("Iters = %d", c.Iters())
+	}
+	if c.String() != "[10,25)" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	s := memsim.NewSpace()
+	cases := []struct {
+		name string
+		o    Options
+	}{
+		{"zero chunk", Options{Helper: HelperPrefetch, ChunkBytes: 0}},
+		{"bad helper", Options{Helper: Helper(9), ChunkBytes: 1024}},
+		{"restructure without space", Options{Helper: HelperRestructure, ChunkBytes: 1024}},
+	}
+	for _, c := range cases {
+		if err := c.o.validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	ok := DefaultOptions(HelperRestructure, s)
+	if err := ok.validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	if ok.ChunkBytes != DefaultChunkBytes || !ok.JumpOut || !ok.PriorParallel {
+		t.Errorf("DefaultOptions = %+v", ok)
+	}
+}
+
+func TestHelperString(t *testing.T) {
+	if HelperPrefetch.String() != "prefetched" || HelperRestructure.String() != "restructured" {
+		t.Error("Helper names wrong")
+	}
+	if Helper(7).String() == "" {
+		t.Error("unknown helper should still render")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	_, l, _ := buildWorkload(256, false)
+	m := machine.MustNew(machine.PentiumPro(2))
+	if _, err := Run(m, l, Options{Helper: HelperRestructure, ChunkBytes: 1024}); err == nil {
+		t.Error("expected error for restructure without space")
+	}
+	if _, err := RunUnbounded(machine.PentiumPro(1), l, Options{ChunkBytes: 0}); err == nil {
+		t.Error("expected error for zero chunk bytes")
+	}
+}
+
+// TestCascadedMatchesSequentialValues is the fundamental correctness
+// property: cascaded execution, in every configuration, computes exactly
+// what sequential execution computes.
+func TestCascadedMatchesSequentialValues(t *testing.T) {
+	const n = 3000
+	sref, lref, xref := buildWorkload(n, true)
+	_ = sref
+	mseq := machine.MustNew(machine.PentiumPro(1))
+	RunSequential(mseq, lref, true)
+	want := xref.Snapshot()
+
+	configs := []struct {
+		name    string
+		helper  Helper
+		jumpOut bool
+		procs   int
+	}{
+		{"prefetch 4p jumpout", HelperPrefetch, true, 4},
+		{"prefetch 2p wait", HelperPrefetch, false, 2},
+		{"restructure 4p jumpout", HelperRestructure, true, 4},
+		{"restructure 3p wait", HelperRestructure, false, 3},
+	}
+	for _, c := range configs {
+		t.Run(c.name, func(t *testing.T) {
+			s, l, x := buildWorkload(n, true)
+			m := machine.MustNew(machine.PentiumPro(c.procs))
+			opts := Options{
+				Helper:        c.helper,
+				ChunkBytes:    4 * 1024,
+				JumpOut:       c.jumpOut,
+				Space:         s,
+				PriorParallel: true,
+			}
+			res, err := Run(m, l, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq, idx := x.Equal(want); !eq {
+				t.Errorf("values differ from sequential at %d", idx)
+			}
+			if res.Chunks < 2 {
+				t.Errorf("only %d chunks; test should cascade", res.Chunks)
+			}
+			if res.Cycles != res.ExecCycles+res.TransferCycles && c.jumpOut {
+				t.Errorf("jump-out makespan %d != exec %d + transfer %d",
+					res.Cycles, res.ExecCycles, res.TransferCycles)
+			}
+		})
+	}
+}
+
+func TestUnboundedMatchesSequentialValues(t *testing.T) {
+	const n = 3000
+	_, lref, xref := buildWorkload(n, false)
+	mseq := machine.MustNew(machine.PentiumPro(1))
+	RunSequential(mseq, lref, false)
+	want := xref.Snapshot()
+
+	for _, h := range []Helper{HelperPrefetch, HelperRestructure} {
+		s, l, x := buildWorkload(n, false)
+		opts := Options{Helper: h, ChunkBytes: 4 * 1024, JumpOut: true, Space: s}
+		res, err := RunUnbounded(machine.PentiumPro(4), l, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if eq, idx := x.Equal(want); !eq {
+			t.Errorf("%v: values differ at %d", h, idx)
+		}
+		if res.HelperCompletion() != 1.0 {
+			t.Errorf("%v: unbounded helper completion = %v, want 1", h, res.HelperCompletion())
+		}
+		if res.Procs != -1 {
+			t.Errorf("Procs = %d, want -1 sentinel", res.Procs)
+		}
+	}
+}
+
+func TestCascadeSpeedsUpConflictWorkload(t *testing.T) {
+	// The paper's core claim at small scale: with conflicting arrays and a
+	// prior parallel section, cascaded restructured execution beats the
+	// sequential baseline.
+	const n = 20000
+	_, lseq, _ := buildWorkload(n, true)
+	base := RunSequential(machine.MustNew(machine.PentiumPro(4)), lseq, true)
+
+	s, l, _ := buildWorkload(n, true)
+	res := MustRun(machine.MustNew(machine.PentiumPro(4)), l, DefaultOptions(HelperRestructure, s))
+	sp := res.SpeedupOver(base)
+	if sp <= 1.0 {
+		t.Errorf("restructured cascade speedup = %.3f, want > 1 (base %d, cascaded %d)",
+			sp, base.Cycles, res.Cycles)
+	}
+}
+
+func TestMoreProcessorsHelpMore(t *testing.T) {
+	// More processors give each helper a longer idle window, so helper
+	// completion must be monotonically non-decreasing in P (§3.3).
+	const n = 20000
+	var prev float64 = -1
+	for _, procs := range []int{2, 4, 8} {
+		s, l, _ := buildWorkload(n, true)
+		res := MustRun(machine.MustNew(machine.PentiumPro(procs)), l,
+			DefaultOptions(HelperRestructure, s))
+		hc := res.HelperCompletion()
+		if hc < prev-0.02 { // small tolerance: cache interactions are not strictly monotone
+			t.Errorf("helper completion fell from %.3f to %.3f at %d procs", prev, hc, procs)
+		}
+		prev = hc
+	}
+}
+
+func TestRestructureReducesMisses(t *testing.T) {
+	const n = 20000
+	_, lseq, _ := buildWorkload(n, true)
+	base := RunSequential(machine.MustNew(machine.PentiumPro(4)), lseq, true)
+
+	s, l, _ := buildWorkload(n, true)
+	res := MustRun(machine.MustNew(machine.PentiumPro(4)), l, DefaultOptions(HelperRestructure, s))
+	// The paper's Figures 4/5 count the misses the execution phases
+	// observe (helper misses are off the critical path). Those must drop
+	// sharply under restructuring.
+	if res.ExecL2.Misses >= base.ExecL2.Misses/2 {
+		t.Errorf("restructured exec L2 misses %d not well below sequential %d",
+			res.ExecL2.Misses, base.ExecL2.Misses)
+	}
+	if res.ExecL1.Misses >= base.ExecL1.Misses {
+		t.Errorf("restructured exec L1 misses %d not below sequential %d",
+			res.ExecL1.Misses, base.ExecL1.Misses)
+	}
+}
+
+func TestJumpOutBeatsWaiting(t *testing.T) {
+	// §3.3: jumping out of the helper phase on signal improves (or at
+	// least does not hurt) the makespan versus waiting for completion.
+	const n = 20000
+	run := func(jumpOut bool) int64 {
+		s, l, _ := buildWorkload(n, true)
+		opts := DefaultOptions(HelperPrefetch, s)
+		opts.JumpOut = jumpOut
+		opts.ChunkBytes = 16 * 1024
+		return MustRun(machine.MustNew(machine.PentiumPro(2)), l, opts).Cycles
+	}
+	jump, wait := run(true), run(false)
+	if jump > wait {
+		t.Errorf("jump-out (%d cy) slower than waiting (%d cy)", jump, wait)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := Result{Strategy: "prefetched", Procs: 4, Cycles: 500, HelperIters: 50, TotalIters: 100}
+	b := Result{Cycles: 1000}
+	if got := r.SpeedupOver(b); got != 2.0 {
+		t.Errorf("SpeedupOver = %v", got)
+	}
+	if got := r.HelperCompletion(); got != 0.5 {
+		t.Errorf("HelperCompletion = %v", got)
+	}
+	if (Result{}).HelperCompletion() != 0 {
+		t.Error("empty HelperCompletion should be 0")
+	}
+	if (Result{}).SpeedupOver(b) != 0 {
+		t.Error("zero-cycle SpeedupOver should be 0")
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSequentialBaselineHelper(t *testing.T) {
+	_, l, _ := buildWorkload(1000, false)
+	res, err := SequentialBaseline(machine.PentiumPro(4), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "sequential" || res.Cycles <= 0 {
+		t.Errorf("baseline = %+v", res)
+	}
+}
+
+// TestChunkSizeTradeoff reproduces the two forces behind Figure 6 at
+// miniature scale: chunks far beyond the caches lose the helper's warming
+// (capacity), and — once the per-transfer cost is significant relative to
+// chunk work, as it is at full scale — tiny chunks pay for it in transfer
+// overhead.
+func TestChunkSizeTradeoff(t *testing.T) {
+	const n = 30000
+	run := func(kb int, transfer int64) Result {
+		s, l, _ := buildWorkload(n, true)
+		cfg := machine.PentiumPro(4)
+		if transfer > 0 {
+			cfg.TransferCycles = transfer
+		}
+		opts := DefaultOptions(HelperRestructure, s)
+		opts.ChunkBytes = kb * 1024
+		return MustRun(machine.MustNew(cfg), l, opts)
+	}
+	// Capacity side: 16KB chunks (fit L2 easily) beat 2MB chunks (bigger
+	// than the whole workload — degenerates to one warm-up-less chunk).
+	small, huge := run(16, 0), run(2048, 0)
+	if small.Cycles >= huge.Cycles {
+		t.Errorf("capacity effect missing: 16KB=%d >= 2048KB=%d", small.Cycles, huge.Cycles)
+	}
+	// Transfer side: with an expensive transfer, 1KB chunks lose to 16KB.
+	tiny, mid := run(1, 5000), run(16, 5000)
+	if mid.Cycles >= tiny.Cycles {
+		t.Errorf("transfer effect missing: 16KB=%d >= 1KB=%d", mid.Cycles, tiny.Cycles)
+	}
+	if tiny.Chunks <= mid.Chunks {
+		t.Errorf("chunk counts inverted: %d vs %d", tiny.Chunks, mid.Chunks)
+	}
+}
+
+func TestRandomizedStrategyEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(2000)
+		_, lref, xref := buildWorkload(n, rng.Intn(2) == 0)
+		RunSequential(machine.MustNew(machine.PentiumPro(1)), lref, rng.Intn(2) == 0)
+		want := xref.Snapshot()
+
+		s, l, x := buildWorkload(n, rng.Intn(2) == 0)
+		helper := HelperPrefetch
+		if rng.Intn(2) == 0 {
+			helper = HelperRestructure
+		}
+		opts := Options{
+			Helper:        helper,
+			ChunkBytes:    512 * (1 + rng.Intn(64)),
+			JumpOut:       rng.Intn(2) == 0,
+			Space:         s,
+			PriorParallel: rng.Intn(2) == 0,
+		}
+		procs := 2 + rng.Intn(6)
+		MustRun(machine.MustNew(machine.PentiumPro(procs)), l, opts)
+		eq, _ := x.Equal(want)
+		return eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+)
+
+// Chunk is a contiguous range of loop iterations [Lo, Hi) executed by one
+// processor in one execution phase.
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Iters returns the number of iterations in the chunk.
+func (c Chunk) Iters() int { return c.Hi - c.Lo }
+
+// String implements fmt.Stringer.
+func (c Chunk) String() string { return fmt.Sprintf("[%d,%d)", c.Lo, c.Hi) }
+
+// ItersPerChunk returns how many iterations fit the byte budget, using the
+// loop's bytes-per-iteration estimate (§2.2). At least one iteration per
+// chunk.
+func ItersPerChunk(l *loopir.Loop, chunkBytes int) int {
+	per := chunkBytes / l.BytesPerIter()
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Split partitions the loop's iteration space into chunks of at most
+// chunkBytes estimated bytes each. Every iteration belongs to exactly one
+// chunk and chunks are in increasing order — sequential semantics are
+// preserved by executing them in slice order.
+func Split(l *loopir.Loop, chunkBytes int) []Chunk {
+	per := ItersPerChunk(l, chunkBytes)
+	chunks := make([]Chunk, 0, (l.Iters+per-1)/per)
+	for lo := 0; lo < l.Iters; lo += per {
+		hi := lo + per
+		if hi > l.Iters {
+			hi = l.Iters
+		}
+		chunks = append(chunks, Chunk{Lo: lo, Hi: hi})
+	}
+	return chunks
+}

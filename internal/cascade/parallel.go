@@ -1,0 +1,58 @@
+package cascade
+
+import (
+	"repro/internal/interp"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// RunParallel executes a compiler-parallelizable loop across all
+// processors of m, each taking one contiguous slice of the iteration
+// space — the "parallel section" of the paper's Figure 1. The returned
+// Cycles is the phase's makespan (the slowest processor); ExecCycles is
+// the summed work.
+//
+// Besides modelling the timing of the parallel sections around an
+// unparallelized loop, RunParallel produces the paper's premise as a real
+// machine state: afterwards each processor's caches hold (dirty) the
+// slice of data it produced, which is exactly the start state the
+// unparallelized loop then faces. Follow it with RunSequentialWarm or
+// Run{KeepState: true} to measure against that state rather than the
+// synthetic line distribution.
+//
+// keepState preserves the machine's cache contents at entry (phases
+// compose); otherwise caches start cold.
+func RunParallel(m *machine.Machine, l *loopir.Loop, keepState bool) (Result, error) {
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !keepState {
+		m.ResetCaches()
+	}
+	m.ResetStats()
+	P := m.Procs()
+	res := Result{
+		Strategy:   "parallel",
+		Procs:      P,
+		Chunks:     P,
+		TotalIters: l.Iters,
+	}
+	for p := 0; p < P; p++ {
+		lo := p * l.Iters / P
+		hi := (p + 1) * l.Iters / P
+		if lo == hi {
+			continue
+		}
+		cycles := interp.New(m.Proc(p)).ExecIters(l, lo, hi)
+		res.ExecCycles += cycles
+		if cycles > res.Cycles {
+			res.Cycles = cycles // makespan
+		}
+	}
+	res.L1 = m.L1Stats()
+	res.L2 = m.L2Stats()
+	res.Bus = m.Bus().Stats()
+	res.ExecL1 = res.L1
+	res.ExecL2 = res.L2
+	return res, nil
+}

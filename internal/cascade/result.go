@@ -1,0 +1,72 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+)
+
+// Result reports one run (sequential or cascaded) of a loop.
+type Result struct {
+	Strategy string // "sequential", "prefetched", "restructured"
+	Procs    int
+
+	// Cycles is the loop's total execution time: for sequential runs the
+	// single processor's cycles; for cascaded runs the cascade makespan
+	// (sum of execution phases plus transfers, since execution phases
+	// never overlap).
+	Cycles int64
+
+	// ExecCycles is the cycles spent inside execution phases.
+	ExecCycles int64
+	// TransferCycles is the total control-transfer overhead.
+	TransferCycles int64
+	// HelperCycles is the cycles processors spent in helper phases.
+	// Helper time is hidden (it overlaps execution on other processors)
+	// and so does not contribute to Cycles, except through JumpOut=false
+	// waiting.
+	HelperCycles int64
+
+	// Chunks is the number of execution phases.
+	Chunks int
+	// HelperIters / TotalIters measures helper completeness: the fraction
+	// of iterations whose helper work finished before the processor was
+	// signaled. 1.0 means every helper ran to completion.
+	HelperIters int
+	TotalIters  int
+
+	// Cache and bus statistics aggregated over all processors for the
+	// measured region (warm-up excluded). These include helper-phase
+	// traffic.
+	L1, L2 cache.Stats
+	Bus    coherence.Stats
+
+	// ExecL1 and ExecL2 cover the execution phases only — the misses the
+	// running loop actually observes, which is what the paper's cache-miss
+	// figures (4 and 5) report. Helper-phase misses are off the critical
+	// path and excluded here.
+	ExecL1, ExecL2 cache.Stats
+}
+
+// HelperCompletion returns HelperIters/TotalIters in [0,1].
+func (r Result) HelperCompletion() float64 {
+	if r.TotalIters == 0 {
+		return 0
+	}
+	return float64(r.HelperIters) / float64(r.TotalIters)
+}
+
+// SpeedupOver returns baseline.Cycles / r.Cycles.
+func (r Result) SpeedupOver(baseline Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%dp: %d cycles (%d chunks, helper %.0f%%, L2 misses %d)",
+		r.Strategy, r.Procs, r.Cycles, r.Chunks, 100*r.HelperCompletion(), r.L2.Misses)
+}

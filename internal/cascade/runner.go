@@ -1,0 +1,144 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// Run executes the loop under cascaded execution on m (Figure 1b).
+//
+// Chunks are assigned to processors round-robin. The timeline is modelled
+// exactly as the implementation in the paper behaves:
+//
+//   - control becomes available at time t (the previous chunk's execution
+//     end); passing it costs TransferCycles, so chunk k's execution phase
+//     starts at t + TransferCycles;
+//   - processor p = k mod P has been in its helper phase since its own
+//     previous execution phase ended (lastEnd[p]); with JumpOut enabled
+//     its helper cycle budget is therefore t - lastEnd[p], and whatever
+//     part of the chunk the helper did not reach stays cold;
+//   - with JumpOut disabled the helper always completes, and the
+//     execution phase cannot begin before it does — the ablation the
+//     paper argues against in §3.3.
+//
+// The helper for chunk k is simulated immediately before chunk k's
+// execution phase rather than interleaved with chunks k-P+1..k-1; see
+// DESIGN.md §4 for why this approximation is benign (chunks touch almost
+// entirely disjoint data, and coherence invalidations still apply).
+func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	if !opts.KeepState {
+		m.ResetCaches()
+		if opts.PriorParallel {
+			distribute(m, l)
+		}
+	}
+	m.ResetStats()
+
+	P := m.Procs()
+	chunks := Split(l, opts.ChunkBytes)
+	runners := make([]*interp.Runner, P)
+	for p := 0; p < P; p++ {
+		runners[p] = interp.New(m.Proc(p))
+	}
+
+	var bufs []*interp.SeqBuf
+	if opts.Helper == HelperRestructure {
+		per := ItersPerChunk(l, opts.ChunkBytes)
+		capElems := per * l.BufSlotsPerIter()
+		if capElems < 1 {
+			capElems = 1
+		}
+		bufs = make([]*interp.SeqBuf, P)
+		for p := 0; p < P; p++ {
+			bufs[p] = interp.NewSeqBuf(opts.Space, fmt.Sprintf("seqbuf%d", p), capElems)
+		}
+	}
+
+	res := Result{
+		Strategy:   opts.Helper.String(),
+		Procs:      P,
+		Chunks:     len(chunks),
+		TotalIters: l.Iters,
+	}
+	transfer := m.Config().TransferCycles
+	lastEnd := make([]int64, P) // end of each processor's previous execution phase
+	var t int64                 // cascade time: when control is handed off
+
+	for k, ch := range chunks {
+		p := k % P
+		start := t
+		if k > 0 {
+			start += transfer
+			res.TransferCycles += transfer
+		}
+
+		// Helper phase for this chunk, bounded by the processor's idle
+		// window (signal arrives at t).
+		budget := t - lastEnd[p]
+		if budget < 0 {
+			budget = 0
+		}
+		if !opts.JumpOut {
+			budget = interp.Unlimited
+		}
+		var done int
+		var helperCycles int64
+		switch opts.Helper {
+		case HelperPrefetch:
+			done, helperCycles = runners[p].ShadowIters(l, ch.Lo, ch.Hi, budget)
+		case HelperRestructure:
+			bufs[p].Reset()
+			done, helperCycles = runners[p].RestructureIters(l, ch.Lo, ch.Hi, bufs[p], budget, opts.Precompute)
+		}
+		res.HelperCycles += helperCycles
+		res.HelperIters += done
+		if !opts.JumpOut {
+			// The execution phase waits for helper completion.
+			if ready := lastEnd[p] + helperCycles; ready > start {
+				start = ready
+			}
+		}
+
+		// Execution phase, with stats bracketed so ExecL1/ExecL2 report
+		// only what the running loop observes.
+		l1Before, l2Before := m.L1Stats(), m.L2Stats()
+		var execCycles int64
+		switch opts.Helper {
+		case HelperPrefetch:
+			execCycles = runners[p].ExecIters(l, ch.Lo, ch.Hi)
+		case HelperRestructure:
+			execCycles = runners[p].ExecFromBuffer(l, ch.Lo, ch.Hi, done, bufs[p], opts.Precompute)
+		}
+		res.ExecL1.Add(m.L1Stats().Sub(l1Before))
+		res.ExecL2.Add(m.L2Stats().Sub(l2Before))
+		res.ExecCycles += execCycles
+		end := start + execCycles
+		lastEnd[p] = end
+		t = end
+	}
+
+	res.Cycles = t
+	res.L1 = m.L1Stats()
+	res.L2 = m.L2Stats()
+	res.Bus = m.Bus().Stats()
+	return res, nil
+}
+
+// MustRun is Run for options known to be valid; it panics on error.
+func MustRun(m *machine.Machine, l *loopir.Loop, opts Options) Result {
+	r, err := Run(m, l, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

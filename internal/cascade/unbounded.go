@@ -1,0 +1,108 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// RunUnbounded simulates cascaded execution with an unbounded number of
+// processors using the paper's §3.4 methodology: a single processor
+// alternates between helper and execution phases, helper phases always
+// run to completion, and the reported time is the sum of the execution
+// phases plus one control transfer per chunk.
+//
+// This models a system with enough processors that every helper finishes
+// before its execution signal arrives; running helper and execution on
+// the same physical cache is exactly what the paper did ("we simulate
+// cascaded execution by running on a single processor, which alternates
+// between helper and execution phases").
+//
+// The machine configuration is used at one processor regardless of
+// cfg.Procs.
+func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := machine.New(cfg.WithProcs(1))
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.PriorParallel {
+		// With one simulated processor there is nowhere else to
+		// distribute to; cold caches model the post-parallel-section
+		// state instead (every line starts remote).
+		m.ResetCaches()
+	}
+
+	runner := interp.New(m.Proc(0))
+	chunks := Split(l, opts.ChunkBytes)
+
+	var buf *interp.SeqBuf
+	if opts.Helper == HelperRestructure {
+		capElems := ItersPerChunk(l, opts.ChunkBytes) * l.BufSlotsPerIter()
+		if capElems < 1 {
+			capElems = 1
+		}
+		buf = interp.NewSeqBuf(opts.Space, "seqbuf", capElems)
+	}
+
+	res := Result{
+		Strategy:   opts.Helper.String(),
+		Procs:      -1, // unbounded
+		Chunks:     len(chunks),
+		TotalIters: l.Iters,
+	}
+	transfer := m.Config().TransferCycles
+
+	for _, ch := range chunks {
+		var done int
+		var helperCycles int64
+		switch opts.Helper {
+		case HelperPrefetch:
+			done, helperCycles = runner.ShadowIters(l, ch.Lo, ch.Hi, interp.Unlimited)
+		case HelperRestructure:
+			buf.Reset()
+			done, helperCycles = runner.RestructureIters(l, ch.Lo, ch.Hi, buf, interp.Unlimited, opts.Precompute)
+		}
+		if done != ch.Iters() {
+			return Result{}, fmt.Errorf("cascade: unbounded helper completed %d of %d iterations", done, ch.Iters())
+		}
+		res.HelperCycles += helperCycles
+		res.HelperIters += done
+
+		l1Before, l2Before := m.L1Stats(), m.L2Stats()
+		var execCycles int64
+		switch opts.Helper {
+		case HelperPrefetch:
+			execCycles = runner.ExecIters(l, ch.Lo, ch.Hi)
+		case HelperRestructure:
+			execCycles = runner.ExecFromBuffer(l, ch.Lo, ch.Hi, done, buf, opts.Precompute)
+		}
+		res.ExecL1.Add(m.L1Stats().Sub(l1Before))
+		res.ExecL2.Add(m.L2Stats().Sub(l2Before))
+		res.ExecCycles += execCycles
+		res.TransferCycles += transfer
+	}
+
+	res.Cycles = res.ExecCycles + res.TransferCycles
+	res.L1 = m.L1Stats()
+	res.L2 = m.L2Stats()
+	res.Bus = m.Bus().Stats()
+	return res, nil
+}
+
+// SequentialBaseline runs the loop sequentially on a fresh one-processor
+// instance of cfg, the comparison point for RunUnbounded.
+func SequentialBaseline(cfg machine.Config, l *loopir.Loop) (Result, error) {
+	m, err := machine.New(cfg.WithProcs(1))
+	if err != nil {
+		return Result{}, err
+	}
+	return RunSequential(m, l, false), nil
+}

@@ -1,0 +1,240 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/memsim"
+)
+
+const (
+	memLat = 58
+	c2cLat = 58
+	upgLat = 29
+)
+
+func twoNodeBus(t *testing.T) (*Bus, *cache.Hierarchy, *cache.Hierarchy) {
+	t.Helper()
+	return nNodeBus(t, 2)
+}
+
+func nNodeBus(t *testing.T, n int) (*Bus, *cache.Hierarchy, *cache.Hierarchy) {
+	t.Helper()
+	l1 := cache.Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3}
+	l2 := cache.Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 32, HitLatency: 7}
+	b := NewBus(memLat, c2cLat, upgLat, 32)
+	var hs []*cache.Hierarchy
+	for i := 0; i < n; i++ {
+		h := cache.NewHierarchy(l1, l2, b.Port(i))
+		b.Attach(i, h)
+		hs = append(hs, h)
+	}
+	return b, hs[0], hs[1]
+}
+
+func TestReadMissSuppliedByMemory(t *testing.T) {
+	b, h0, _ := twoNodeBus(t)
+	r := h0.Access(0x1000, 8, false)
+	if r.Cycles != 3+7+memLat {
+		t.Errorf("cycles = %d, want %d", r.Cycles, 3+7+memLat)
+	}
+	if s := b.Stats(); s.MemFetches != 1 || s.CacheToCache != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if h0.Probe(0x1000) != cache.Shared {
+		t.Errorf("state = %v, want S", h0.Probe(0x1000))
+	}
+}
+
+func TestReadMissSuppliedByRemoteModified(t *testing.T) {
+	b, h0, h1 := twoNodeBus(t)
+	h1.Access(0x1000, 8, true) // h1 holds M
+	r := h0.Access(0x1000, 8, false)
+	if r.Cycles != 3+7+c2cLat {
+		t.Errorf("cycles = %d, want %d", r.Cycles, 3+7+c2cLat)
+	}
+	if h1.Probe(0x1000) != cache.Shared {
+		t.Errorf("remote owner state = %v, want S after downgrade", h1.Probe(0x1000))
+	}
+	if h0.Probe(0x1000) != cache.Shared {
+		t.Errorf("reader state = %v, want S", h0.Probe(0x1000))
+	}
+	s := b.Stats()
+	if s.CacheToCache != 1 {
+		t.Errorf("CacheToCache = %d, want 1", s.CacheToCache)
+	}
+	if s.Writebacks == 0 {
+		t.Error("owner flush should count a writeback")
+	}
+}
+
+func TestWriteMissInvalidatesSharers(t *testing.T) {
+	b, h0, h1 := twoNodeBus(t)
+	h1.Access(0x2000, 8, false) // h1 holds S
+	h0.Access(0x2000, 8, true)  // h0 writes
+	if h1.Probe(0x2000) != cache.Invalid {
+		t.Errorf("sharer state = %v, want I", h1.Probe(0x2000))
+	}
+	if h0.Probe(0x2000) != cache.Modified {
+		t.Errorf("writer state = %v, want M", h0.Probe(0x2000))
+	}
+	if s := b.Stats(); s.InvalidationsOut != 1 {
+		t.Errorf("InvalidationsOut = %d, want 1", s.InvalidationsOut)
+	}
+}
+
+func TestWriteMissStealsRemoteModified(t *testing.T) {
+	b, h0, h1 := twoNodeBus(t)
+	h1.Access(0x2000, 8, true) // h1 holds M
+	r := h0.Access(0x2000, 8, true)
+	if r.Cycles != 3+7+c2cLat {
+		t.Errorf("cycles = %d, want %d (cache-to-cache)", r.Cycles, 3+7+c2cLat)
+	}
+	if h1.Probe(0x2000) != cache.Invalid {
+		t.Errorf("prior owner state = %v, want I", h1.Probe(0x2000))
+	}
+	if b.Stats().CacheToCache != 1 {
+		t.Errorf("CacheToCache = %d, want 1", b.Stats().CacheToCache)
+	}
+}
+
+func TestUpgradeOnSharedWriteHit(t *testing.T) {
+	b, h0, h1 := twoNodeBus(t)
+	h0.Access(0x3000, 8, false)
+	h1.Access(0x3000, 8, false) // both S
+	r := h0.Access(0x3000, 8, true)
+	if r.Cycles != 3+upgLat {
+		t.Errorf("upgrade write cycles = %d, want %d", r.Cycles, 3+upgLat)
+	}
+	if h1.Probe(0x3000) != cache.Invalid {
+		t.Errorf("remote sharer = %v, want I", h1.Probe(0x3000))
+	}
+	if b.Stats().Upgrades != 1 {
+		t.Errorf("Upgrades = %d, want 1", b.Stats().Upgrades)
+	}
+}
+
+func TestUpgradeWithoutRemoteCopiesIsFree(t *testing.T) {
+	b, h0, _ := twoNodeBus(t)
+	h0.Access(0x3000, 8, false) // S, no other copies
+	r := h0.Access(0x3000, 8, true)
+	if r.Cycles != 3 {
+		t.Errorf("exclusive upgrade cycles = %d, want 3 (free)", r.Cycles)
+	}
+	if b.Stats().Upgrades != 0 {
+		t.Errorf("Upgrades = %d, want 0", b.Stats().Upgrades)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	b := NewBus(memLat, c2cLat, upgLat, 32)
+	l1 := cache.Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3}
+	l2 := cache.Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 32, HitLatency: 7}
+	h := cache.NewHierarchy(l1, l2, b.Port(0))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order Attach should panic")
+			}
+		}()
+		b.Attach(1, h)
+	}()
+	b.Attach(0, h)
+	if b.Nodes() != 1 {
+		t.Errorf("Nodes = %d, want 1", b.Nodes())
+	}
+	l2wide := cache.Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 64, HitLatency: 7}
+	h2 := cache.NewHierarchy(l1, l2wide, b.Port(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("line-size mismatch Attach should panic")
+			}
+		}()
+		b.Attach(1, h2)
+	}()
+}
+
+func TestUnalignedFetchPanics(t *testing.T) {
+	b := NewBus(memLat, c2cLat, upgLat, 32)
+	p := b.Port(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned FetchLine should panic")
+		}
+	}()
+	p.FetchLine(0x11, false)
+}
+
+func TestResetStats(t *testing.T) {
+	b, h0, _ := twoNodeBus(t)
+	h0.Access(0x0, 8, false)
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Errorf("stats after reset = %+v", b.Stats())
+	}
+}
+
+// TestSingleWriterInvariant is the core MSI safety property: after any
+// access sequence, a line Modified anywhere is present nowhere else, and a
+// line is Modified in at most one hierarchy.
+func TestSingleWriterInvariant(t *testing.T) {
+	l1 := cache.Config{Name: "L1", Size: 1024, Assoc: 2, LineSize: 32, HitLatency: 3}
+	l2 := cache.Config{Name: "L2", Size: 8192, Assoc: 4, LineSize: 32, HitLatency: 7}
+	f := func(seed int64) bool {
+		b := NewBus(memLat, c2cLat, upgLat, 32)
+		const nodes = 4
+		var hs []*cache.Hierarchy
+		for i := 0; i < nodes; i++ {
+			h := cache.NewHierarchy(l1, l2, b.Port(i))
+			b.Attach(i, h)
+			hs = append(hs, h)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 4000; step++ {
+			p := rng.Intn(nodes)
+			addr := memsim.Addr(rng.Intn(16 * 1024)).Line(32)
+			hs[p].Access(addr, 8, rng.Intn(2) == 0)
+		}
+		// Check the invariant over the whole address range touched.
+		for a := memsim.Addr(0); a < 16*1024; a += 32 {
+			modified, present := 0, 0
+			for _, h := range hs {
+				switch h.Probe(a) {
+				case cache.Modified:
+					modified++
+					present++
+				case cache.Shared:
+					present++
+				}
+			}
+			if modified > 1 {
+				return false
+			}
+			if modified == 1 && present > 1 {
+				return false
+			}
+		}
+		// Inclusion must hold everywhere too.
+		for _, h := range hs {
+			if h.CheckInclusion() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadLineSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two line size should panic")
+		}
+	}()
+	NewBus(1, 1, 1, 33)
+}

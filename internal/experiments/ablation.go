@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Config  string
+	Machine string
+	Cycles  int64
+	Speedup float64 // vs that machine's sequential baseline
+}
+
+// AblationResult is a generic ablation outcome.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Render writes the ablation as a table.
+func (a *AblationResult) Render(w io.Writer) {
+	t := report.NewTable("Ablation: "+a.Name, "Machine", "Configuration", "Cycles", "Speedup")
+	for _, r := range a.Rows {
+		t.Add(r.Machine, r.Config, report.Int(r.Cycles), report.Float(r.Speedup))
+	}
+	t.Render(w)
+	io.WriteString(w, "\n")
+}
+
+// Find returns the row with the given machine and config label.
+func (a *AblationResult) Find(machineName, config string) (AblationRow, bool) {
+	for _, r := range a.Rows {
+		if r.Machine == machineName && r.Config == config {
+			return r, true
+		}
+	}
+	return AblationRow{}, false
+}
+
+// runPARMVRWith runs the full PARMVR under restructured cascading with a
+// caller-tweaked option set and returns total cycles.
+func runPARMVRWith(cfg machine.Config, p wave5.Params, mutate func(*cascade.Options)) (int64, error) {
+	w, err := wave5.Build(p)
+	if err != nil {
+		return 0, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, l := range w.Loops {
+		opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
+		mutate(&opts)
+		r, err := cascade.Run(m, l, opts)
+		if err != nil {
+			return 0, err
+		}
+		total += r.Cycles
+	}
+	return total, nil
+}
+
+// AblationJumpOut quantifies §3.3's refinement: jumping out of the helper
+// phase on signal versus waiting for helper completion.
+func AblationJumpOut(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "jump-out-of-helper on signal (restructured, 64KB chunks)"}
+	for _, cfg := range Machines() {
+		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		base := TotalCycles(seq)
+		for _, jump := range []bool{true, false} {
+			label := "jump out on signal"
+			if !jump {
+				label = "wait for helper completion"
+			}
+			cycles, err := runPARMVRWith(cfg, p, func(o *cascade.Options) { o.JumpOut = jump })
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				Config: label, Machine: cfg.Name,
+				Cycles: cycles, Speedup: float64(base) / float64(cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationPrecompute quantifies §2.1's optional read-only precomputation
+// during the restructuring helper phase.
+func AblationPrecompute(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "read-only precomputation in helper (restructured, 64KB chunks)"}
+	for _, cfg := range Machines() {
+		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		base := TotalCycles(seq)
+		for _, pre := range []bool{false, true} {
+			label := "store raw operands"
+			if pre {
+				label = "precompute in helper"
+			}
+			cycles, err := runPARMVRWith(cfg, p, func(o *cascade.Options) { o.Precompute = pre })
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				Config: label, Machine: cfg.Name,
+				Cycles: cycles, Speedup: float64(base) / float64(cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationChunking compares the paper's byte-budget chunk sizing (§2.2)
+// against naive block partitioning (one chunk per processor, the obvious
+// alternative a scheduler might pick).
+func AblationChunking(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "chunk sizing: 64KB byte budget vs one block per processor (restructured)"}
+	for _, cfg := range Machines() {
+		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		base := TotalCycles(seq)
+
+		budget, err := runPARMVRWith(cfg, p, func(o *cascade.Options) {})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Config: "64KB byte budget", Machine: cfg.Name,
+			Cycles: budget, Speedup: float64(base) / float64(budget),
+		})
+
+		// Block partitioning: each loop split into exactly Procs chunks.
+		w, err := wave5.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var block int64
+		for _, l := range w.Loops {
+			opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
+			opts.ChunkBytes = (l.Iters*l.BytesPerIter() + cfg.Procs - 1) / cfg.Procs
+			r, err := cascade.Run(m, l, opts)
+			if err != nil {
+				return nil, err
+			}
+			block += r.Cycles
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Config: "one block per processor", Machine: cfg.Name,
+			Cycles: block, Speedup: float64(base) / float64(block),
+		})
+	}
+	return out, nil
+}
+
+// AblationPriorParallel removes the simulated prior parallel section —
+// the paper's premise that an unparallelized loop starts with its data
+// "distributed among the other processors during a previous parallel
+// section" — to quantify how much that start state costs the sequential
+// baseline.
+func AblationPriorParallel(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "prior-parallel-section start state (sequential baseline)"}
+	for _, cfg := range Machines() {
+		for _, prior := range []bool{true, false} {
+			label := "data distributed by parallel section"
+			if !prior {
+				label = "cold caches"
+			}
+			w, err := wave5.Build(p)
+			if err != nil {
+				return nil, err
+			}
+			m, err := machine.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var cycles int64
+			for _, l := range w.Loops {
+				cycles += cascade.RunSequential(m, l, prior).Cycles
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				Config: label, Machine: cfg.Name,
+				Cycles: cycles, Speedup: 1,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationTLB removes the TLB model to quantify how much of the
+// sequential baseline's cost is address translation (the model's answer:
+// little for these loops — their page-level locality is good even when
+// their line-level locality is terrible).
+func AblationTLB(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "data-TLB modelling (sequential baseline)"}
+	for _, base := range Machines() {
+		for _, tlbOn := range []bool{true, false} {
+			cfg := base
+			if !tlbOn {
+				cfg.TLB = cache.TLBConfig{}
+			}
+			label := "TLB modelled"
+			if !tlbOn {
+				label = "TLB disabled"
+			}
+			seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+			if err != nil {
+				return nil, err
+			}
+			cycles := TotalCycles(seq)
+			out.Rows = append(out.Rows, AblationRow{
+				Config: label, Machine: cfg.Name,
+				Cycles: cycles, Speedup: 1,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationCompilerPrefetch removes the R10000's compiler-prefetch model
+// to test the paper's hypothesis that MIPSpro's inserted prefetches are
+// why helper prefetching gains nothing on that machine (§3.3).
+func AblationCompilerPrefetch(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "R10000 compiler prefetching vs cascaded prefetch helper (64KB chunks)"}
+	for _, pfEnabled := range []bool{true, false} {
+		cfg := machine.R10000(8)
+		cfg.CompilerPrefetch.Enabled = pfEnabled
+		label := "MIPSpro prefetch on"
+		if !pfEnabled {
+			label = "MIPSpro prefetch off"
+		}
+		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		base := TotalCycles(seq)
+		pre, err := RunPARMVR(cfg, p, Prefetched, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		cycles := TotalCycles(pre)
+		out.Rows = append(out.Rows, AblationRow{
+			Config: label + " (prefetched helper)", Machine: cfg.Name,
+			Cycles: cycles, Speedup: float64(base) / float64(cycles),
+		})
+	}
+	return out, nil
+}
+
+// AblationVictimCache asks whether a small hardware victim cache (an
+// extension; neither 1997 machine had one) could substitute for
+// restructuring: it compares the sequential baseline, the baseline with a
+// 16-entry victim buffer beside each L1, and restructured cascading.
+// The buffer absorbs L1 conflict thrashing but cannot touch L2 conflicts,
+// capacity misses, or gather locality — restructuring still wins.
+func AblationVictimCache(p wave5.Params) (*AblationResult, error) {
+	out := &AblationResult{Name: "16-entry L1 victim cache vs restructuring"}
+	for _, cfg := range Machines() {
+		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		base := TotalCycles(seq)
+		out.Rows = append(out.Rows, AblationRow{
+			Config: "sequential, no victim buffer", Machine: cfg.Name,
+			Cycles: base, Speedup: 1,
+		})
+
+		vcfg := cfg
+		vcfg.VictimEntries = 16
+		vcfg.VictimLatency = 2
+		vseq, err := RunPARMVR(vcfg, p, Sequential, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		vc := TotalCycles(vseq)
+		out.Rows = append(out.Rows, AblationRow{
+			Config: "sequential + victim buffer", Machine: cfg.Name,
+			Cycles: vc, Speedup: float64(base) / float64(vc),
+		})
+
+		restr, err := RunPARMVR(cfg, p, Restructured, cascade.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		rc := TotalCycles(restr)
+		out.Rows = append(out.Rows, AblationRow{
+			Config: "restructured cascade", Machine: cfg.Name,
+			Cycles: rc, Speedup: float64(base) / float64(rc),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// AmdahlPoint is one processor count of the application-level study.
+type AmdahlPoint struct {
+	Procs int
+	// StdSpeedup is the whole-application speedup when the
+	// unparallelized loops run sequentially (Figure 1a).
+	StdSpeedup float64
+	// CascSpeedup is the speedup when they run cascaded (Figure 1b,
+	// restructured helper).
+	CascSpeedup float64
+	// SeqFraction is the fraction of the standard execution spent in the
+	// unparallelized loops at this processor count — the Amdahl
+	// bottleneck growing with P.
+	SeqFraction float64
+}
+
+// AmdahlResult quantifies the paper's motivation: as the parallel
+// sections speed up with more processors, the unparallelized loops
+// dominate, and cascading them lifts the whole-application curve.
+//
+// The application is the PARMVR dataset's parallel per-particle update
+// (run with RunParallel, which also produces the distributed cache state
+// the loops then face) followed by the fifteen unparallelized loops. The
+// parallel phase is repeated ParallelReps times per "time step" so the
+// parallel:sequential work ratio at one processor resembles wave5's
+// (PARMVR is ~50% of sequential execution).
+type AmdahlResult struct {
+	Machine      string
+	ParallelReps int
+	Points       []AmdahlPoint
+}
+
+// amdahlParallelReps balances the phases at ~50/50 on one processor.
+const amdahlParallelReps = 10
+
+// Amdahl runs the application study on one machine configuration across
+// its processor sweep (1..Procs).
+func Amdahl(cfg machine.Config, p wave5.Params, chunkBytes int) (*AmdahlResult, error) {
+	out := &AmdahlResult{Machine: cfg.Name, ParallelReps: amdahlParallelReps}
+
+	type appTime struct{ par, loops int64 }
+	runApp := func(procs int, cascaded bool) (appTime, error) {
+		w, err := wave5.Build(p)
+		if err != nil {
+			return appTime{}, err
+		}
+		m, err := machine.New(cfg.WithProcs(procs))
+		if err != nil {
+			return appTime{}, err
+		}
+		var t appTime
+		for rep := 0; rep < amdahlParallelReps; rep++ {
+			par, err := cascade.RunParallel(m, w.ParallelPhase(), rep > 0)
+			if err != nil {
+				return appTime{}, err
+			}
+			t.par += par.Cycles
+		}
+		for _, l := range w.Loops {
+			if cascaded && procs > 1 {
+				opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
+				opts.ChunkBytes = chunkBytes
+				opts.KeepState = true // the parallel phase set the state
+				r, err := cascade.Run(m, l, opts)
+				if err != nil {
+					return appTime{}, err
+				}
+				t.loops += r.Cycles
+			} else {
+				t.loops += cascade.RunSequentialWarm(m, l).Cycles
+			}
+		}
+		return t, nil
+	}
+
+	base, err := runApp(1, false)
+	if err != nil {
+		return nil, err
+	}
+	baseTotal := base.par + base.loops
+	for procs := 1; procs <= cfg.Procs; procs++ {
+		std, err := runApp(procs, false)
+		if err != nil {
+			return nil, err
+		}
+		casc, err := runApp(procs, true)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AmdahlPoint{
+			Procs:       procs,
+			StdSpeedup:  float64(baseTotal) / float64(std.par+std.loops),
+			CascSpeedup: float64(baseTotal) / float64(casc.par+casc.loops),
+			SeqFraction: float64(std.loops) / float64(std.par+std.loops),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the study as a table.
+func (r *AmdahlResult) Render(w io.Writer) {
+	t := report.NewTable(
+		"Application speedup with and without cascading — "+r.Machine+
+			" (parallel phase x"+itoa(r.ParallelReps)+" + 15 unparallelized loops)",
+		"Processors", "Standard app", "Cascaded app", "seq. fraction (std)")
+	for _, pt := range r.Points {
+		t.Addf(pt.Procs, pt.StdSpeedup, pt.CascSpeedup, report.Float(pt.SeqFraction))
+	}
+	t.Render(w)
+	io.WriteString(w, "\n")
+}
+
+// RenderChart draws the two application curves.
+func (r *AmdahlResult) RenderChart(w io.Writer) {
+	var ticks []string
+	std := report.Series{Name: "standard (Amdahl-limited)"}
+	casc := report.Series{Name: "with cascaded execution"}
+	for _, pt := range r.Points {
+		ticks = append(ticks, itoa(pt.Procs))
+		std.Y = append(std.Y, pt.StdSpeedup)
+		casc.Y = append(casc.Y, pt.CascSpeedup)
+	}
+	p := &report.Plot{
+		Title:  "Application speedup vs processors — " + r.Machine,
+		XLabel: "processors",
+		XTicks: ticks,
+		Series: []report.Series{casc, std},
+		Height: 12,
+		YZero:  true,
+	}
+	p.Render(w)
+	io.WriteString(w, "\n")
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// LoopStats is one strategy's measurement of one PARMVR loop, carrying
+// everything Figures 3, 4 and 5 plot.
+type LoopStats struct {
+	Loop     string
+	Strategy Strategy
+	Cycles   int64
+	// L1Misses and L2Misses are the misses observed by the execution
+	// phases (the running loop), the paper's Figures 5 and 4. Helper
+	// traffic is off the critical path and excluded, as in the paper's
+	// measurements.
+	L1Misses int64
+	L2Misses int64
+}
+
+// BreakdownResult holds the per-loop measurements of all three strategies
+// on one machine — the shared substance of Figures 3, 4 and 5.
+type BreakdownResult struct {
+	Machine    string
+	Procs      int
+	ChunkBytes int
+	Params     wave5.Params
+	// Stats[strategy][loopIndex]
+	Stats map[Strategy][]LoopStats
+}
+
+// LoopBreakdown measures the fifteen PARMVR loops under all three
+// strategies on the given machine, with the paper's Figure 3-5
+// configuration (4 processors, 64KB chunks, unless overridden by cfg and
+// chunkBytes). The paper presents "the 12th call out of 5000" —
+// deterministic workload construction plays that role here.
+func LoopBreakdown(cfg machine.Config, p wave5.Params, chunkBytes int) (*BreakdownResult, error) {
+	out := &BreakdownResult{
+		Machine:    cfg.Name,
+		Procs:      cfg.Procs,
+		ChunkBytes: chunkBytes,
+		Params:     p,
+		Stats:      make(map[Strategy][]LoopStats),
+	}
+	for _, strat := range Strategies {
+		results, err := RunPARMVR(cfg, p, strat, chunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		names := wave5.MustBuild(p).LoopNames()
+		stats := make([]LoopStats, len(results))
+		for i, r := range results {
+			stats[i] = LoopStats{
+				Loop:     names[i],
+				Strategy: strat,
+				Cycles:   r.Cycles,
+				L1Misses: r.ExecL1.Misses,
+				L2Misses: r.ExecL2.Misses,
+			}
+		}
+		out.Stats[strat] = stats
+	}
+	return out, nil
+}
+
+// renderMetric writes one per-loop table with the given title and metric
+// extractor.
+func (b *BreakdownResult) renderMetric(w io.Writer, title string, metric func(LoopStats) int64) {
+	t := report.NewTable(title,
+		"Loop", Sequential.String(), Prefetched.String(), Restructured.String())
+	for i := range b.Stats[Sequential] {
+		t.Add(b.Stats[Sequential][i].Loop,
+			report.Int(metric(b.Stats[Sequential][i])),
+			report.Int(metric(b.Stats[Prefetched][i])),
+			report.Int(metric(b.Stats[Restructured][i])))
+	}
+	t.Render(w)
+	io.WriteString(w, "\n")
+}
+
+// RenderFig3 writes Figure 3: execution times (cycles) of the fifteen
+// loops under each strategy.
+func (b *BreakdownResult) RenderFig3(w io.Writer) {
+	b.renderMetric(w,
+		"Figure 3. Execution times of PARMVR loops (cycles) — "+b.config(),
+		func(s LoopStats) int64 { return s.Cycles })
+}
+
+// RenderFig4 writes Figure 4: L2 cache misses per loop.
+func (b *BreakdownResult) RenderFig4(w io.Writer) {
+	b.renderMetric(w,
+		"Figure 4. L2 Cache Misses in PARMVR — "+b.config(),
+		func(s LoopStats) int64 { return s.L2Misses })
+}
+
+// RenderFig5 writes Figure 5: L1 data cache misses per loop.
+func (b *BreakdownResult) RenderFig5(w io.Writer) {
+	b.renderMetric(w,
+		"Figure 5. L1 Data Cache Misses in PARMVR — "+b.config(),
+		func(s LoopStats) int64 { return s.L1Misses })
+}
+
+func (b *BreakdownResult) config() string {
+	return b.Machine + " (" + report.KB(b.ChunkBytes) + " chunks, " +
+		itoa(b.Procs) + " procs)"
+}
+
+// Totals sums a metric over all loops for one strategy.
+func (b *BreakdownResult) Totals(strat Strategy, metric func(LoopStats) int64) int64 {
+	var total int64
+	for _, s := range b.Stats[strat] {
+		total += metric(s)
+	}
+	return total
+}
+
+// MissReduction returns 1 - cascaded/sequential for total L2 misses under
+// the given cascaded strategy — the "eliminates 93-94% of the L2 cache
+// misses" statistic of §3.3.
+func (b *BreakdownResult) MissReduction(strat Strategy) float64 {
+	seq := b.Totals(Sequential, func(s LoopStats) int64 { return s.L2Misses })
+	if seq == 0 {
+		return 0
+	}
+	c := b.Totals(strat, func(s LoopStats) int64 { return s.L2Misses })
+	return 1 - float64(c)/float64(seq)
+}
+
+func itoa(v int) string {
+	return report.Int(int64(v))
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/synthetic"
+)
+
+// RenderChart draws Figure 2 as line plots (speedup vs processors), one
+// per machine — the visual form of the paper's figure.
+func (r *Fig2Result) RenderChart(w io.Writer) {
+	for _, cfg := range Machines() {
+		var ticks []string
+		pre := report.Series{Name: Prefetched.String()}
+		res := report.Series{Name: Restructured.String()}
+		for _, procs := range procSweep(cfg) {
+			ticks = append(ticks, itoa(procs))
+			pre.Y = append(pre.Y, r.find(cfg.Name, Prefetched, procs).Speedup)
+			res.Y = append(res.Y, r.find(cfg.Name, Restructured, procs).Speedup)
+		}
+		p := &report.Plot{
+			Title:  "Figure 2. Overall speedup for PARMVR — " + cfg.Name,
+			XLabel: "processors",
+			XTicks: ticks,
+			Series: []report.Series{res, pre},
+			Height: 12,
+			YZero:  true,
+		}
+		p.Render(w)
+		io.WriteString(w, "\n")
+	}
+}
+
+// renderChartMetric draws one per-loop bar chart for a breakdown metric.
+func (b *BreakdownResult) renderChartMetric(w io.Writer, title string, metric func(LoopStats) int64) {
+	labels := make([]string, 0, len(b.Stats[Sequential]))
+	mk := func(strat Strategy) report.Series {
+		s := report.Series{Name: strat.String()}
+		for _, row := range b.Stats[strat] {
+			s.Y = append(s.Y, float64(metric(row)))
+		}
+		return s
+	}
+	for _, row := range b.Stats[Sequential] {
+		labels = append(labels, row.Loop)
+	}
+	h := &report.HBar{
+		Title:  title,
+		Labels: labels,
+		Series: []report.Series{mk(Sequential), mk(Prefetched), mk(Restructured)},
+	}
+	h.Render(w)
+	io.WriteString(w, "\n")
+}
+
+// RenderChartFig3 draws Figure 3 as grouped bars.
+func (b *BreakdownResult) RenderChartFig3(w io.Writer) {
+	b.renderChartMetric(w,
+		"Figure 3. Execution times of PARMVR loops (cycles) — "+b.config(),
+		func(s LoopStats) int64 { return s.Cycles })
+}
+
+// RenderChartFig4 draws Figure 4 as grouped bars.
+func (b *BreakdownResult) RenderChartFig4(w io.Writer) {
+	b.renderChartMetric(w,
+		"Figure 4. L2 Cache Misses in PARMVR — "+b.config(),
+		func(s LoopStats) int64 { return s.L2Misses })
+}
+
+// RenderChartFig5 draws Figure 5 as grouped bars.
+func (b *BreakdownResult) RenderChartFig5(w io.Writer) {
+	b.renderChartMetric(w,
+		"Figure 5. L1 Data Cache Misses in PARMVR — "+b.config(),
+		func(s LoopStats) int64 { return s.L1Misses })
+}
+
+// RenderChart draws Figure 6 as line plots (speedup vs chunk size).
+func (r *Fig6Result) RenderChart(w io.Writer) {
+	for _, cfg := range Machines() {
+		var ticks []string
+		pre := report.Series{Name: Prefetched.String()}
+		res := report.Series{Name: Restructured.String()}
+		for _, kb := range Fig6ChunkSizesKB {
+			ticks = append(ticks, itoa(kb))
+			pre.Y = append(pre.Y, r.Speedup(cfg.Name, Prefetched, kb*1024))
+			res.Y = append(res.Y, r.Speedup(cfg.Name, Restructured, kb*1024))
+		}
+		p := &report.Plot{
+			Title:   "Figure 6. Effect of chunk size — " + cfg.Name,
+			XLabel:  "KB/chunk",
+			XTicks:  ticks,
+			Series:  []report.Series{res, pre},
+			Height:  12,
+			YZero:   true,
+			ColWide: 5,
+		}
+		p.Render(w)
+		io.WriteString(w, "\n")
+	}
+}
+
+// RenderChart draws Figure 7 as line plots (four series per machine).
+func (r *Fig7Result) RenderChart(w io.Writer) {
+	dense := synthetic.Dense(r.N).Name()
+	sparse := synthetic.Sparse(r.N).Name()
+	for _, cfg := range Machines() {
+		var ticks []string
+		series := []report.Series{
+			{Name: "Restructured,Sparse"},
+			{Name: "Prefetched,Sparse"},
+			{Name: "Restructured,Dense"},
+			{Name: "Prefetched,Dense"},
+		}
+		for _, kb := range Fig7ChunkSizesKB {
+			ticks = append(ticks, itoa(kb))
+			series[0].Y = append(series[0].Y, r.Speedup(cfg.Name, sparse, Restructured, kb*1024))
+			series[1].Y = append(series[1].Y, r.Speedup(cfg.Name, sparse, Prefetched, kb*1024))
+			series[2].Y = append(series[2].Y, r.Speedup(cfg.Name, dense, Restructured, kb*1024))
+			series[3].Y = append(series[3].Y, r.Speedup(cfg.Name, dense, Prefetched, kb*1024))
+		}
+		p := &report.Plot{
+			Title:   "Figure 7. Speedups with increased memory access costs — " + cfg.Name,
+			XLabel:  "KB/chunk",
+			XTicks:  ticks,
+			Series:  series,
+			Height:  14,
+			YZero:   true,
+			ColWide: 5,
+		}
+		p.Render(w)
+		io.WriteString(w, "\n")
+	}
+}

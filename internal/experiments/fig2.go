@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// Fig2Point is one point of Figure 2: the overall speedup of the PARMVR
+// subroutine under cascaded execution with a given helper and processor
+// count, relative to sequential execution of the original code.
+type Fig2Point struct {
+	Machine  string
+	Strategy Strategy
+	Procs    int
+	Speedup  float64
+	// HelperCompletion is the fraction of helper iterations that finished
+	// before their processor was signaled (diagnostic; not in the paper's
+	// plot but explains its processor scaling).
+	HelperCompletion float64
+}
+
+// Fig2Result holds the Figure 2 sweep for both machines.
+type Fig2Result struct {
+	Params     wave5.Params
+	ChunkBytes int
+	Baselines  map[string]int64 // sequential PARMVR cycles per machine
+	Points     []Fig2Point
+}
+
+// Fig2 reproduces Figure 2: overall PARMVR speedup for 2..4 processors on
+// the Pentium Pro and 2..8 on the R10000, for both helper strategies,
+// with the paper's best 64KB chunks (pass cascade.DefaultChunkBytes).
+// Sweep points are independent simulations and run in parallel across the
+// host's cores.
+func Fig2(p wave5.Params, chunkBytes int) (*Fig2Result, error) {
+	res := &Fig2Result{
+		Params:     p,
+		ChunkBytes: chunkBytes,
+		Baselines:  make(map[string]int64),
+	}
+	machines := Machines()
+	bases := make([]int64, len(machines))
+	if err := parallelFor(len(machines), func(i int) error {
+		seq, err := RunPARMVR(machines[i], p, Sequential, chunkBytes)
+		if err != nil {
+			return err
+		}
+		bases[i] = TotalCycles(seq)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, cfg := range machines {
+		res.Baselines[cfg.Name] = bases[i]
+	}
+
+	type spec struct {
+		cfg   machine.Config
+		base  int64
+		strat Strategy
+		procs int
+	}
+	var specs []spec
+	for i, cfg := range machines {
+		for _, procs := range procSweep(cfg) {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				specs = append(specs, spec{cfg, bases[i], strat, procs})
+			}
+		}
+	}
+	points := make([]Fig2Point, len(specs))
+	if err := parallelFor(len(specs), func(k int) error {
+		s := specs[k]
+		rr, err := RunPARMVR(s.cfg.WithProcs(s.procs), p, s.strat, chunkBytes)
+		if err != nil {
+			return err
+		}
+		var helperIters, totalIters int64
+		for _, r := range rr {
+			helperIters += int64(r.HelperIters)
+			totalIters += int64(r.TotalIters)
+		}
+		points[k] = Fig2Point{
+			Machine:          s.cfg.Name,
+			Strategy:         s.strat,
+			Procs:            s.procs,
+			Speedup:          float64(s.base) / float64(TotalCycles(rr)),
+			HelperCompletion: float64(helperIters) / float64(totalIters),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Points = points
+	return res, nil
+}
+
+// Speedup returns the recorded speedup for a configuration, or 0 if the
+// sweep did not include it.
+func (r *Fig2Result) Speedup(machineName string, strat Strategy, procs int) float64 {
+	return r.find(machineName, strat, procs).Speedup
+}
+
+// Render writes the Figure 2 series as one table per machine, one row per
+// processor count, matching the paper's two panels.
+func (r *Fig2Result) Render(w io.Writer) {
+	for _, cfg := range Machines() {
+		t := report.NewTable(
+			"Figure 2. Overall speedup for PARMVR — "+cfg.Name+
+				" (chunks "+report.KB(r.ChunkBytes)+")",
+			"Processors", "Prefetched", "Restructured", "helper done (P/R)")
+		for _, procs := range procSweep(cfg) {
+			pre := r.find(cfg.Name, Prefetched, procs)
+			res := r.find(cfg.Name, Restructured, procs)
+			t.Addf(procs, pre.Speedup, res.Speedup,
+				report.Float(pre.HelperCompletion)+"/"+report.Float(res.HelperCompletion))
+		}
+		t.Render(w)
+		io.WriteString(w, "\n")
+	}
+}
+
+func (r *Fig2Result) find(m string, s Strategy, procs int) Fig2Point {
+	for _, pt := range r.Points {
+		if pt.Machine == m && pt.Strategy == s && pt.Procs == procs {
+			return pt
+		}
+	}
+	return Fig2Point{}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// Fig6ChunkSizesKB are the chunk sizes of Figure 6's x-axis.
+var Fig6ChunkSizesKB = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Fig6Point is one point of Figure 6: overall PARMVR speedup at one chunk
+// size on four processors.
+type Fig6Point struct {
+	Machine    string
+	Strategy   Strategy
+	ChunkBytes int
+	Speedup    float64
+}
+
+// Fig6Result holds the chunk-size sweep.
+type Fig6Result struct {
+	Params wave5.Params
+	Procs  int
+	Points []Fig6Point
+}
+
+// Fig6 reproduces Figure 6: the effect of chunk size (4KB-2048KB) on
+// overall PARMVR speedup with four processors, for both helpers and both
+// machines. The sweep's independent simulations run in parallel across
+// the host's cores.
+func Fig6(p wave5.Params) (*Fig6Result, error) {
+	const procs = 4
+	res := &Fig6Result{Params: p, Procs: procs}
+
+	machines := Machines()
+	bases := make([]int64, len(machines))
+	if err := parallelFor(len(machines), func(i int) error {
+		seq, err := RunPARMVR(machines[i].WithProcs(procs), p, Sequential, 64*1024)
+		if err != nil {
+			return err
+		}
+		bases[i] = TotalCycles(seq)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	type spec struct {
+		cfg   machine.Config
+		base  int64
+		strat Strategy
+		kb    int
+	}
+	var specs []spec
+	for i, cfg := range machines {
+		for _, kb := range Fig6ChunkSizesKB {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				specs = append(specs, spec{cfg.WithProcs(procs), bases[i], strat, kb})
+			}
+		}
+	}
+	points := make([]Fig6Point, len(specs))
+	if err := parallelFor(len(specs), func(k int) error {
+		s := specs[k]
+		rr, err := RunPARMVR(s.cfg, p, s.strat, s.kb*1024)
+		if err != nil {
+			return err
+		}
+		points[k] = Fig6Point{
+			Machine:    s.cfg.Name,
+			Strategy:   s.strat,
+			ChunkBytes: s.kb * 1024,
+			Speedup:    float64(s.base) / float64(TotalCycles(rr)),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Points = points
+	return res, nil
+}
+
+// Speedup returns the sweep value for a configuration (0 if absent).
+func (r *Fig6Result) Speedup(machineName string, strat Strategy, chunkBytes int) float64 {
+	for _, pt := range r.Points {
+		if pt.Machine == machineName && pt.Strategy == strat && pt.ChunkBytes == chunkBytes {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+// Best returns the chunk size with the highest speedup for a machine and
+// strategy.
+func (r *Fig6Result) Best(machineName string, strat Strategy) (chunkBytes int, speedup float64) {
+	for _, pt := range r.Points {
+		if pt.Machine != machineName || pt.Strategy != strat {
+			continue
+		}
+		if pt.Speedup > speedup {
+			speedup = pt.Speedup
+			chunkBytes = pt.ChunkBytes
+		}
+	}
+	return chunkBytes, speedup
+}
+
+// Render writes one table per machine: chunk size vs speedup per helper.
+func (r *Fig6Result) Render(w io.Writer) {
+	for _, cfg := range Machines() {
+		t := report.NewTable(
+			"Figure 6. Effect of chunk size ("+itoa(r.Procs)+" processors) — "+cfg.Name,
+			"KBytes/chunk", "Prefetched", "Restructured")
+		for _, kb := range Fig6ChunkSizesKB {
+			t.Addf(itoa(kb),
+				r.Speedup(cfg.Name, Prefetched, kb*1024),
+				r.Speedup(cfg.Name, Restructured, kb*1024))
+		}
+		t.Render(w)
+		io.WriteString(w, "\n")
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/synthetic"
+)
+
+// Fig7ChunkSizesKB are the chunk sizes of Figure 7's x-axis.
+var Fig7ChunkSizesKB = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Fig7Point is one point of Figure 7: unbounded-processor cascaded
+// speedup of the synthetic loop at one chunk size.
+type Fig7Point struct {
+	Machine    string
+	Variant    string // "dense" or "sparse(k=8)"
+	Strategy   Strategy
+	ChunkBytes int
+	Speedup    float64
+}
+
+// Fig7Result holds the future-machine sweep.
+type Fig7Result struct {
+	N      int
+	Points []Fig7Point
+}
+
+// Fig7 reproduces Figure 7: cascaded-execution speedups for the synthetic
+// loop with increased memory-access-to-computation ratio, simulated with
+// unbounded processors (§3.4's single-processor alternation methodology),
+// for dense and sparse variants, both helpers, chunk sizes 1KB-256KB, on
+// both machines. Points run in parallel across the host's cores.
+func Fig7(n int) (*Fig7Result, error) {
+	res := &Fig7Result{N: n}
+	machines := Machines()
+	variants := []synthetic.Params{synthetic.Dense(n), synthetic.Sparse(n)}
+
+	type baseKey struct {
+		cfg     machine.Config
+		variant synthetic.Params
+	}
+	var baseKeys []baseKey
+	for _, cfg := range machines {
+		for _, v := range variants {
+			baseKeys = append(baseKeys, baseKey{cfg, v})
+		}
+	}
+	bases := make([]cascade.Result, len(baseKeys))
+	if err := parallelFor(len(baseKeys), func(i int) error {
+		_, lbase, err := synthetic.Build(baseKeys[i].variant)
+		if err != nil {
+			return err
+		}
+		base, err := cascade.SequentialBaseline(baseKeys[i].cfg, lbase)
+		if err != nil {
+			return err
+		}
+		bases[i] = base
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	type spec struct {
+		cfg     machine.Config
+		variant synthetic.Params
+		base    cascade.Result
+		strat   Strategy
+		kb      int
+	}
+	var specs []spec
+	for i, bk := range baseKeys {
+		for _, kb := range Fig7ChunkSizesKB {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				specs = append(specs, spec{bk.cfg, bk.variant, bases[i], strat, kb})
+			}
+		}
+	}
+	points := make([]Fig7Point, len(specs))
+	if err := parallelFor(len(specs), func(k int) error {
+		s := specs[k]
+		space, l, err := synthetic.Build(s.variant)
+		if err != nil {
+			return err
+		}
+		opts := cascade.Options{
+			Helper:     s.strat.helper(),
+			ChunkBytes: s.kb * 1024,
+			JumpOut:    true,
+			Space:      space,
+		}
+		r, err := cascade.RunUnbounded(s.cfg, l, opts)
+		if err != nil {
+			return err
+		}
+		points[k] = Fig7Point{
+			Machine:    s.cfg.Name,
+			Variant:    s.variant.Name(),
+			Strategy:   s.strat,
+			ChunkBytes: s.kb * 1024,
+			Speedup:    r.SpeedupOver(s.base),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Points = points
+	return res, nil
+}
+
+// Speedup returns the sweep value for a configuration (0 if absent).
+func (r *Fig7Result) Speedup(machineName, variant string, strat Strategy, chunkBytes int) float64 {
+	for _, pt := range r.Points {
+		if pt.Machine == machineName && pt.Variant == variant &&
+			pt.Strategy == strat && pt.ChunkBytes == chunkBytes {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+// Peak returns the highest speedup for a machine and variant across chunk
+// sizes and helpers — the paper's "speedups as high as 16" statistic.
+func (r *Fig7Result) Peak(machineName, variant string) float64 {
+	var best float64
+	for _, pt := range r.Points {
+		if pt.Machine == machineName && pt.Variant == variant && pt.Speedup > best {
+			best = pt.Speedup
+		}
+	}
+	return best
+}
+
+// Render writes one table per machine with the four series of the paper's
+// panels (restructured/prefetched x sparse/dense).
+func (r *Fig7Result) Render(w io.Writer) {
+	dense := synthetic.Dense(r.N).Name()
+	sparse := synthetic.Sparse(r.N).Name()
+	for _, cfg := range Machines() {
+		t := report.NewTable(
+			"Figure 7. Cascaded execution speedups with increased memory access costs — "+cfg.Name,
+			"KBytes/chunk", "Restructured,Sparse", "Prefetched,Sparse",
+			"Restructured,Dense", "Prefetched,Dense")
+		for _, kb := range Fig7ChunkSizesKB {
+			t.Addf(itoa(kb),
+				r.Speedup(cfg.Name, sparse, Restructured, kb*1024),
+				r.Speedup(cfg.Name, sparse, Prefetched, kb*1024),
+				r.Speedup(cfg.Name, dense, Restructured, kb*1024),
+				r.Speedup(cfg.Name, dense, Prefetched, kb*1024))
+		}
+		t.Render(w)
+		io.WriteString(w, "\n")
+	}
+}

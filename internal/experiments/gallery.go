@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cascade"
+	"repro/internal/gallery"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// GalleryRow is one kernel's measurement on one machine.
+type GalleryRow struct {
+	Kernel            string
+	SeqCycles         int64
+	PrefetchedSpeedup float64
+	RestructuredSpeed float64
+	HelperCompletion  float64 // restructured
+}
+
+// GalleryResult summarizes when cascading pays across the kernel gallery.
+type GalleryResult struct {
+	Machine string
+	N       int
+	Rows    []GalleryRow
+}
+
+// Gallery runs every gallery kernel under all three strategies on one
+// machine at n elements per kernel. Kernels are measured in parallel
+// across the host's cores (each builds its own arrays and machines).
+func Gallery(cfg machine.Config, n, chunkBytes int) (*GalleryResult, error) {
+	kernels := gallery.Kernels()
+	rows := make([]GalleryRow, len(kernels))
+	err := parallelFor(len(kernels), func(i int) error {
+		k := kernels[i]
+		_, lseq, err := k.Build(n)
+		if err != nil {
+			return err
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return err
+		}
+		base := cascade.RunSequential(m, lseq, true)
+		want := lseq.Writes[0].Array.Snapshot()
+
+		row := GalleryRow{Kernel: k.Name, SeqCycles: base.Cycles}
+		for _, strat := range []Strategy{Prefetched, Restructured} {
+			space, l, err := k.Build(n)
+			if err != nil {
+				return err
+			}
+			mm, err := machine.New(cfg)
+			if err != nil {
+				return err
+			}
+			opts := cascade.DefaultOptions(strat.helper(), space)
+			opts.ChunkBytes = chunkBytes
+			res, err := cascade.Run(mm, l, opts)
+			if err != nil {
+				return err
+			}
+			if eq, _ := l.Writes[0].Array.Equal(want); !eq {
+				return errKernelDiverged(k.Name, strat)
+			}
+			switch strat {
+			case Prefetched:
+				row.PrefetchedSpeedup = res.SpeedupOver(base)
+			case Restructured:
+				row.RestructuredSpeed = res.SpeedupOver(base)
+				row.HelperCompletion = res.HelperCompletion()
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GalleryResult{Machine: cfg.Name, N: n, Rows: rows}, nil
+}
+
+// errKernelDiverged reports a correctness violation — it should never
+// fire; it exists so the gallery doubles as an integration check.
+type kernelDivergedError struct {
+	kernel string
+	strat  Strategy
+}
+
+func errKernelDiverged(kernel string, strat Strategy) error {
+	return kernelDivergedError{kernel, strat}
+}
+
+func (e kernelDivergedError) Error() string {
+	return "experiments: kernel " + e.kernel + " diverged under " + e.strat.String()
+}
+
+// Render writes the gallery table.
+func (g *GalleryResult) Render(w io.Writer) {
+	t := report.NewTable(
+		"Kernel gallery — "+g.Machine+" ("+report.Int(int64(g.N))+" elements/kernel, 64KB chunks)",
+		"Kernel", "Sequential cycles", "Prefetched", "Restructured", "helper done")
+	for _, r := range g.Rows {
+		t.Add(r.Kernel, report.Int(r.SeqCycles),
+			report.Float(r.PrefetchedSpeedup), report.Float(r.RestructuredSpeed),
+			report.Float(r.HelperCompletion))
+	}
+	t.Render(w)
+	io.WriteString(w, "\n")
+}
+
+// Find returns a kernel's row.
+func (g *GalleryResult) Find(kernel string) (GalleryRow, bool) {
+	for _, r := range g.Rows {
+		if r.Kernel == kernel {
+			return r, true
+		}
+	}
+	return GalleryRow{}, false
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across up to
+// runtime.GOMAXPROCS(0) workers and returns the first error encountered
+// (other work still drains). Every index's work must be independent —
+// experiment sweeps are: each point builds its own workload and machine —
+// and results must be written to distinct, pre-allocated slots so the
+// output order is deterministic regardless of scheduling.
+//
+// Each in-flight point holds its own simulated machine and dataset, so
+// peak memory scales with the worker count; sweeps at full PARMVR scale
+// hold tens of megabytes per worker.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		err  error
+	)
+	record := func(e error) {
+		if e == nil {
+			return
+		}
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				record(fn(i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err
+}

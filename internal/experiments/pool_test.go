@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 1000
+	var hits [n]int32
+	if err := parallelFor(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	err := parallelFor(100, func(i int) error {
+		if i == 57 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParallelForSerialFallback(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	count := 0
+	if err := parallelFor(10, func(i int) error {
+		count++ // safe: serial path
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestParallelForZero(t *testing.T) {
+	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+)
+
+func TestTable1CSV(t *testing.T) {
+	var b strings.Builder
+	Table1().RenderCSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 7 { // header + 3 rows per machine
+		t.Errorf("CSV lines = %d, want 7:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "Processor,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestSizeStr(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  string
+	}{
+		{8 * 1024, "8KB"},
+		{512 * 1024, "512KB"},
+		{2 * 1024 * 1024, "2MB"},
+		{1536 * 1024 * 1024, "1.5GB"},
+	}
+	for _, c := range cases {
+		if got := sizeStr(c.bytes); got != c.want {
+			t.Errorf("sizeStr(%d) = %q, want %q", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFig2SpeedupAbsent(t *testing.T) {
+	r := &Fig2Result{}
+	if r.Speedup("nope", Prefetched, 2) != 0 {
+		t.Error("absent configuration should return 0")
+	}
+}
+
+func TestFig6SpeedupAbsent(t *testing.T) {
+	r := &Fig6Result{}
+	if r.Speedup("nope", Prefetched, 1024) != 0 {
+		t.Error("absent configuration should return 0")
+	}
+	if c, s := r.Best("nope", Prefetched); c != 0 || s != 0 {
+		t.Error("Best on empty result should be zero")
+	}
+}
+
+func TestFig7SpeedupAbsent(t *testing.T) {
+	r := &Fig7Result{}
+	if r.Speedup("nope", "dense", Prefetched, 1024) != 0 {
+		t.Error("absent configuration should return 0")
+	}
+	if r.Peak("nope", "dense") != 0 {
+		t.Error("Peak on empty result should be 0")
+	}
+}
+
+func TestAblationFindAbsent(t *testing.T) {
+	a := &AblationResult{Name: "x"}
+	if _, ok := a.Find("m", "c"); ok {
+		t.Error("Find on empty ablation should be false")
+	}
+}
+
+// TestBreakdownTotalsAndReduction sanity-checks the aggregate helpers on
+// a tiny breakdown.
+func TestBreakdownTotalsAndReduction(t *testing.T) {
+	b := &BreakdownResult{Stats: map[Strategy][]LoopStats{
+		Sequential:   {{L2Misses: 100, Cycles: 10}, {L2Misses: 100, Cycles: 20}},
+		Restructured: {{L2Misses: 10, Cycles: 5}, {L2Misses: 40, Cycles: 10}},
+	}}
+	if got := b.Totals(Sequential, func(s LoopStats) int64 { return s.Cycles }); got != 30 {
+		t.Errorf("Totals = %d", got)
+	}
+	if got := b.MissReduction(Restructured); got != 0.75 {
+		t.Errorf("MissReduction = %v, want 0.75", got)
+	}
+	empty := &BreakdownResult{Stats: map[Strategy][]LoopStats{}}
+	if empty.MissReduction(Restructured) != 0 {
+		t.Error("empty MissReduction should be 0")
+	}
+}
+
+// TestRunPARMVRStrategiesDiffer: a cheap smoke check that the cascaded
+// strategies actually produce different timing results from sequential.
+func TestRunPARMVRStrategiesDiffer(t *testing.T) {
+	p := testParams()
+	seq, err := RunPARMVR(machine.PentiumPro(4), p, Sequential, cascade.DefaultChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPARMVR(machine.PentiumPro(4), p, Restructured, cascade.DefaultChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalCycles(seq) == TotalCycles(res) {
+		t.Error("restructured total equals sequential; simulation inert?")
+	}
+	if TotalCycles(res) <= 0 {
+		t.Error("no cycles recorded")
+	}
+}

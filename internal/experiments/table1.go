@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// Table1 reproduces Table 1 of the paper: the memory-hierarchy parameters
+// of the two machines, as configured in the simulator.
+func Table1() *report.Table {
+	t := report.NewTable(
+		"Table 1. Pentium Pro and R10000 memory characteristics (simulated)",
+		"Processor", "Memory Level", "Access Time (Cycles)", "Size", "Assoc", "Line Size")
+	for _, cfg := range Machines() {
+		t.Add(cfg.Name, "L1", fmt.Sprintf("%d", cfg.L1.HitLatency),
+			sizeStr(cfg.L1.Size), fmt.Sprintf("%d", cfg.L1.Assoc),
+			fmt.Sprintf("%d bytes", cfg.L1.LineSize))
+		t.Add("", "L2", fmt.Sprintf("%d", cfg.L2.HitLatency),
+			sizeStr(cfg.L2.Size), fmt.Sprintf("%d", cfg.L2.Assoc),
+			fmt.Sprintf("%d bytes", cfg.L2.LineSize))
+		t.Add("", "Memory", cfg.MemDesc, "-", "-", "-")
+	}
+	return t
+}
+
+// sizeStr renders a capacity the way Table 1 does (KB or MB/GB).
+func sizeStr(bytes int) string {
+	switch {
+	case bytes >= 1<<30:
+		return fmt.Sprintf("%gGB", float64(bytes)/(1<<30))
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%gMB", float64(bytes)/(1<<20))
+	default:
+		return fmt.Sprintf("%dKB", bytes/1024)
+	}
+}
+
+// RenderTable1 writes Table 1 to w.
+func RenderTable1(w io.Writer) {
+	Table1().Render(w)
+}

@@ -1,0 +1,128 @@
+package gallery
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+)
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	for _, k := range Kernels() {
+		space, l, err := k.Build(1 << 12)
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if space == nil || l == nil {
+			t.Errorf("%s: nil result", k.Name)
+		}
+		if k.Description == "" {
+			t.Errorf("%s: no description", k.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	k, err := Lookup("gather")
+	if err != nil || k.Name != "gather" {
+		t.Errorf("Lookup(gather) = %v, %v", k.Name, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kernels() {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+// TestKernelStrategyEquivalence: every kernel computes identical results
+// under sequential and cascaded execution.
+func TestKernelStrategyEquivalence(t *testing.T) {
+	const n = 1 << 13
+	for _, k := range Kernels() {
+		_, lref, err := k.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cascade.RunSequential(machine.MustNew(machine.PentiumPro(1)), lref, true)
+		want := lref.Writes[0].Array.Snapshot()
+
+		for _, h := range []cascade.Helper{cascade.HelperPrefetch, cascade.HelperRestructure} {
+			space, l, err := k.Build(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := cascade.DefaultOptions(h, space)
+			opts.ChunkBytes = 4096
+			cascade.MustRun(machine.MustNew(machine.PentiumPro(3)), l, opts)
+			if eq, idx := l.Writes[0].Array.Equal(want); !eq {
+				t.Errorf("%s/%v: diverged at %d", k.Name, h, idx)
+			}
+		}
+	}
+}
+
+func TestTransposePermutationIsBijective(t *testing.T) {
+	_, l, err := buildTranspose(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := l.Arrays()[2] // IN, OUT, PERM — find by name instead
+	for _, a := range l.Arrays() {
+		if a.Name() == "PERM" {
+			perm = a
+		}
+	}
+	seen := make(map[int]bool, perm.Len())
+	for i := 0; i < perm.Len(); i++ {
+		v := perm.LoadInt(i)
+		if seen[v] {
+			t.Fatalf("permutation repeats %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != perm.Len() {
+		t.Errorf("permutation covers %d of %d", len(seen), perm.Len())
+	}
+}
+
+func TestTriadVariantsDifferInPlacement(t *testing.T) {
+	_, clean, err := buildTriad(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conflict, err := buildTriadConflict(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := func(base uint64) uint64 { return base % (1 << 20) }
+	var cleanClasses, conflictClasses []uint64
+	for _, a := range clean.Arrays() {
+		cleanClasses = append(cleanClasses, mod(uint64(a.Base())))
+	}
+	for _, a := range conflict.Arrays() {
+		conflictClasses = append(conflictClasses, mod(uint64(a.Base())))
+	}
+	allSame := func(xs []uint64) bool {
+		for _, x := range xs {
+			if x != xs[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if allSame(cleanClasses) {
+		t.Error("clean triad arrays share a congruence class")
+	}
+	if !allSame(conflictClasses) {
+		t.Error("conflict triad arrays should share a congruence class")
+	}
+}

@@ -1,0 +1,199 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// TestRestructureWithoutPrecompute verifies the raw-operand buffer path:
+// values match, the buffer holds len(RO) values per iteration, and the
+// execution phase still applies Pre.
+func TestRestructureWithoutPrecompute(t *testing.T) {
+	const n = 200
+	lRef, _, xRef := syntheticLoop(n, func(i int) int { return (i * 3) % n })
+	New(ppMachine(1).Proc(0)).ExecIters(lRef, 0, n)
+	want := xRef.Snapshot()
+
+	l, s, x := syntheticLoop(n, func(i int) int { return (i * 3) % n })
+	m := ppMachine(2)
+	buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+	done, _ := New(m.Proc(1)).RestructureIters(l, 0, n, buf, Unlimited, false)
+	if done != n {
+		t.Fatalf("done = %d", done)
+	}
+	// Raw mode: 2 RO values (A, B) + 1 packed index per iteration.
+	if buf.Len() != n*3 {
+		t.Fatalf("buffer holds %d values, want %d", buf.Len(), n*3)
+	}
+	New(m.Proc(0)).ExecFromBuffer(l, 0, n, done, buf, false)
+	if eq, idx := x.Equal(want); !eq {
+		t.Errorf("raw-mode result differs at %d", idx)
+	}
+}
+
+// TestPrecomputeModesAgree: both buffer modes produce identical values.
+func TestPrecomputeModesAgree(t *testing.T) {
+	const n = 150
+	run := func(precompute bool) []float64 {
+		l, s, x := syntheticLoop(n, func(i int) int { return (i * 11) % n })
+		m := ppMachine(2)
+		buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+		done, _ := New(m.Proc(1)).RestructureIters(l, 0, n, buf, Unlimited, precompute)
+		New(m.Proc(0)).ExecFromBuffer(l, 0, n, done, buf, precompute)
+		return x.Snapshot()
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("modes disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPrecomputeShiftsCyclesToHelper: with precompute the helper spends
+// more cycles and the execution phase fewer.
+func TestPrecomputeShiftsCyclesToHelper(t *testing.T) {
+	const n = 2000
+	run := func(precompute bool) (helper, exec int64) {
+		l, s, _ := syntheticLoop(n, func(i int) int { return i })
+		l.PreCycles = 20 // make the shift visible
+		m := ppMachine(2)
+		buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+		done, hc := New(m.Proc(1)).RestructureIters(l, 0, n, buf, Unlimited, precompute)
+		ec := New(m.Proc(0)).ExecFromBuffer(l, 0, n, done, buf, precompute)
+		return hc, ec
+	}
+	h1, e1 := run(true)
+	h0, e0 := run(false)
+	if h1 <= h0 {
+		t.Errorf("precompute helper cycles %d not above raw %d", h1, h0)
+	}
+	if e1 >= e0 {
+		t.Errorf("precompute exec cycles %d not below raw %d", e1, e0)
+	}
+}
+
+// TestNoCompilerPrefetchRespected: a loop that opts out of compiler
+// prefetching gets no prefetch fills even on the R10000.
+func TestNoCompilerPrefetchRespected(t *testing.T) {
+	const n = 4096
+	build := func(noPF bool) (*loopir.Loop, *machine.Machine) {
+		s := memsim.NewSpace()
+		a := s.Alloc("A", n, 8, 8)
+		c := s.Alloc("C", n, 8, 8)
+		l := &loopir.Loop{
+			Name:               "walk",
+			Iters:              n,
+			RO:                 []loopir.Ref{{Array: a, Index: loopir.Ident}},
+			Writes:             []loopir.Ref{{Array: c, Index: loopir.Ident}},
+			Final:              func(_ int, pre, _ []float64) []float64 { return pre },
+			NoCompilerPrefetch: noPF,
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return l, machine.MustNew(machine.R10000(1))
+	}
+	l, m := build(true)
+	New(m.Proc(0)).ExecIters(l, 0, n)
+	if got := m.L1Stats().PrefetchFills; got != 0 {
+		t.Errorf("opted-out loop got %d prefetch fills", got)
+	}
+	l2, m2 := build(false)
+	New(m2.Proc(0)).ExecIters(l2, 0, n)
+	if got := m2.L1Stats().PrefetchFills; got == 0 {
+		t.Error("opted-in loop got no prefetch fills")
+	}
+}
+
+// TestDistinctTablePacking: two indirect write refs through different
+// tables pack two index values per iteration and still agree with
+// sequential execution.
+func TestDistinctTablePacking(t *testing.T) {
+	const n = 300
+	build := func() (*loopir.Loop, *memsim.Space, *memsim.Array, *memsim.Array) {
+		s := memsim.NewSpace()
+		x := s.Alloc("X", n, 8, 8)
+		y := s.Alloc("Y", n, 8, 8)
+		t1 := s.Alloc("T1", n, 4, 4)
+		t2 := s.Alloc("T2", n, 4, 4)
+		a := s.Alloc("A", n, 8, 8)
+		t1.Fill(func(i int) float64 { return float64((i * 7) % n) })
+		t2.Fill(func(i int) float64 { return float64((i * 13) % n) })
+		a.Fill(func(i int) float64 { return float64(i % 19) })
+		x.Fill(func(i int) float64 { return float64(i) })
+		y.Fill(func(i int) float64 { return float64(2 * i) })
+		xr := loopir.Ref{Array: x, Index: loopir.Indirect{Tbl: t1, Entry: loopir.Ident}}
+		yr := loopir.Ref{Array: y, Index: loopir.Indirect{Tbl: t2, Entry: loopir.Ident}}
+		l := &loopir.Loop{
+			Name:   "twoscatter",
+			Iters:  n,
+			RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+			RW:     []loopir.Ref{xr, yr},
+			Writes: []loopir.Ref{xr, yr},
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0], rw[1] - pre[0]}
+			},
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return l, s, x, y
+	}
+
+	lRef, _, xRef, yRef := build()
+	New(ppMachine(1).Proc(0)).ExecIters(lRef, 0, n)
+	wantX, wantY := xRef.Snapshot(), yRef.Snapshot()
+
+	l, s, x, y := build()
+	// Upper bound: 1 RO + 4 table refs (each scatter ref appears in both
+	// RW and Writes); runtime dedup packs only 2 index values.
+	if l.BufSlotsPerIter() != 5 {
+		t.Fatalf("BufSlotsPerIter = %d, want 5", l.BufSlotsPerIter())
+	}
+	m := ppMachine(2)
+	buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+	done, _ := New(m.Proc(1)).RestructureIters(l, 0, n, buf, Unlimited, true)
+	if buf.Len() != n*3 {
+		t.Fatalf("buffer holds %d, want %d", buf.Len(), n*3)
+	}
+	New(m.Proc(0)).ExecFromBuffer(l, 0, n, done, buf, true)
+	if eq, idx := x.Equal(wantX); !eq {
+		t.Errorf("X differs at %d", idx)
+	}
+	if eq, idx := y.Equal(wantY); !eq {
+		t.Errorf("Y differs at %d", idx)
+	}
+}
+
+// TestStoreBufferReducesWriteCost: the same write-heavy loop costs less
+// on a store-buffered machine.
+func TestStoreBufferReducesWriteCost(t *testing.T) {
+	const n = 4096
+	run := func(buffered bool) int64 {
+		cfg := machine.PentiumPro(1)
+		cfg.StoreBuffered = buffered
+		m := machine.MustNew(cfg)
+		s := memsim.NewSpace()
+		a := s.Alloc("A", n, 8, 8)
+		c := s.Alloc("C", n, 8, 8)
+		l := &loopir.Loop{
+			Name:   "copy",
+			Iters:  n,
+			RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+			Writes: []loopir.Ref{{Array: c, Index: loopir.Ident}},
+			Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return New(m.Proc(0)).ExecIters(l, 0, n)
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("store-buffered run (%d) not cheaper than unbuffered (%d)", with, without)
+	}
+}

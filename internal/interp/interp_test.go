@@ -1,0 +1,377 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// syntheticLoop builds the paper's loop X(IJ(i)) = X(IJ(i))+A(i)+B(i) over
+// n elements with the given index permutation.
+func syntheticLoop(n int, perm func(i int) int) (*loopir.Loop, *memsim.Space, *memsim.Array) {
+	s := memsim.NewSpace()
+	x := s.Alloc("X", n, 8, 8)
+	ij := s.Alloc("IJ", n, 4, 4)
+	a := s.Alloc("A", n, 8, 8)
+	b := s.Alloc("B", n, 8, 8)
+	x.Fill(func(i int) float64 { return float64(i) })
+	ij.Fill(func(i int) float64 { return float64(perm(i)) })
+	a.Fill(func(i int) float64 { return float64(3 * i) })
+	b.Fill(func(i int) float64 { return float64(7 * i) })
+	xref := loopir.Ref{Array: x, Index: loopir.Indirect{Tbl: ij, Entry: loopir.Ident}}
+	l := &loopir.Loop{
+		Name:  "synth",
+		Iters: n,
+		RO: []loopir.Ref{
+			{Array: a, Index: loopir.Ident},
+			{Array: b, Index: loopir.Ident},
+		},
+		RW:          []loopir.Ref{xref},
+		Writes:      []loopir.Ref{xref},
+		PreCycles:   1,
+		FinalCycles: 1,
+		NPre:        1,
+		Pre:         func(_ int, ro []float64) []float64 { return []float64{ro[0] + ro[1]} },
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return l, s, x
+}
+
+func ppMachine(procs int) *machine.Machine {
+	return machine.MustNew(machine.PentiumPro(procs))
+}
+
+func TestExecItersValues(t *testing.T) {
+	const n = 200
+	l, _, x := syntheticLoop(n, func(i int) int { return i })
+	r := New(ppMachine(1).Proc(0))
+	cycles := r.ExecIters(l, 0, n)
+	if cycles <= 0 {
+		t.Fatal("no cycles charged")
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i) + float64(3*i) + float64(7*i)
+		if got := x.Load(i); got != want {
+			t.Fatalf("X[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestExecItersPermutedScatter(t *testing.T) {
+	const n = 128
+	l, _, x := syntheticLoop(n, func(i int) int { return n - 1 - i })
+	r := New(ppMachine(1).Proc(0))
+	r.ExecIters(l, 0, n)
+	for i := 0; i < n; i++ {
+		j := n - 1 - i // X[j] updated at iteration i with A[i]+B[i]
+		want := float64(j) + float64(3*i) + float64(7*i)
+		if got := x.Load(j); got != want {
+			t.Fatalf("X[%d] = %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestShadowDoesNotChangeValues(t *testing.T) {
+	const n = 100
+	l, _, x := syntheticLoop(n, func(i int) int { return i })
+	before := x.Snapshot()
+	r := New(ppMachine(1).Proc(0))
+	done, cycles := r.ShadowIters(l, 0, n, Unlimited)
+	if done != n {
+		t.Errorf("done = %d, want %d", done, n)
+	}
+	if cycles <= 0 {
+		t.Error("shadow charged no cycles")
+	}
+	if eq, idx := x.Equal(before); !eq {
+		t.Errorf("shadow mutated X at %d", idx)
+	}
+}
+
+func TestShadowWarmsCache(t *testing.T) {
+	const n = 512
+	l, _, _ := syntheticLoop(n, func(i int) int { return i })
+	m := ppMachine(1)
+	r := New(m.Proc(0))
+
+	cold := r.ExecIters(l, 0, n)
+
+	// Fresh machine: shadow first, then execute.
+	l2, _, _ := syntheticLoop(n, func(i int) int { return i })
+	m2 := ppMachine(1)
+	r2 := New(m2.Proc(0))
+	r2.ShadowIters(l2, 0, n, Unlimited)
+	warm := r2.ExecIters(l2, 0, n)
+
+	if warm >= cold {
+		t.Errorf("warm execution (%d cy) not faster than cold (%d cy)", warm, cold)
+	}
+}
+
+func TestShadowBudgetTruncates(t *testing.T) {
+	const n = 1000
+	l, _, _ := syntheticLoop(n, func(i int) int { return i })
+	r := New(ppMachine(1).Proc(0))
+	_, full := r.ShadowIters(l, 0, n, Unlimited)
+
+	l2, _, _ := syntheticLoop(n, func(i int) int { return i })
+	r2 := New(ppMachine(1).Proc(0))
+	budget := full / 4
+	done, cycles := r2.ShadowIters(l2, 0, n, budget)
+	if done >= n {
+		t.Errorf("budgeted shadow completed all %d iterations", n)
+	}
+	if done == 0 {
+		t.Error("budgeted shadow did nothing")
+	}
+	// Jump-out granularity is one iteration, so overshoot is bounded by
+	// one iteration's worst-case cost.
+	if cycles > budget+1000 {
+		t.Errorf("cycles %d grossly exceeds budget %d", cycles, budget)
+	}
+}
+
+func TestShadowZeroBudget(t *testing.T) {
+	const n = 10
+	l, _, _ := syntheticLoop(n, func(i int) int { return i })
+	r := New(ppMachine(1).Proc(0))
+	done, cycles := r.ShadowIters(l, 0, n, 0)
+	if done != 0 || cycles != 0 {
+		t.Errorf("zero budget: done=%d cycles=%d, want 0,0", done, cycles)
+	}
+}
+
+func TestRestructureThenExecValues(t *testing.T) {
+	const n = 300
+	// Reference result from plain execution.
+	lRef, _, xRef := syntheticLoop(n, func(i int) int { return (i * 7) % n })
+	New(ppMachine(1).Proc(0)).ExecIters(lRef, 0, n)
+	want := xRef.Snapshot()
+
+	// Restructured run: helper fills buffer, exec consumes it.
+	l, s, x := syntheticLoop(n, func(i int) int { return (i * 7) % n })
+	m := ppMachine(2)
+	helper := New(m.Proc(1))
+	exec := New(m.Proc(0))
+	buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+	done, hc := helper.RestructureIters(l, 0, n, buf, Unlimited, true)
+	if done != n {
+		t.Fatalf("helper done = %d, want %d", done, n)
+	}
+	if hc <= 0 {
+		t.Error("helper charged no cycles")
+	}
+	// Per iteration: 1 precomputed value + 1 packed IJ index (the RW and
+	// Write references share it, so it is deduplicated).
+	if buf.Len() != n*2 {
+		t.Fatalf("buffer holds %d values, want %d", buf.Len(), n*2)
+	}
+	// Upper bound before dedup: max(NPre=1, len(RO)=2) + 2 table refs.
+	if l.BufSlotsPerIter() != 4 {
+		t.Fatalf("BufSlotsPerIter = %d, want 4", l.BufSlotsPerIter())
+	}
+	exec.ExecFromBuffer(l, 0, n, done, buf, true)
+	if eq, idx := x.Equal(want); !eq {
+		t.Errorf("restructured result differs from sequential at %d: %v vs %v",
+			idx, x.Load(idx), want[idx])
+	}
+}
+
+func TestPartialRestructureStillCorrect(t *testing.T) {
+	const n = 300
+	lRef, _, xRef := syntheticLoop(n, func(i int) int { return i })
+	New(ppMachine(1).Proc(0)).ExecIters(lRef, 0, n)
+	want := xRef.Snapshot()
+
+	l, s, x := syntheticLoop(n, func(i int) int { return i })
+	m := ppMachine(2)
+	buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+	// Small budget: helper completes only part of the range.
+	done, _ := New(m.Proc(1)).RestructureIters(l, 0, n, buf, 500, true)
+	if done == 0 || done == n {
+		t.Fatalf("budget produced done=%d, want partial", done)
+	}
+	New(m.Proc(0)).ExecFromBuffer(l, 0, n, done, buf, true)
+	if eq, idx := x.Equal(want); !eq {
+		t.Errorf("partial-restructure result differs at %d", idx)
+	}
+}
+
+func TestExecFromBufferClampsBuffered(t *testing.T) {
+	const n = 50
+	l, s, x := syntheticLoop(n, func(i int) int { return i })
+	m := ppMachine(1)
+	buf := NewSeqBuf(s, "seqbuf", n*l.BufSlotsPerIter())
+	r := New(m.Proc(0))
+	done, _ := r.RestructureIters(l, 0, n, buf, Unlimited, true)
+	// Claim more buffered iterations than the range holds: must clamp.
+	r.ExecFromBuffer(l, 0, n, done+10, buf, true)
+	want := float64(0) + float64(0) + float64(0)
+	_ = want
+	if x.Load(0) != 0+0+0 {
+		t.Errorf("X[0] = %v", x.Load(0))
+	}
+}
+
+// TestStrategyEquivalenceProperty is the central correctness property:
+// for random loop shapes, sequential, shadow+exec, and restructure+exec
+// produce bitwise-identical results.
+func TestStrategyEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		perm := rng.Perm(n)
+		mk := func() (*loopir.Loop, *memsim.Space, *memsim.Array) {
+			return syntheticLoop(n, func(i int) int { return perm[i] })
+		}
+
+		l1, _, x1 := mk()
+		New(ppMachine(1).Proc(0)).ExecIters(l1, 0, n)
+		want := x1.Snapshot()
+
+		l2, _, x2 := mk()
+		m2 := ppMachine(2)
+		New(m2.Proc(1)).ShadowIters(l2, 0, n, int64(rng.Intn(5000)))
+		New(m2.Proc(0)).ExecIters(l2, 0, n)
+		if eq, _ := x2.Equal(want); !eq {
+			return false
+		}
+
+		l3, s3, x3 := mk()
+		m3 := ppMachine(2)
+		buf := NewSeqBuf(s3, "seqbuf", n*l3.BufSlotsPerIter())
+		done, _ := New(m3.Proc(1)).RestructureIters(l3, 0, n, buf, int64(rng.Intn(20000)), seed%2 == 0)
+		New(m3.Proc(0)).ExecFromBuffer(l3, 0, n, done, buf, seed%2 == 0)
+		eq, _ := x3.Equal(want)
+		return eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompilerPrefetchHidesStridedMisses(t *testing.T) {
+	// On an R10000-style machine, a dense conflict-free strided walk
+	// should run substantially faster than on the same machine with
+	// compiler prefetching disabled. (With set-conflicting arrays the
+	// benefit vanishes — that is the paper's own R10000 observation and
+	// is exercised by the figure-level tests.)
+	const n = 16384
+	run := func(pfEnabled bool) int64 {
+		cfg := machine.R10000(1)
+		cfg.CompilerPrefetch.Enabled = pfEnabled
+		m := machine.MustNew(cfg)
+		s := memsim.NewSpace()
+		a := s.Alloc("A", n, 8, 8)
+		c := s.Alloc("C", 1, 8, 8)
+		l := &loopir.Loop{
+			Name:   "walk",
+			Iters:  n,
+			RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+			Writes: []loopir.Ref{{Array: c, Index: loopir.Affine{}}},
+			Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return New(m.Proc(0)).ExecIters(l, 0, n)
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("prefetch enabled (%d cy) not faster than disabled (%d cy)", with, without)
+	}
+	if float64(with) > 0.8*float64(without) {
+		t.Errorf("prefetch saved too little: %d vs %d cycles", with, without)
+	}
+}
+
+func TestSeqBuf(t *testing.T) {
+	s := memsim.NewSpace()
+	b := NewSeqBuf(s, "buf", 4)
+	if b.Cap() != 4 || b.Len() != 0 {
+		t.Fatalf("fresh buf: cap=%d len=%d", b.Cap(), b.Len())
+	}
+	if idx := b.Push(1.5); idx != 0 {
+		t.Errorf("first Push idx = %d", idx)
+	}
+	b.Push(2.5)
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if v := b.At(1); v != 2.5 {
+		t.Errorf("At(1) = %v", v)
+	}
+	if b.Array().Base()%4096 != 0 {
+		t.Error("buffer not page-aligned")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset did not empty buffer")
+	}
+}
+
+func TestSeqBufOverflowPanics(t *testing.T) {
+	s := memsim.NewSpace()
+	b := NewSeqBuf(s, "buf", 1)
+	b.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow should panic")
+		}
+	}()
+	b.Push(2)
+}
+
+func TestSeqBufBadReadPanics(t *testing.T) {
+	s := memsim.NewSpace()
+	b := NewSeqBuf(s, "buf", 2)
+	b.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("read past Len should panic")
+		}
+	}()
+	b.At(1)
+}
+
+func TestSeqBufBadCapacityPanics(t *testing.T) {
+	s := memsim.NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	NewSeqBuf(s, "buf", 0)
+}
+
+func TestIndexTableDedup(t *testing.T) {
+	// The synthetic loop reads X(IJ(i)) and writes X(IJ(i)): IJ(i) must be
+	// loaded once per iteration, not twice.
+	const n = 64
+	l, _, _ := syntheticLoop(n, func(i int) int { return i })
+	m := ppMachine(1)
+	r := New(m.Proc(0))
+	r.ExecIters(l, 0, n)
+	// Accesses per iteration: A, B (RO) + IJ (once) + X read + X write = 5.
+	got := m.L1Stats().Accesses
+	if got != int64(n*5) {
+		t.Errorf("L1 accesses = %d, want %d (IJ dedup)", got, n*5)
+	}
+}
+
+func TestRunnerProc(t *testing.T) {
+	m := ppMachine(2)
+	r := New(m.Proc(1))
+	if r.Proc() != m.Proc(1) {
+		t.Error("Proc mismatch")
+	}
+}

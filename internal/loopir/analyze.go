@@ -1,0 +1,119 @@
+package loopir
+
+import (
+	"sort"
+
+	"repro/internal/memsim"
+)
+
+// BytesPerIter estimates the bytes of data one iteration touches: every
+// operand element plus every index-table entry needed to address it. This
+// is the estimate the paper's chunker divides the chunk byte budget by
+// (§2.2: "We choose the chunk size based on an estimate of the number of
+// bytes of data that each iteration of the execution loop will touch").
+func (l *Loop) BytesPerIter() int {
+	total := 0
+	for _, r := range l.Refs() {
+		total += r.Array.ElemSize()
+		if tbl, _ := r.Index.Table(0); tbl != nil {
+			total += tbl.ElemSize()
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	return total
+}
+
+// BufSlotsPerIter is an upper bound on the sequential-buffer values one
+// restructured iteration produces: the read-only operand values (NPre if
+// the helper precomputes, len(RO) if it stores them raw — the bound covers
+// both modes) plus one index value per indirect RW/Write reference (index
+// arrays are read-only data and are packed into the buffer too, so the
+// execution phase never touches them). Duplicate index reads within an
+// iteration are deduplicated at run time, so the actual count may be
+// lower.
+func (l *Loop) BufSlotsPerIter() int {
+	slots := l.NPre
+	if len(l.RO) > slots {
+		slots = len(l.RO)
+	}
+	for _, r := range append(append([]Ref{}, l.RW...), l.Writes...) {
+		if tbl, _ := r.Index.Table(0); tbl != nil {
+			slots++
+		}
+	}
+	return slots
+}
+
+// Arrays returns every distinct array the loop references (operands and
+// index tables), in first-use order.
+func (l *Loop) Arrays() []*memsim.Array {
+	var out []*memsim.Array
+	seen := make(map[*memsim.Array]bool)
+	add := func(a *memsim.Array) {
+		if a != nil && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, r := range l.Refs() {
+		add(r.Array)
+		if tbl, _ := r.Index.Table(0); tbl != nil {
+			add(tbl)
+		}
+	}
+	return out
+}
+
+// FootprintBytes returns the total simulated footprint of the loop's
+// arrays (the paper's per-loop "amount of data accessed").
+func (l *Loop) FootprintBytes() int {
+	total := 0
+	for _, a := range l.Arrays() {
+		total += a.SizeBytes()
+	}
+	return total
+}
+
+// AddrRanges returns the address ranges of the loop's arrays, sorted by
+// base address, for cache pre-distribution.
+func (l *Loop) AddrRanges() []AddrRange {
+	arrays := l.Arrays()
+	out := make([]AddrRange, 0, len(arrays))
+	for _, a := range arrays {
+		out = append(out, AddrRange{Base: a.Base(), Bytes: a.SizeBytes()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// AddrRange mirrors machine.AddrRange without importing the machine
+// package (loopir sits below machine in the layering). The cascade runner
+// converts between the two.
+type AddrRange struct {
+	Base  memsim.Addr
+	Bytes int
+}
+
+// SnapshotWrites captures the current values of all written arrays, for
+// before/after result comparison across execution strategies.
+func (l *Loop) SnapshotWrites() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, w := range l.Writes {
+		if _, ok := out[w.Array.Name()]; !ok {
+			out[w.Array.Name()] = w.Array.Snapshot()
+		}
+	}
+	return out
+}
+
+// RestoreWrites restores array values captured by SnapshotWrites, so the
+// same loop can be re-run from identical initial state.
+func (l *Loop) RestoreWrites(snap map[string][]float64) {
+	for _, w := range l.Writes {
+		if s, ok := snap[w.Array.Name()]; ok {
+			w.Array.Restore(s)
+		}
+	}
+}

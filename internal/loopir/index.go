@@ -1,0 +1,97 @@
+// Package loopir is the intermediate representation for the sequential
+// loops that cascaded execution targets.
+//
+// A Loop describes, per iteration: which array elements are read (split
+// into read-only and read-write operands, because only read-only data may
+// be restructured into the sequential buffer), which are written, how much
+// computation the iteration performs, and — crucially for correctness
+// checking — the actual value function of the iteration. Every execution
+// strategy (sequential, cascaded with prefetching, cascaded with
+// restructuring) runs the same value function over the same backing
+// arrays, so results can be compared bit-for-bit.
+package loopir
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// IndexExpr maps an iteration number to an element index within an array.
+// Implementations also expose the memory reads required to *compute* the
+// index (an indirect reference must first load its index-array entry), and
+// whether their stride is statically known (which determines eligibility
+// for compiler-inserted prefetching).
+type IndexExpr interface {
+	// At returns the element index for iteration i. For an indirect
+	// expression this consults the index array's current values.
+	At(i int) int
+	// Table returns the index array read to evaluate the expression, and
+	// the position read within it, or (nil, 0) if no memory read is
+	// needed. The table read itself always has a statically known stride.
+	Table(i int) (*memsim.Array, int)
+	// StrideElems returns the per-iteration stride in elements if it is
+	// statically known (affine), with ok=false for data-dependent indices.
+	StrideElems() (stride int, ok bool)
+	// String renders the expression in loop-nest notation, e.g. "2*i+1"
+	// or "IJ(i)".
+	String() string
+}
+
+// Affine is the index expression Scale*i + Offset.
+type Affine struct {
+	Scale, Offset int
+}
+
+// At implements IndexExpr.
+func (a Affine) At(i int) int { return a.Scale*i + a.Offset }
+
+// Table implements IndexExpr: affine indices need no memory read.
+func (a Affine) Table(int) (*memsim.Array, int) { return nil, 0 }
+
+// StrideElems implements IndexExpr.
+func (a Affine) StrideElems() (int, bool) { return a.Scale, true }
+
+// String implements IndexExpr.
+func (a Affine) String() string {
+	switch {
+	case a.Scale == 0:
+		return fmt.Sprintf("%d", a.Offset)
+	case a.Scale == 1 && a.Offset == 0:
+		return "i"
+	case a.Offset == 0:
+		return fmt.Sprintf("%d*i", a.Scale)
+	case a.Scale == 1:
+		return fmt.Sprintf("i+%d", a.Offset)
+	default:
+		return fmt.Sprintf("%d*i+%d", a.Scale, a.Offset)
+	}
+}
+
+// Ident is the identity index expression i.
+var Ident = Affine{Scale: 1}
+
+// Stride returns the affine expression k*i.
+func Stride(k int) Affine { return Affine{Scale: k} }
+
+// Indirect is the index expression Tbl(Entry(i)): the value of the index
+// array at an affine position. It models gather/scatter references such as
+// X(IJ(i)).
+type Indirect struct {
+	Tbl   *memsim.Array
+	Entry Affine
+}
+
+// At implements IndexExpr by loading the index array.
+func (ind Indirect) At(i int) int { return ind.Tbl.LoadInt(ind.Entry.At(i)) }
+
+// Table implements IndexExpr.
+func (ind Indirect) Table(i int) (*memsim.Array, int) { return ind.Tbl, ind.Entry.At(i) }
+
+// StrideElems implements IndexExpr: data-dependent, unknown statically.
+func (ind Indirect) StrideElems() (int, bool) { return 0, false }
+
+// String implements IndexExpr.
+func (ind Indirect) String() string {
+	return fmt.Sprintf("%s(%s)", ind.Tbl.Name(), ind.Entry.String())
+}

@@ -1,0 +1,289 @@
+package loopir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+)
+
+func TestAffine(t *testing.T) {
+	a := Affine{Scale: 2, Offset: 3}
+	if a.At(0) != 3 || a.At(5) != 13 {
+		t.Errorf("Affine.At wrong: %d, %d", a.At(0), a.At(5))
+	}
+	if s, ok := a.StrideElems(); !ok || s != 2 {
+		t.Errorf("StrideElems = %d,%v", s, ok)
+	}
+	if tbl, _ := a.Table(0); tbl != nil {
+		t.Error("affine should need no table")
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	cases := []struct {
+		a    Affine
+		want string
+	}{
+		{Affine{0, 7}, "7"},
+		{Affine{1, 0}, "i"},
+		{Affine{3, 0}, "3*i"},
+		{Affine{1, 2}, "i+2"},
+		{Affine{2, 5}, "2*i+5"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestIdentAndStride(t *testing.T) {
+	if Ident.At(42) != 42 {
+		t.Error("Ident is not identity")
+	}
+	if Stride(8).At(3) != 24 {
+		t.Error("Stride(8).At(3) != 24")
+	}
+}
+
+func TestIndirect(t *testing.T) {
+	s := memsim.NewSpace()
+	ij := s.Alloc("IJ", 10, 4, 4)
+	ij.Fill(func(i int) float64 { return float64(9 - i) }) // reversal permutation
+	ind := Indirect{Tbl: ij, Entry: Ident}
+	if got := ind.At(3); got != 6 {
+		t.Errorf("Indirect.At(3) = %d, want 6", got)
+	}
+	if tbl, pos := ind.Table(3); tbl != ij || pos != 3 {
+		t.Errorf("Table = %v,%d", tbl, pos)
+	}
+	if _, ok := ind.StrideElems(); ok {
+		t.Error("indirect stride should be unknown")
+	}
+	if got := ind.String(); got != "IJ(i)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// makeLoop builds the paper's synthetic loop X(IJ(i)) = X(IJ(i))+A(i)+B(i).
+func makeLoop(t testing.TB, n int) (*Loop, *memsim.Array) {
+	s := memsim.NewSpace()
+	x := s.Alloc("X", n, 4, 4)
+	ij := s.Alloc("IJ", n, 4, 4)
+	a := s.Alloc("A", n, 4, 4)
+	b := s.Alloc("B", n, 4, 4)
+	ij.Fill(func(i int) float64 { return float64(i) })
+	a.Fill(func(i int) float64 { return float64(i) })
+	b.Fill(func(i int) float64 { return float64(2 * i) })
+	xref := Ref{Array: x, Index: Indirect{Tbl: ij, Entry: Ident}}
+	l := &Loop{
+		Name:  "synthetic",
+		Iters: n,
+		RO: []Ref{
+			{Array: a, Index: Ident},
+			{Array: b, Index: Ident},
+		},
+		RW:          []Ref{xref},
+		Writes:      []Ref{xref},
+		PreCycles:   1,
+		FinalCycles: 1,
+		Pre:         func(_ int, ro []float64) []float64 { return []float64{ro[0] + ro[1]} },
+		NPre:        1,
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return l, x
+}
+
+func TestValidateOK(t *testing.T) {
+	l, _ := makeLoop(t, 100)
+	if err := l.CheckBounds(); err != nil {
+		t.Errorf("CheckBounds: %v", err)
+	}
+	if l.NPre != 1 {
+		t.Errorf("NPre = %d", l.NPre)
+	}
+}
+
+func TestValidateDefaultsNPre(t *testing.T) {
+	s := memsim.NewSpace()
+	a := s.Alloc("A", 10, 8, 8)
+	c := s.Alloc("C", 10, 8, 8)
+	l := &Loop{
+		Name:   "copy",
+		Iters:  10,
+		RO:     []Ref{{Array: a, Index: Ident}},
+		Writes: []Ref{{Array: c, Index: Ident}},
+		Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NPre != 1 {
+		t.Errorf("NPre defaulted to %d, want 1", l.NPre)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := memsim.NewSpace()
+	a := s.Alloc("A", 10, 8, 8)
+	c := s.Alloc("C", 10, 8, 8)
+	fin := func(_ int, pre, _ []float64) []float64 { return pre }
+	cases := []struct {
+		name string
+		l    *Loop
+		want string
+	}{
+		{"no name", &Loop{Iters: 1, Final: fin}, "no name"},
+		{"no iters", &Loop{Name: "x", Final: fin}, "Iters"},
+		{"no final", &Loop{Name: "x", Iters: 1}, "Final"},
+		{"neg cycles", &Loop{Name: "x", Iters: 1, Final: fin, PreCycles: -1}, "negative"},
+		{"pre without npre", &Loop{Name: "x", Iters: 1, Final: fin,
+			Pre: func(int, []float64) []float64 { return nil }}, "NPre"},
+		{"nil ref", &Loop{Name: "x", Iters: 1, Final: fin, RO: []Ref{{}}}, "nil"},
+		{"ro aliases write", &Loop{Name: "x", Iters: 1, Final: fin,
+			RO:     []Ref{{Array: c, Index: Ident}},
+			Writes: []Ref{{Array: c, Index: Ident}}}, "aliases"},
+		{"bad npre no pre", &Loop{Name: "x", Iters: 1, Final: fin,
+			RO: []Ref{{Array: a, Index: Ident}}, NPre: 3}, "NPre"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.l.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateIndexTableAliasing(t *testing.T) {
+	s := memsim.NewSpace()
+	x := s.Alloc("X", 10, 8, 8)
+	x.Fill(func(i int) float64 { return float64(i) })
+	// Index table that is itself written: illegal.
+	l := &Loop{
+		Name:   "selfidx",
+		Iters:  10,
+		Writes: []Ref{{Array: x, Index: Indirect{Tbl: x, Entry: Ident}}},
+		Final:  func(int, []float64, []float64) []float64 { return []float64{0} },
+	}
+	if err := l.Validate(); err == nil {
+		t.Error("index table aliasing written array should fail validation")
+	}
+}
+
+func TestCheckBoundsCatchesOverrun(t *testing.T) {
+	s := memsim.NewSpace()
+	a := s.Alloc("A", 10, 8, 8)
+	c := s.Alloc("C", 10, 8, 8)
+	l := &Loop{
+		Name:   "overrun",
+		Iters:  11, // one too many
+		RO:     []Ref{{Array: a, Index: Ident}},
+		Writes: []Ref{{Array: c, Index: Ident}},
+		Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckBounds(); err == nil {
+		t.Error("CheckBounds missed an out-of-range index")
+	}
+}
+
+func TestCheckBoundsCatchesBadTableEntry(t *testing.T) {
+	s := memsim.NewSpace()
+	x := s.Alloc("X", 10, 8, 8)
+	ij := s.Alloc("IJ", 10, 4, 4)
+	ij.FillConst(99) // points far outside X
+	l := &Loop{
+		Name:   "wild",
+		Iters:  10,
+		Writes: []Ref{{Array: x, Index: Indirect{Tbl: ij, Entry: Ident}}},
+		Final:  func(int, []float64, []float64) []float64 { return []float64{0} },
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckBounds(); err == nil {
+		t.Error("CheckBounds missed a wild indirect index")
+	}
+}
+
+func TestBytesPerIter(t *testing.T) {
+	l, _ := makeLoop(t, 100)
+	// RO: A(4) + B(4); RW: X(4) + IJ(4); Writes: X(4) + IJ(4) = 24.
+	if got := l.BytesPerIter(); got != 24 {
+		t.Errorf("BytesPerIter = %d, want 24", got)
+	}
+}
+
+func TestArraysAndFootprint(t *testing.T) {
+	l, _ := makeLoop(t, 100)
+	arrays := l.Arrays()
+	if len(arrays) != 4 { // A, B, X, IJ
+		t.Errorf("Arrays = %d, want 4 (%v)", len(arrays), arrays)
+	}
+	if got := l.FootprintBytes(); got != 4*100*4 {
+		t.Errorf("FootprintBytes = %d, want 1600", got)
+	}
+	ranges := l.AddrRanges()
+	if len(ranges) != 4 {
+		t.Fatalf("AddrRanges = %d", len(ranges))
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Base < ranges[i-1].Base {
+			t.Error("AddrRanges not sorted")
+		}
+	}
+}
+
+func TestRefsAndString(t *testing.T) {
+	l, _ := makeLoop(t, 10)
+	if got := len(l.Refs()); got != 4 {
+		t.Errorf("Refs = %d, want 4", got)
+	}
+	if !strings.Contains(l.String(), "synthetic") {
+		t.Errorf("String = %q", l.String())
+	}
+	if got := l.RW[0].String(); got != "X(IJ(i))" {
+		t.Errorf("Ref.String = %q", got)
+	}
+}
+
+func TestRefAddr(t *testing.T) {
+	l, x := makeLoop(t, 10)
+	if got := l.RW[0].Addr(3); got != x.Addr(3) {
+		t.Errorf("Addr = %s, want %s (identity IJ)", got, x.Addr(3))
+	}
+}
+
+func TestSnapshotRestoreWrites(t *testing.T) {
+	l, x := makeLoop(t, 10)
+	x.FillConst(5)
+	snap := l.SnapshotWrites()
+	x.Store(3, -1)
+	l.RestoreWrites(snap)
+	if x.Load(3) != 5 {
+		t.Errorf("restore failed: %v", x.Load(3))
+	}
+}
+
+// Property: for any affine parameters, At is consistent with StrideElems.
+func TestAffineStrideConsistency(t *testing.T) {
+	f := func(scale, offset int8, i uint8) bool {
+		a := Affine{Scale: int(scale), Offset: int(offset)}
+		s, ok := a.StrideElems()
+		return ok && a.At(int(i)+1)-a.At(int(i)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

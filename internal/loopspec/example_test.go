@@ -1,0 +1,57 @@
+package loopspec_test
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/loopspec"
+	"repro/internal/machine"
+)
+
+// Example defines a loop in JSON, builds it, and cascades it.
+func Example() {
+	spec, err := loopspec.Parse([]byte(`{
+		"name": "saxpy",
+		"iters": 16384,
+		"arrays": [
+			{"name": "X", "len": 16384, "init": "i % 10"},
+			{"name": "Y", "len": 16384, "init": "i % 3"},
+			{"name": "OUT", "len": 16384}
+		],
+		"reads": [
+			{"array": "X", "index": {}},
+			{"array": "Y", "index": {}}
+		],
+		"writes": [{"array": "OUT", "index": {}}],
+		"final": {"exprs": ["2.5*r0 + r1"], "cycles": 2}
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	space, loop, err := loopspec.Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	res, err := cascade.Run(machine.MustNew(machine.PentiumPro(4)), loop,
+		cascade.DefaultOptions(cascade.HelperRestructure, space))
+	if err != nil {
+		panic(err)
+	}
+	out := loop.Writes[0].Array
+	fmt.Println("OUT[7] =", out.Load(7))
+	fmt.Println("chunks >= 4:", res.Chunks >= 4)
+	// Output:
+	// OUT[7] = 18.5
+	// chunks >= 4: true
+}
+
+// ExampleCompile shows the expression language directly.
+func ExampleCompile() {
+	expr, err := loopspec.Compile("max(a, b) + floor(a/2)", []string{"a", "b"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(expr.Eval([]float64{5, 3}, 0))
+	// Output:
+	// 7
+}

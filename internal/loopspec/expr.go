@@ -1,0 +1,343 @@
+// Package loopspec loads loop descriptions from JSON, so workloads can be
+// defined, shared and cascaded without writing Go. A spec names the
+// simulated arrays (with sizes, element widths, placement and value
+// initializers), the loop's references (affine or indirect, read-only or
+// read-write), and its value semantics as arithmetic expressions over the
+// loaded operands. loopspec compiles the expressions and produces a
+// ready-to-run loopir.Loop.
+//
+// The expression language is deliberately small: floating-point
+// arithmetic (+ - * / %), parentheses, unary minus, numeric literals,
+// variables, and the functions min, max, abs, floor, rand and randint.
+// Which variables are in scope depends on context:
+//
+//   - array initializers: i (element index), n (array length)
+//   - the pre stage: i, and r0..rK for the read-only operand values
+//   - the final stage: i, p0..pK for the pre results (or r0..rK when
+//     there is no pre stage), and rw0..rwK for the read-write operands
+//
+// rand() is a deterministic hash of the evaluation index and the spec's
+// seed, uniform in [0,1); randint(k) is floor(rand()*k). Determinism
+// keeps runs reproducible and strategies comparable.
+package loopspec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Expr is a compiled expression.
+type Expr struct {
+	src  string
+	node node
+	vars []string // variable names in scope, in slot order
+}
+
+// Compile parses src with the given variable names in scope.
+func Compile(src string, vars []string) (*Expr, error) {
+	p := &parser{input: src, vars: vars}
+	p.next()
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("loopspec: %q: %w", src, err)
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("loopspec: %q: unexpected %q after expression", src, p.tok.text)
+	}
+	return &Expr{src: src, node: n, vars: vars}, nil
+}
+
+// Eval evaluates the expression. vals must be ordered like the vars slice
+// passed to Compile; seed feeds rand().
+func (e *Expr) Eval(vals []float64, seed uint64) float64 {
+	return e.node.eval(vals, seed)
+}
+
+// String returns the source text.
+func (e *Expr) String() string { return e.src }
+
+// node is an AST node.
+type node interface {
+	eval(vals []float64, seed uint64) float64
+}
+
+type numNode float64
+
+func (n numNode) eval([]float64, uint64) float64 { return float64(n) }
+
+type varNode int
+
+func (n varNode) eval(vals []float64, _ uint64) float64 { return vals[n] }
+
+type binNode struct {
+	op   byte
+	l, r node
+}
+
+func (n binNode) eval(vals []float64, seed uint64) float64 {
+	l := n.l.eval(vals, seed)
+	r := n.r.eval(vals, seed)
+	switch n.op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '/':
+		return l / r
+	case '%':
+		return math.Mod(l, r)
+	}
+	panic("loopspec: unknown operator")
+}
+
+type negNode struct{ x node }
+
+func (n negNode) eval(vals []float64, seed uint64) float64 {
+	return -n.x.eval(vals, seed)
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+func (n callNode) eval(vals []float64, seed uint64) float64 {
+	arg := func(k int) float64 { return n.args[k].eval(vals, seed) }
+	switch n.fn {
+	case "min":
+		return math.Min(arg(0), arg(1))
+	case "max":
+		return math.Max(arg(0), arg(1))
+	case "abs":
+		return math.Abs(arg(0))
+	case "floor":
+		return math.Floor(arg(0))
+	case "rand":
+		// Hash the first in-scope variable (the evaluation index by
+		// convention) with the seed: splitmix64 finalizer.
+		x := seed ^ uint64(int64(vals[0]))*0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return float64(x>>11) / float64(uint64(1)<<53)
+	case "randint":
+		k := arg(0)
+		if k <= 0 {
+			return 0
+		}
+		r := callNode{fn: "rand"}.eval(vals, seed)
+		return math.Floor(r * k)
+	}
+	panic("loopspec: unknown function " + n.fn)
+}
+
+// arity maps function names to argument counts.
+var arity = map[string]int{
+	"min": 2, "max": 2, "abs": 1, "floor": 1, "rand": 0, "randint": 1,
+}
+
+// --- lexer/parser -------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp     // + - * / %
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+	vars  []string
+}
+
+// next advances to the next token; lexical errors surface as tokens with
+// empty text handled by the parser's expectations.
+func (p *parser) next() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "("}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")"}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ","}
+	case strings.IndexByte("+-*/%", c) >= 0:
+		p.pos++
+		p.tok = token{kind: tokOp, text: string(c)}
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.input) {
+			c := p.input[p.pos]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+				p.pos++
+				continue
+			}
+			// allow exponent sign
+			if (c == '+' || c == '-') && p.pos > start &&
+				(p.input[p.pos-1] == 'e' || p.input[p.pos-1] == 'E') {
+				p.pos++
+				continue
+			}
+			break
+		}
+		text := p.input[start:p.pos]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.tok = token{kind: tokNum, text: text, num: math.NaN()}
+			return
+		}
+		p.tok = token{kind: tokNum, text: text, num: v}
+	case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		start := p.pos
+		for p.pos < len(p.input) {
+			c := p.input[p.pos]
+			if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.tok = token{kind: tokIdent, text: p.input[start:p.pos]}
+	default:
+		p.tok = token{kind: tokOp, text: string(c)} // parser will reject
+		p.pos++
+	}
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text[0]
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text[0]
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch p.tok.kind {
+	case tokNum:
+		if math.IsNaN(p.tok.num) {
+			return nil, fmt.Errorf("bad number %q", p.tok.text)
+		}
+		n := numNode(p.tok.num)
+		p.next()
+		return n, nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind == tokLParen {
+			want, ok := arity[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown function %q", name)
+			}
+			p.next()
+			var args []node
+			if p.tok.kind != tokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if p.tok.kind != tokRParen {
+				return nil, fmt.Errorf("missing ) after %s(", name)
+			}
+			p.next()
+			if len(args) != want {
+				return nil, fmt.Errorf("%s takes %d arguments, got %d", name, want, len(args))
+			}
+			return callNode{fn: name, args: args}, nil
+		}
+		for slot, v := range p.vars {
+			if v == name {
+				return varNode(slot), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown variable %q (in scope: %s)", name, strings.Join(p.vars, ", "))
+	case tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("missing )")
+		}
+		p.next()
+		return inner, nil
+	default:
+		return nil, fmt.Errorf("unexpected %q", p.tok.text)
+	}
+}

@@ -1,0 +1,158 @@
+package loopspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalOne(t *testing.T, src string, vars []string, vals []float64) float64 {
+	t.Helper()
+	e, err := Compile(src, vars)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return e.Eval(vals, 42)
+}
+
+func TestExprArithmetic(t *testing.T) {
+	vars := []string{"i", "a", "b"}
+	vals := []float64{5, 2, 3}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1", 1},
+		{"1.5", 1.5},
+		{"2e3", 2000},
+		{"1e-2", 0.01},
+		{"i", 5},
+		{"a+b", 5},
+		{"a-b", -1},
+		{"a*b", 6},
+		{"b/a", 1.5},
+		{"i%a", 1},
+		{"-a", -2},
+		{"--a", 2},
+		{"a+b*i", 17},
+		{"(a+b)*i", 25},
+		{"2*i + 3*a - b", 13},
+		{"min(a, b)", 2},
+		{"max(a, b)", 3},
+		{"abs(a-b)", 1},
+		{"floor(b/a)", 1},
+		{"a + min(i, b) * 2", 8},
+		{"  a  +  b ", 5},
+	}
+	for _, c := range cases {
+		if got := evalOne(t, c.src, vars, vals); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	vars := []string{"i"}
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "unexpected"},
+		{"i +", "unexpected"},
+		{"(i", "missing )"},
+		{"i)", "after expression"},
+		{"foo", "unknown variable"},
+		{"foo(1)", "unknown function"},
+		{"min(1)", "takes 2 arguments"},
+		{"rand(1)", "takes 0 arguments"},
+		{"min(1, 2", "missing )"},
+		{"1..2", "bad number"},
+		{"i @ 2", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, vars)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestExprRandDeterministic(t *testing.T) {
+	e, err := Compile("rand()", []string{"i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Eval([]float64{7}, 1)
+	b := e.Eval([]float64{7}, 1)
+	if a != b {
+		t.Error("rand not deterministic for fixed (i, seed)")
+	}
+	if a == e.Eval([]float64{8}, 1) {
+		t.Error("rand constant across indices")
+	}
+	if a == e.Eval([]float64{7}, 2) {
+		t.Error("rand constant across seeds")
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("rand out of [0,1): %v", a)
+	}
+}
+
+func TestExprRandintRange(t *testing.T) {
+	e, err := Compile("randint(10)", []string{"i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := e.Eval([]float64{float64(i)}, 3)
+		if v != math.Trunc(v) || v < 0 || v >= 10 {
+			t.Fatalf("randint(10) at i=%d -> %v", i, v)
+		}
+	}
+	if e.Eval([]float64{1}, 3) == e.Eval([]float64{2}, 3) &&
+		e.Eval([]float64{3}, 3) == e.Eval([]float64{4}, 3) &&
+		e.Eval([]float64{5}, 3) == e.Eval([]float64{6}, 3) {
+		t.Error("randint suspiciously constant")
+	}
+	zero, _ := Compile("randint(0)", []string{"i"})
+	if zero.Eval([]float64{1}, 3) != 0 {
+		t.Error("randint(0) should be 0")
+	}
+}
+
+func TestExprPrecedenceProperty(t *testing.T) {
+	// a + b*c always equals a + (b*c) for random values.
+	f := func(a, b, c int16) bool {
+		vars := []string{"a", "b", "c"}
+		vals := []float64{float64(a), float64(b), float64(c)}
+		e1, err := Compile("a + b*c", vars)
+		if err != nil {
+			return false
+		}
+		e2, err := Compile("a + (b*c)", vars)
+		if err != nil {
+			return false
+		}
+		return e1.Eval(vals, 0) == e2.Eval(vals, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e, _ := Compile("a+1", []string{"a"})
+	if e.String() != "a+1" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	if got := evalOne(t, "10-3-2", nil, nil); got != 5 {
+		t.Errorf("10-3-2 = %v, want 5", got)
+	}
+	if got := evalOne(t, "16/4/2", nil, nil); got != 2 {
+		t.Errorf("16/4/2 = %v, want 2", got)
+	}
+}

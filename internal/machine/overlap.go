@@ -1,0 +1,38 @@
+package machine
+
+import "repro/internal/cache"
+
+// OverlapCost combines the latencies of a group of accesses issued close
+// together (the references of one loop iteration) under a bounded
+// memory-level-parallelism model.
+//
+// Both paper machines have non-blocking caches that allow up to four
+// outstanding requests to L2 and memory. We model this as: the serial
+// portion of every access (its L1 lookup) is paid in full, while the miss
+// penalties overlap in windows of maxOutstanding. The resulting stall is
+//
+//	max(largest single penalty, ceil(total penalty / maxOutstanding))
+//
+// which reduces to full serialization when maxOutstanding is 1 and to the
+// single penalty when only one access misses.
+func OverlapCost(results []cache.Result, maxOutstanding int) int64 {
+	if maxOutstanding < 1 {
+		panic("machine: OverlapCost with maxOutstanding < 1")
+	}
+	var serial, totalPenalty, maxPenalty int64
+	for _, r := range results {
+		serial += r.Cycles - r.MissPenalty
+		totalPenalty += r.MissPenalty
+		if r.MissPenalty > maxPenalty {
+			maxPenalty = r.MissPenalty
+		}
+	}
+	if totalPenalty == 0 {
+		return serial
+	}
+	overlapped := (totalPenalty + int64(maxOutstanding) - 1) / int64(maxOutstanding)
+	if overlapped < maxPenalty {
+		overlapped = maxPenalty
+	}
+	return serial + overlapped
+}

@@ -1,0 +1,116 @@
+package memsim
+
+import "fmt"
+
+// Array is a simulated array: a contiguous range of simulated addresses
+// backed by real values. Values are stored as float64 regardless of the
+// simulated element size; integer index arrays store their indices as exact
+// float64 values (exact up to 2^53, far beyond any simulated array length).
+//
+// The element size affects only the address layout (and therefore cache
+// behaviour); it lets a workload model 4-byte integers or 8-byte doubles
+// with the same value machinery.
+type Array struct {
+	name string
+	base Addr
+	elem int
+	data []float64
+}
+
+// Name returns the array's name (used in diagnostics and reports).
+func (a *Array) Name() string { return a.name }
+
+// Base returns the simulated address of element 0.
+func (a *Array) Base() Addr { return a.base }
+
+// ElemSize returns the simulated size of one element in bytes.
+func (a *Array) ElemSize() int { return a.elem }
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.data) }
+
+// SizeBytes returns the simulated footprint of the array in bytes.
+func (a *Array) SizeBytes() int { return len(a.data) * a.elem }
+
+// Addr returns the simulated address of element i.
+func (a *Array) Addr(i int) Addr {
+	return a.base + Addr(i*a.elem)
+}
+
+// Load returns the value of element i.
+func (a *Array) Load(i int) float64 {
+	return a.data[i]
+}
+
+// Store sets the value of element i.
+func (a *Array) Store(i int, v float64) {
+	a.data[i] = v
+}
+
+// LoadInt returns element i as an integer index. It panics if the value is
+// not an exact integer; index arrays must hold integral values.
+func (a *Array) LoadInt(i int) int {
+	v := a.data[i]
+	iv := int(v)
+	if float64(iv) != v {
+		panic(fmt.Sprintf("memsim: array %q element %d = %v is not an integer index", a.name, i, v))
+	}
+	return iv
+}
+
+// Fill sets every element to f(i).
+func (a *Array) Fill(f func(i int) float64) {
+	for i := range a.data {
+		a.data[i] = f(i)
+	}
+}
+
+// FillConst sets every element to v.
+func (a *Array) FillConst(v float64) {
+	for i := range a.data {
+		a.data[i] = v
+	}
+}
+
+// Snapshot returns a copy of the array's values, for result comparison
+// between execution strategies.
+func (a *Array) Snapshot() []float64 {
+	out := make([]float64, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
+// Restore overwrites the array's values from a snapshot taken earlier.
+// It panics if the lengths differ.
+func (a *Array) Restore(snap []float64) {
+	if len(snap) != len(a.data) {
+		panic(fmt.Sprintf("memsim: Restore(%q): snapshot length %d != array length %d", a.name, len(snap), len(a.data)))
+	}
+	copy(a.data, snap)
+}
+
+// Equal reports whether the array's values are bitwise identical to the
+// snapshot and, if not, returns the first differing index.
+func (a *Array) Equal(snap []float64) (bool, int) {
+	if len(snap) != len(a.data) {
+		return false, -1
+	}
+	for i, v := range a.data {
+		if v != snap[i] {
+			return false, i
+		}
+	}
+	return true, 0
+}
+
+// Overlaps reports whether the simulated address ranges of a and b overlap.
+func (a *Array) Overlaps(b *Array) bool {
+	aEnd := a.base + Addr(a.SizeBytes())
+	bEnd := b.base + Addr(b.SizeBytes())
+	return a.base < bEnd && b.base < aEnd
+}
+
+// String implements fmt.Stringer.
+func (a *Array) String() string {
+	return fmt.Sprintf("%s[%d]x%dB@%s", a.name, len(a.data), a.elem, a.base)
+}

@@ -1,0 +1,264 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLine(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line int
+		want Addr
+	}{
+		{0x0, 32, 0x0},
+		{0x1f, 32, 0x0},
+		{0x20, 32, 0x20},
+		{0x21, 32, 0x20},
+		{0x7f, 128, 0x0},
+		{0x80, 128, 0x80},
+		{0x12345, 64, 0x12340},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(c.line); got != c.want {
+			t.Errorf("Addr(%s).Line(%d) = %s, want %s", c.addr, c.line, got, c.want)
+		}
+	}
+}
+
+func TestAddrOffset(t *testing.T) {
+	if got := Addr(0x25).Offset(32); got != 5 {
+		t.Errorf("Offset = %d, want 5", got)
+	}
+	if got := Addr(0x20).Offset(32); got != 0 {
+		t.Errorf("Offset = %d, want 0", got)
+	}
+}
+
+func TestAddrAlignUp(t *testing.T) {
+	if got := Addr(0x21).AlignUp(32); got != 0x40 {
+		t.Errorf("AlignUp = %s, want 0x40", got)
+	}
+	if got := Addr(0x40).AlignUp(32); got != 0x40 {
+		t.Errorf("AlignUp of aligned = %s, want 0x40", got)
+	}
+}
+
+func TestAddrLineProperty(t *testing.T) {
+	f := func(raw uint64, shift uint8) bool {
+		lineSize := 1 << (3 + shift%6) // 8..256
+		a := Addr(raw)
+		l := a.Line(lineSize)
+		return l <= a && a-l < Addr(lineSize) && l.Offset(lineSize) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []int{0, -2, 3, 6, 1023} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestSpaceAllocNonOverlapping(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100, 8, 8)
+	b := s.Alloc("b", 50, 4, 64)
+	c := s.Alloc("c", 1, 8, 8)
+	arrays := []*Array{a, b, c}
+	for i := range arrays {
+		for j := i + 1; j < len(arrays); j++ {
+			if arrays[i].Overlaps(arrays[j]) {
+				t.Errorf("arrays %s and %s overlap", arrays[i], arrays[j])
+			}
+		}
+	}
+	if b.Base()%64 != 0 {
+		t.Errorf("b not aligned to 64: %s", b.Base())
+	}
+}
+
+func TestSpaceAllocAtCongruence(t *testing.T) {
+	s := NewSpace()
+	const waySize = 4096 // cache size / assoc
+	a := s.AllocAt("a", 1000, 8, 128, waySize)
+	b := s.AllocAt("b", 1000, 8, 128, waySize)
+	if int(a.Base())&(waySize-1) != 128 {
+		t.Errorf("a base congruence = %d, want 128", int(a.Base())&(waySize-1))
+	}
+	if int(b.Base())&(waySize-1) != 128 {
+		t.Errorf("b base congruence = %d, want 128", int(b.Base())&(waySize-1))
+	}
+	if a.Overlaps(b) {
+		t.Error("conflicting arrays overlap")
+	}
+}
+
+func TestSpacePadAndSize(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("a", 10, 8, 8)
+	before := s.Size()
+	s.Pad(100)
+	if s.Size() != before+100 {
+		t.Errorf("Size after Pad = %d, want %d", s.Size(), before+100)
+	}
+}
+
+func TestSpaceFindByAddr(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 10, 8, 8)
+	s.Pad(64)
+	b := s.Alloc("b", 10, 8, 8)
+	if got := s.FindByAddr(a.Addr(5)); got != a {
+		t.Errorf("FindByAddr(a[5]) = %v, want a", got)
+	}
+	if got := s.FindByAddr(b.Addr(0)); got != b {
+		t.Errorf("FindByAddr(b[0]) = %v, want b", got)
+	}
+	if got := s.FindByAddr(a.Addr(9) + 8); got != nil { // in the pad gap
+		t.Errorf("FindByAddr(gap) = %v, want nil", got)
+	}
+	if got := s.FindByAddr(0); got != nil {
+		t.Errorf("FindByAddr(0) = %v, want nil", got)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(s *Space)
+	}{
+		{"zero n", func(s *Space) { s.Alloc("x", 0, 8, 8) }},
+		{"negative n", func(s *Space) { s.Alloc("x", -1, 8, 8) }},
+		{"bad elem", func(s *Space) { s.Alloc("x", 1, 3, 8) }},
+		{"align lt elem", func(s *Space) { s.Alloc("x", 1, 8, 4) }},
+		{"bad congruence", func(s *Space) { s.AllocAt("x", 1, 8, 8, 7) }},
+		{"negative pad", func(s *Space) { s.Pad(-1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.f(NewSpace())
+		})
+	}
+}
+
+func TestArrayAddressing(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100, 4, 4)
+	if a.Addr(0) != a.Base() {
+		t.Errorf("Addr(0) = %s, want base %s", a.Addr(0), a.Base())
+	}
+	if a.Addr(10)-a.Addr(9) != 4 {
+		t.Errorf("element stride = %d, want 4", a.Addr(10)-a.Addr(9))
+	}
+	if a.SizeBytes() != 400 {
+		t.Errorf("SizeBytes = %d, want 400", a.SizeBytes())
+	}
+}
+
+func TestArrayLoadStore(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 10, 8, 8)
+	a.Store(3, 42.5)
+	if got := a.Load(3); got != 42.5 {
+		t.Errorf("Load(3) = %v, want 42.5", got)
+	}
+	if got := a.Load(4); got != 0 {
+		t.Errorf("Load(4) = %v, want 0 (zero-initialized)", got)
+	}
+}
+
+func TestArrayLoadInt(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("ij", 10, 4, 4)
+	a.Store(0, 7)
+	if got := a.LoadInt(0); got != 7 {
+		t.Errorf("LoadInt = %d, want 7", got)
+	}
+	a.Store(1, 1.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("LoadInt of non-integer should panic")
+		}
+	}()
+	a.LoadInt(1)
+}
+
+func TestArrayFillSnapshotRestore(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100, 8, 8)
+	a.Fill(func(i int) float64 { return float64(i * i) })
+	snap := a.Snapshot()
+	if eq, _ := a.Equal(snap); !eq {
+		t.Error("array should equal its own snapshot")
+	}
+	a.Store(50, -1)
+	if eq, idx := a.Equal(snap); eq || idx != 50 {
+		t.Errorf("Equal after mutation = (%v, %d), want (false, 50)", eq, idx)
+	}
+	a.Restore(snap)
+	if eq, _ := a.Equal(snap); !eq {
+		t.Error("array should equal snapshot after Restore")
+	}
+	if a.Load(50) != 2500 {
+		t.Errorf("restored value = %v, want 2500", a.Load(50))
+	}
+}
+
+func TestArrayFillConst(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 5, 8, 8)
+	a.FillConst(math.Pi)
+	for i := 0; i < a.Len(); i++ {
+		if a.Load(i) != math.Pi {
+			t.Fatalf("element %d = %v, want pi", i, a.Load(i))
+		}
+	}
+}
+
+func TestArrayRestoreLengthMismatch(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 5, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Restore with wrong length should panic")
+		}
+	}()
+	a.Restore(make([]float64, 4))
+}
+
+func TestArrayEqualLengthMismatch(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 5, 8, 8)
+	if eq, _ := a.Equal(make([]float64, 4)); eq {
+		t.Error("Equal with wrong length should be false")
+	}
+}
+
+func TestSpaceArraysCopy(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("a", 1, 8, 8)
+	got := s.Arrays()
+	if len(got) != 1 {
+		t.Fatalf("Arrays len = %d, want 1", len(got))
+	}
+	got[0] = nil // mutating the returned slice must not affect the space
+	if s.Arrays()[0] == nil {
+		t.Error("Arrays returned internal slice, want copy")
+	}
+}

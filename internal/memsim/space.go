@@ -1,0 +1,112 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// baseAddress is where the first allocation lands. A non-zero base keeps
+// address zero free so it can serve as an "invalid address" sentinel, and
+// mimics real systems where low memory is reserved.
+const baseAddress Addr = 0x10000
+
+// Space is a simulated physical address space. It hands out non-overlapping
+// address ranges for arrays with caller-controlled alignment, which is how
+// workloads engineer (or avoid) cache-set conflicts.
+//
+// A Space is not safe for concurrent use; the simulator is single-threaded
+// by design (it models time explicitly rather than relying on wall-clock
+// parallelism).
+type Space struct {
+	next   Addr
+	arrays []*Array
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{next: baseAddress}
+}
+
+// Alloc allocates an array of n elements of elemSize bytes, aligned to
+// align bytes. align must be a power of two and at least elemSize.
+// Element values start at zero.
+func (s *Space) Alloc(name string, n, elemSize, align int) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("memsim: Alloc(%q): n must be positive, got %d", name, n))
+	}
+	if elemSize <= 0 || !IsPow2(elemSize) {
+		panic(fmt.Sprintf("memsim: Alloc(%q): elemSize must be a positive power of two, got %d", name, elemSize))
+	}
+	if !IsPow2(align) || align < elemSize {
+		panic(fmt.Sprintf("memsim: Alloc(%q): align must be a power of two >= elemSize, got %d", name, align))
+	}
+	base := s.next.AlignUp(align)
+	a := &Array{
+		name: name,
+		base: base,
+		elem: elemSize,
+		data: make([]float64, n),
+	}
+	s.next = base + Addr(n*elemSize)
+	s.arrays = append(s.arrays, a)
+	return a
+}
+
+// AllocAt allocates like Alloc but first advances the allocation cursor so
+// that the array's base address is congruent to want modulo modulus. This is
+// the tool for engineering set conflicts: two arrays whose bases are equal
+// modulo (cache size / associativity) map their corresponding elements to
+// the same cache sets.
+//
+// modulus must be a power of two and want < modulus.
+func (s *Space) AllocAt(name string, n, elemSize int, want, modulus int) *Array {
+	if !IsPow2(modulus) || want < 0 || want >= modulus {
+		panic(fmt.Sprintf("memsim: AllocAt(%q): invalid congruence %d mod %d", name, want, modulus))
+	}
+	cur := int(s.next) & (modulus - 1)
+	delta := want - cur
+	if delta < 0 {
+		delta += modulus
+	}
+	s.next += Addr(delta)
+	return s.Alloc(name, n, elemSize, elemSize)
+}
+
+// Pad advances the allocation cursor by n bytes without allocating an
+// array. Useful for spacing allocations apart.
+func (s *Space) Pad(n int) {
+	if n < 0 {
+		panic("memsim: Pad: negative pad")
+	}
+	s.next += Addr(n)
+}
+
+// Size returns the total extent of the address space in bytes, from the
+// base address to the end of the highest allocation.
+func (s *Space) Size() int64 {
+	return int64(s.next - baseAddress)
+}
+
+// Arrays returns the allocated arrays in allocation order.
+func (s *Space) Arrays() []*Array {
+	out := make([]*Array, len(s.arrays))
+	copy(out, s.arrays)
+	return out
+}
+
+// FindByAddr returns the array containing addr, or nil if the address is
+// not part of any allocation. It is O(log n) in the number of arrays.
+func (s *Space) FindByAddr(addr Addr) *Array {
+	// arrays are allocated at increasing addresses, so they are sorted by base.
+	i := sort.Search(len(s.arrays), func(i int) bool {
+		return s.arrays[i].base > addr
+	})
+	if i == 0 {
+		return nil
+	}
+	a := s.arrays[i-1]
+	if addr < a.base+Addr(a.SizeBytes()) {
+		return a
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+//go:build linux
+
+package native
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinToCPU binds the calling OS thread to the given CPU using
+// sched_setaffinity. Errors are ignored: affinity is an optimization, and
+// the demo must run in containers that deny the syscall.
+func pinToCPU(cpu int) {
+	if cpu < 0 {
+		return
+	}
+	var mask [16]uint64 // room for 1024 CPUs
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// Thread id 0 means "calling thread" for sched_setaffinity.
+	syscall.Syscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

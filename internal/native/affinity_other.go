@@ -1,0 +1,7 @@
+//go:build !linux
+
+package native
+
+// pinToCPU is a no-op on platforms without sched_setaffinity; the Go
+// scheduler places the locked threads wherever it likes.
+func pinToCPU(int) {}

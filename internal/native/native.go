@@ -1,0 +1,222 @@
+// Package native runs cascaded execution on the real host machine, the
+// way the paper's own implementation did: worker goroutines locked to OS
+// threads (and pinned to CPUs where the platform allows), control passed
+// through a shared-memory flag that the next executor spins on, and
+// helper phases that either touch the upcoming chunk's data or gather it
+// into a per-worker sequential buffer.
+//
+// This package is a demonstration, not the reproduction vehicle: on
+// modern hardware the effect the paper measured is largely erased by
+// deep out-of-order execution, aggressive hardware prefetchers, and
+// shared last-level caches, and Go offers no portable control over any
+// of them (see DESIGN.md). The simulator in the sibling packages is the
+// faithful substrate; this package exists so the technique can be tried
+// natively.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kernel describes a loop to cascade natively. Execute must be safe to
+// call for disjoint ranges from different goroutines, but only one range
+// is ever executed at a time (that is the point of cascading).
+type Kernel struct {
+	// Iters is the iteration count.
+	Iters int
+	// Execute runs iterations [lo, hi) against the home data.
+	Execute func(lo, hi int)
+	// Touch optionally reads the data iterations [lo, hi) will use,
+	// warming the calling CPU's caches (the prefetch helper).
+	Touch func(lo, hi int)
+	// SlotsPerIter and Gather/ExecuteFromBuffer optionally implement the
+	// restructuring helper: Gather packs the read-only operands of
+	// [lo, hi) into buf (length (hi-lo)*SlotsPerIter), and
+	// ExecuteFromBuffer consumes them.
+	SlotsPerIter      int
+	Gather            func(lo, hi int, buf []float64)
+	ExecuteFromBuffer func(lo, hi int, buf []float64)
+}
+
+// Helper selects the helper phase for a native run.
+type Helper int
+
+const (
+	// HelperNone cascades without helper work (isolates transfer cost).
+	HelperNone Helper = iota
+	// HelperTouch uses Kernel.Touch.
+	HelperTouch
+	// HelperGather uses Kernel.Gather/ExecuteFromBuffer.
+	HelperGather
+)
+
+// String implements fmt.Stringer.
+func (h Helper) String() string {
+	switch h {
+	case HelperNone:
+		return "none"
+	case HelperTouch:
+		return "touch"
+	case HelperGather:
+		return "gather"
+	default:
+		return fmt.Sprintf("Helper(%d)", int(h))
+	}
+}
+
+// Options configures a native run.
+type Options struct {
+	// Procs is the number of worker threads.
+	Procs int
+	// ChunkIters is the chunk size in iterations.
+	ChunkIters int
+	// Helper selects the helper phase.
+	Helper Helper
+	// PinCPUs requests CPU affinity for workers (Linux only; silently
+	// ignored where unsupported).
+	PinCPUs bool
+	// HelperBlock is the granularity (iterations) at which helpers poll
+	// for their execution signal — the jump-out latency. 0 means 1/16 of
+	// a chunk.
+	HelperBlock int
+}
+
+// Result reports a native run.
+type Result struct {
+	Elapsed time.Duration
+	Chunks  int
+	Procs   int
+	// HelperIters counts iterations of helper work completed before the
+	// signal arrived, summed over chunks.
+	HelperIters int64
+}
+
+func (o Options) validate(k *Kernel) error {
+	if k == nil || k.Execute == nil || k.Iters <= 0 {
+		return errors.New("native: kernel must have Iters > 0 and Execute")
+	}
+	if o.Procs < 1 {
+		return fmt.Errorf("native: Procs = %d", o.Procs)
+	}
+	if o.ChunkIters < 1 {
+		return fmt.Errorf("native: ChunkIters = %d", o.ChunkIters)
+	}
+	switch o.Helper {
+	case HelperNone:
+	case HelperTouch:
+		if k.Touch == nil {
+			return errors.New("native: HelperTouch requires Kernel.Touch")
+		}
+	case HelperGather:
+		if k.Gather == nil || k.ExecuteFromBuffer == nil || k.SlotsPerIter <= 0 {
+			return errors.New("native: HelperGather requires Gather, ExecuteFromBuffer and SlotsPerIter > 0")
+		}
+	default:
+		return fmt.Errorf("native: unknown helper %d", int(o.Helper))
+	}
+	return nil
+}
+
+// RunSequential executes the kernel on the calling goroutine and returns
+// the elapsed time — the baseline.
+func RunSequential(k *Kernel) (time.Duration, error) {
+	if k == nil || k.Execute == nil || k.Iters <= 0 {
+		return 0, errors.New("native: kernel must have Iters > 0 and Execute")
+	}
+	start := time.Now()
+	k.Execute(0, k.Iters)
+	return time.Since(start), nil
+}
+
+// Run cascades the kernel across o.Procs OS threads. Chunks are assigned
+// round-robin; exactly one worker executes at any time, sequenced by an
+// atomic turn counter each next executor spins on (the shared-memory flag
+// of the paper, with its transfer cost intact). Helpers run between a
+// worker's turns and jump out when signaled.
+func Run(k *Kernel, o Options) (Result, error) {
+	if err := o.validate(k); err != nil {
+		return Result{}, err
+	}
+	nChunks := (k.Iters + o.ChunkIters - 1) / o.ChunkIters
+	block := o.HelperBlock
+	if block <= 0 {
+		block = o.ChunkIters / 16
+		if block < 1 {
+			block = 1
+		}
+	}
+
+	var turn atomic.Int64
+	var helperIters atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(o.Procs)
+	start := time.Now()
+	for w := 0; w < o.Procs; w++ {
+		go func(w int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			if o.PinCPUs {
+				pinToCPU(w % runtime.NumCPU())
+			}
+			var buf []float64
+			if o.Helper == HelperGather {
+				buf = make([]float64, o.ChunkIters*k.SlotsPerIter)
+			}
+			for c := w; c < nChunks; c += o.Procs {
+				lo := c * o.ChunkIters
+				hi := lo + o.ChunkIters
+				if hi > k.Iters {
+					hi = k.Iters
+				}
+				// Helper phase: process in blocks, polling for the signal.
+				gathered := lo
+				if o.Helper != HelperNone {
+					for b := lo; b < hi && turn.Load() < int64(c); b += block {
+						be := b + block
+						if be > hi {
+							be = hi
+						}
+						switch o.Helper {
+						case HelperTouch:
+							k.Touch(b, be)
+						case HelperGather:
+							k.Gather(b, be, buf[(b-lo)*k.SlotsPerIter:(be-lo)*k.SlotsPerIter])
+						}
+						gathered = be
+					}
+					helperIters.Add(int64(gathered - lo))
+				}
+				// Await the turn: this spin-read of the shared counter is
+				// the paper's control-transfer mechanism.
+				for spins := 0; turn.Load() < int64(c); spins++ {
+					if spins%4096 == 4095 {
+						runtime.Gosched() // oversubscribed fallback
+					}
+				}
+				// Execution phase.
+				if o.Helper == HelperGather && gathered > lo {
+					k.ExecuteFromBuffer(lo, gathered, buf[:(gathered-lo)*k.SlotsPerIter])
+					if gathered < hi {
+						k.Execute(gathered, hi)
+					}
+				} else {
+					k.Execute(lo, hi)
+				}
+				turn.Store(int64(c) + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return Result{
+		Elapsed:     time.Since(start),
+		Chunks:      nChunks,
+		Procs:       o.Procs,
+		HelperIters: helperIters.Load(),
+	}, nil
+}

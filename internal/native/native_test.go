@@ -1,0 +1,176 @@
+package native
+
+import (
+	"testing"
+)
+
+// scatterKernel builds the paper's synthetic loop natively:
+// X[IJ[i]] += A[i] + B[i], with gather support.
+func scatterKernel(n int) (*Kernel, []float64) {
+	x := make([]float64, n)
+	ij := make([]int32, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		ij[i] = int32((i * 17) % n)
+		a[i] = float64(i % 13)
+		b[i] = float64(i % 7)
+	}
+	k := &Kernel{
+		Iters: n,
+		Execute: func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[ij[i]] += a[i] + b[i]
+			}
+		},
+		Touch: func(lo, hi int) {
+			var sink float64
+			for i := lo; i < hi; i++ {
+				sink += x[ij[i]] + a[i] + b[i]
+			}
+			_ = sink
+		},
+		SlotsPerIter: 2,
+		Gather: func(lo, hi int, buf []float64) {
+			for i := lo; i < hi; i++ {
+				buf[(i-lo)*2] = a[i] + b[i]
+				buf[(i-lo)*2+1] = float64(ij[i])
+			}
+		},
+		ExecuteFromBuffer: func(lo, hi int, buf []float64) {
+			for i := lo; i < hi; i++ {
+				x[int(buf[(i-lo)*2+1])] += buf[(i-lo)*2]
+			}
+		},
+	}
+	return k, x
+}
+
+// expected computes the reference result without the library.
+func expected(n int) []float64 {
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i)
+	}
+	for i := 0; i < n; i++ {
+		want[(i*17)%n] += float64(i%13) + float64(i%7)
+	}
+	return want
+}
+
+func checkEqual(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: X[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunSequential(t *testing.T) {
+	const n = 10000
+	k, x := scatterKernel(n)
+	d, err := RunSequential(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("no elapsed time")
+	}
+	checkEqual(t, x, expected(n), "sequential")
+}
+
+func TestRunCascadedCorrectness(t *testing.T) {
+	const n = 50000
+	want := expected(n)
+	for _, helper := range []Helper{HelperNone, HelperTouch, HelperGather} {
+		for _, procs := range []int{1, 2, 4} {
+			k, x := scatterKernel(n)
+			res, err := Run(k, Options{
+				Procs:      procs,
+				ChunkIters: 1000,
+				Helper:     helper,
+				PinCPUs:    procs <= 4,
+			})
+			if err != nil {
+				t.Fatalf("%v/%dp: %v", helper, procs, err)
+			}
+			if res.Chunks != 50 {
+				t.Errorf("%v/%dp: chunks = %d, want 50", helper, procs, res.Chunks)
+			}
+			checkEqual(t, x, want, helper.String())
+		}
+	}
+}
+
+func TestRunPartialLastChunk(t *testing.T) {
+	const n = 10007 // not a multiple of the chunk size
+	want := expected(n)
+	k, x := scatterKernel(n)
+	res, err := Run(k, Options{Procs: 2, ChunkIters: 1000, Helper: HelperGather})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 11 {
+		t.Errorf("chunks = %d, want 11", res.Chunks)
+	}
+	checkEqual(t, x, want, "partial last chunk")
+}
+
+func TestHelperIterationsCounted(t *testing.T) {
+	const n = 50000
+	k, _ := scatterKernel(n)
+	res, err := Run(k, Options{Procs: 2, ChunkIters: 500, Helper: HelperTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HelperIters <= 0 {
+		t.Error("no helper iterations recorded")
+	}
+	if res.HelperIters > int64(n) {
+		t.Errorf("helper iterations %d exceed total %d", res.HelperIters, n)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	k, _ := scatterKernel(100)
+	cases := []Options{
+		{Procs: 0, ChunkIters: 10},
+		{Procs: 1, ChunkIters: 0},
+		{Procs: 1, ChunkIters: 10, Helper: Helper(9)},
+	}
+	for i, o := range cases {
+		if _, err := Run(k, o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Helper requirements.
+	bare := &Kernel{Iters: 10, Execute: func(lo, hi int) {}}
+	if _, err := Run(bare, Options{Procs: 1, ChunkIters: 5, Helper: HelperTouch}); err == nil {
+		t.Error("HelperTouch without Touch should fail")
+	}
+	if _, err := Run(bare, Options{Procs: 1, ChunkIters: 5, Helper: HelperGather}); err == nil {
+		t.Error("HelperGather without Gather should fail")
+	}
+	if _, err := Run(nil, Options{Procs: 1, ChunkIters: 5}); err == nil {
+		t.Error("nil kernel should fail")
+	}
+	if _, err := RunSequential(nil); err == nil {
+		t.Error("nil kernel should fail sequentially")
+	}
+}
+
+func TestHelperString(t *testing.T) {
+	if HelperNone.String() != "none" || HelperTouch.String() != "touch" || HelperGather.String() != "gather" {
+		t.Error("helper names")
+	}
+	if Helper(7).String() == "" {
+		t.Error("unknown helper should render")
+	}
+}
+
+func TestPinToCPUDoesNotPanic(t *testing.T) {
+	pinToCPU(0)
+	pinToCPU(-1)
+}

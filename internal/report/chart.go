@@ -1,0 +1,198 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line or bar group of a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// HBar renders grouped horizontal bars — the textual form of the paper's
+// per-loop bar figures (3, 4, 5). Each label gets one bar per series,
+// scaled to the longest bar.
+type HBar struct {
+	Title  string
+	Labels []string
+	Series []Series
+	// Width is the maximum bar length in characters (default 48).
+	Width int
+	// Format renders the numeric annotation after each bar (default
+	// compact engineering form).
+	Format func(v float64) string
+}
+
+// Render writes the chart.
+func (h *HBar) Render(w io.Writer) {
+	width := h.Width
+	if width <= 0 {
+		width = 48
+	}
+	format := h.Format
+	if format == nil {
+		format = Compact
+	}
+	var max float64
+	for _, s := range h.Series {
+		for _, v := range s.Y {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintln(w, h.Title)
+	}
+	labelW, nameW := 0, 0
+	for _, l := range h.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, s := range h.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for i, label := range h.Labels {
+		for j, s := range h.Series {
+			v := 0.0
+			if i < len(s.Y) {
+				v = s.Y[i]
+			}
+			bar := 0
+			if max > 0 {
+				bar = int(math.Round(v / max * float64(width)))
+			}
+			if bar == 0 && v > 0 {
+				bar = 1
+			}
+			name := label
+			if j > 0 {
+				name = ""
+			}
+			fmt.Fprintf(w, "%-*s  %-*s |%s %s\n",
+				labelW, name, nameW, s.Name, strings.Repeat("#", bar), format(v))
+		}
+	}
+}
+
+// Plot renders a multi-series line chart on a character grid — the
+// textual form of the paper's sweep figures (2, 6, 7). The x axis takes
+// one column per label; each series is drawn with its own marker and
+// listed in the legend.
+type Plot struct {
+	Title   string
+	XLabel  string
+	XTicks  []string
+	Series  []Series
+	Height  int  // plot rows (default 12)
+	YZero   bool // force the y axis to start at zero
+	ColWide int  // columns per x position (default 4)
+}
+
+// markers assigns per-series plot characters.
+var markers = []byte{'*', 'o', '+', 'x', '@', '%'}
+
+// Render writes the plot.
+func (p *Plot) Render(w io.Writer) {
+	height := p.Height
+	if height <= 0 {
+		height = 12
+	}
+	colw := p.ColWide
+	if colw <= 0 {
+		colw = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if p.YZero && lo > 0 {
+		lo = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	cols := len(p.XTicks) * colw
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for xi, v := range s.Y {
+			if xi >= len(p.XTicks) {
+				break
+			}
+			c := xi*colw + colw/2
+			grid[rowOf(v)][c] = m
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	yw := 8
+	for r := 0; r < height; r++ {
+		// Y-axis tick at top, middle, bottom.
+		label := ""
+		switch r {
+		case 0:
+			label = Compact(hi)
+		case height / 2:
+			label = Compact(lo + (hi-lo)/2)
+		case height - 1:
+			label = Compact(lo)
+		}
+		fmt.Fprintf(w, "%*s |%s\n", yw, label, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(w, "%*s +%s\n", yw, "", strings.Repeat("-", cols))
+	// X tick labels, one per column group, truncated to the column width.
+	var ticks strings.Builder
+	for _, t := range p.XTicks {
+		if len(t) > colw {
+			t = t[:colw]
+		}
+		ticks.WriteString(fmt.Sprintf("%-*s", colw, t))
+	}
+	fmt.Fprintf(w, "%*s  %s %s\n", yw, "", strings.TrimRight(ticks.String(), " "), p.XLabel)
+	for si, s := range p.Series {
+		fmt.Fprintf(w, "%*s  %c = %s\n", yw, "", markers[si%len(markers)], s.Name)
+	}
+}
+
+// Compact renders a value in compact engineering notation (1.2M, 34K,
+// 2.50) — chart annotations need to stay short.
+func Compact(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	case a == math.Trunc(a):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBarRender(t *testing.T) {
+	h := &HBar{
+		Title:  "Cycles",
+		Labels: []string{"gather", "push"},
+		Series: []Series{
+			{Name: "seq", Y: []float64{100, 50}},
+			{Name: "res", Y: []float64{25, 40}},
+		},
+		Width: 20,
+	}
+	var b strings.Builder
+	h.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Cycles", "gather", "push", "seq", "res", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The largest value gets the full width; a quarter value about 5.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var full, quarter int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.Contains(l, "seq") && strings.Contains(l, "gather") {
+			full = n
+		}
+		if strings.Contains(l, "res") && n > 0 && quarter == 0 && !strings.Contains(l, "seq") {
+			if strings.Contains(l, "25") {
+				quarter = n
+			}
+		}
+	}
+	if full != 20 {
+		t.Errorf("max bar = %d, want 20", full)
+	}
+	if quarter != 5 {
+		t.Errorf("quarter bar = %d, want 5", quarter)
+	}
+}
+
+func TestHBarZeroAndMissingValues(t *testing.T) {
+	h := &HBar{
+		Labels: []string{"a", "b"},
+		Series: []Series{{Name: "s", Y: []float64{0}}}, // short series
+	}
+	var b strings.Builder
+	h.Render(&b) // must not panic
+	if !strings.Contains(b.String(), "a") {
+		t.Error("labels missing")
+	}
+}
+
+func TestHBarTinyNonzeroGetsOneChar(t *testing.T) {
+	h := &HBar{
+		Labels: []string{"big", "tiny"},
+		Series: []Series{{Name: "s", Y: []float64{1e9, 1}}},
+		Width:  10,
+	}
+	var b strings.Builder
+	h.Render(&b)
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.Contains(l, "tiny") && !strings.Contains(l, "#") {
+			t.Error("nonzero value rendered with empty bar")
+		}
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := &Plot{
+		Title:  "Speedup vs procs",
+		XLabel: "procs",
+		XTicks: []string{"2", "3", "4"},
+		Series: []Series{
+			{Name: "Restructured", Y: []float64{1.2, 1.5, 1.8}},
+			{Name: "Prefetched", Y: []float64{1.1, 1.3, 1.4}},
+		},
+		Height: 8,
+	}
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Speedup vs procs", "procs", "* = Restructured", "o = Prefetched", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The max value (1.8) must sit on the top plot row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max point not on top row:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndFlatSeries(t *testing.T) {
+	var b strings.Builder
+	(&Plot{XTicks: []string{"1"}}).Render(&b) // empty: no panic
+	b.Reset()
+	(&Plot{
+		XTicks: []string{"1", "2"},
+		Series: []Series{{Name: "flat", Y: []float64{3, 3}}},
+	}).Render(&b)
+	if !strings.Contains(b.String(), "flat") {
+		t.Error("flat series missing")
+	}
+}
+
+func TestPlotYZero(t *testing.T) {
+	p := &Plot{
+		XTicks: []string{"1"},
+		Series: []Series{{Name: "s", Y: []float64{10}}},
+		YZero:  true,
+		Height: 4,
+	}
+	var b strings.Builder
+	p.Render(&b)
+	if !strings.Contains(b.String(), " 0") {
+		t.Errorf("y axis should start at 0:\n%s", b.String())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2.5e9, "2.5G"},
+		{1.23e6, "1.2M"},
+		{45000, "45K"},
+		{1234, "1234"},
+		{2.5, "2.50"},
+		{3, "3"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := Compact(c.v); got != c.want {
+			t.Errorf("Compact(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

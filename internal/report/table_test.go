@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Speedups", "machine", "speedup")
+	tb.Add("PentiumPro", "1.35")
+	tb.Add("R10000", "1.70")
+	out := tb.String()
+	if !strings.Contains(out, "Speedups") || !strings.Contains(out, "PentiumPro") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	// Right alignment of numeric column: both rows end with the value.
+	for _, l := range lines[3:] {
+		if !strings.HasSuffix(l, "1.35") && !strings.HasSuffix(l, "1.70") {
+			t.Errorf("row not right-aligned: %q", l)
+		}
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Addf("x", 1.23456, 42)
+	if tb.Rows[0][1] != "1.23" {
+		t.Errorf("float cell = %q", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "42" {
+		t.Errorf("int cell = %q", tb.Rows[0][2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("ragged cell dropped:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.Add("plain", "1")
+	tb.Add(`with,comma`, `quote"inside`)
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	got := b.String()
+	want := "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Float(1.345), "1.34"},
+		{Float(2), "2.00"},
+		{Int(0), "0"},
+		{Int(999), "999"},
+		{Int(1000), "1,000"},
+		{Int(1234567), "1,234,567"},
+		{Int(-4500), "-4,500"},
+		{KB(64 * 1024), "64KB"},
+		{MB(17 * 1024 * 1024), "17.0MB"},
+		{MB(256 * 1024), "0.2MB"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

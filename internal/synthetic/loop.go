@@ -1,0 +1,134 @@
+// Package synthetic provides the future-machine microbenchmark of §3.4:
+//
+//	do i = 1, n, k
+//	   X(IJ(i)) = X(IJ(i)) + A(i) + B(i)
+//	end do
+//
+// All operands are 4-byte integers and IJ is the identity vector 1..n, so
+// the loop is trivially memory-bound: the higher ratio of memory access to
+// computation stands in for future machines whose memory latency has grown
+// relative to execution rate. The "dense" variant steps by k=1; the
+// "sparse" variant steps by k=8 — one element per 32-byte L1 line on both
+// simulated machines — so it has no spatial locality whatsoever.
+//
+// Because IJ is read through an index array, the reference to X is not
+// statically analyzable: the compiler-prefetch model (R10000) cannot cover
+// it, and a parallelizing compiler could not prove the loop parallel —
+// which is why it must run sequentially in the first place.
+package synthetic
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/memsim"
+)
+
+// elemSize is the operand size: the paper's synthetic loop uses integers.
+const elemSize = 4
+
+// DenseStep and SparseStep are the paper's two step sizes; SparseStep
+// elements of 4 bytes fill one 32-byte L1 line on both machines.
+const (
+	DenseStep  = 1
+	SparseStep = 8
+)
+
+// Params sizes the synthetic loop.
+type Params struct {
+	// N is the element count of each of X, IJ, A and B.
+	N int
+	// Step is the loop step k: 1 for dense, 8 for sparse.
+	Step int
+}
+
+// DefaultN gives each array a 12 MB footprint (3M x 4-byte elements),
+// several times either machine's L2, matching the paper's intent that the
+// loop's working set not be cache-resident.
+const DefaultN = 3 << 20
+
+// Dense returns the dense-variant parameters.
+func Dense(n int) Params { return Params{N: n, Step: DenseStep} }
+
+// Sparse returns the sparse-variant parameters.
+func Sparse(n int) Params { return Params{N: n, Step: SparseStep} }
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 64 {
+		return fmt.Errorf("synthetic: N = %d too small", p.N)
+	}
+	if p.Step < 1 || p.Step > p.N {
+		return fmt.Errorf("synthetic: step %d out of range", p.Step)
+	}
+	return nil
+}
+
+// Name returns "dense" or "sparse(k)" for reporting.
+func (p Params) Name() string {
+	if p.Step == DenseStep {
+		return "dense"
+	}
+	return fmt.Sprintf("sparse(k=%d)", p.Step)
+}
+
+// Build allocates the arrays and constructs the loop. Arrays are staggered
+// across cache-set congruence classes so that the measured effect is pure
+// memory intensity, not set conflict (the PARMVR workload covers
+// conflicts).
+func Build(p Params) (*memsim.Space, *loopir.Loop, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	s := memsim.NewSpace()
+	// Stagger bases by way-size quarters modulo 1MB (the largest way size
+	// of either machine) to avoid lockstep set conflicts.
+	x := s.AllocAt("X", p.N, elemSize, 0<<10, 1<<20)
+	ij := s.AllocAt("IJ", p.N, elemSize, 260<<10, 1<<20)
+	a := s.AllocAt("A", p.N, elemSize, 520<<10, 1<<20)
+	b := s.AllocAt("B", p.N, elemSize, 780<<10, 1<<20)
+
+	x.Fill(func(i int) float64 { return float64(i % 1021) })
+	ij.Fill(func(i int) float64 { return float64(i) }) // the identity vector 1..n
+	a.Fill(func(i int) float64 { return float64(i % 511) })
+	b.Fill(func(i int) float64 { return float64(i % 255) })
+
+	xref := loopir.Ref{Array: x, Index: loopir.Indirect{Tbl: ij, Entry: loopir.Stride(p.Step)}}
+	l := &loopir.Loop{
+		Name:  "synthetic-" + p.Name(),
+		Iters: p.N / p.Step,
+		RO: []loopir.Ref{
+			{Array: a, Index: loopir.Stride(p.Step)},
+			{Array: b, Index: loopir.Stride(p.Step)},
+		},
+		RW:     []loopir.Ref{xref},
+		Writes: []loopir.Ref{xref},
+		// The paper generates its high memory-access-to-computation ratio
+		// by minimizing computational demand: one add per phase.
+		PreCycles:   1,
+		FinalCycles: 1,
+		// The loop body is an opaque indirect read-modify-write; MIPSpro
+		// does not software-prefetch such loops (the paper's own Figure 7
+		// requires this: a 14x R10000 speedup is impossible against a
+		// compiler-prefetched baseline).
+		NoCompilerPrefetch: true,
+		NPre:               1,
+		Pre:                func(_ int, ro []float64) []float64 { return []float64{ro[0] + ro[1]} },
+		Final: func(_ int, pre, rw []float64) []float64 {
+			return []float64{rw[0] + pre[0]}
+		},
+	}
+	if err := l.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return s, l, nil
+}
+
+// MustBuild is Build for known-good parameters.
+func MustBuild(p Params) (*memsim.Space, *loopir.Loop) {
+	s, l, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return s, l
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"repro/internal/memsim"
+)
+
+// ReuseHistogram is a histogram of line-granularity LRU stack distances:
+// Buckets[k] counts accesses whose reuse distance d satisfies
+// 2^k <= d+1 < 2^(k+1) (so Buckets[0] counts immediate re-references),
+// and Cold counts first-ever references. A fully-associative LRU cache of
+// C lines hits exactly the accesses with d < C, which makes the histogram
+// the machine-independent explanation of cache behaviour.
+type ReuseHistogram struct {
+	Buckets []int64
+	Cold    int64
+	Total   int64
+}
+
+// HitsUnder returns how many accesses have reuse distance strictly less
+// than capacity lines — the hit count of a fully-associative LRU cache of
+// that size. It is exact when capacity+1 is a power of two (a bucket
+// boundary) and linearly interpolated inside a bucket otherwise.
+func (h *ReuseHistogram) HitsUnder(capacityLines int) int64 {
+	if capacityLines <= 0 {
+		return 0
+	}
+	var hits int64
+	lo := int64(1)
+	for k, n := range h.Buckets {
+		_ = k
+		hi := lo * 2 // bucket covers d+1 in [lo, hi)
+		switch {
+		case int64(capacityLines) >= hi-1+1:
+			hits += n
+		case int64(capacityLines)+1 > lo:
+			span := hi - lo
+			frac := int64(capacityLines) + 1 - lo
+			hits += n * frac / span
+		}
+		lo = hi
+	}
+	return hits
+}
+
+// ReuseDistances computes the LRU stack-distance histogram of the trace
+// at the given line granularity, using the Fenwick-tree formulation of
+// Mattson's algorithm: each access marks its position "live"; the reuse
+// distance of a re-reference is the number of live marks after the line's
+// previous position, which is then cleared. O(n log n).
+func (t *Trace) ReuseDistances(lineSize int) *ReuseHistogram {
+	n := len(t.Records)
+	fen := newFenwick(n)
+	last := make(map[memsim.Addr]int, 1024)
+	h := &ReuseHistogram{}
+	for i, r := range t.Records {
+		line := r.Addr.Line(lineSize)
+		if prev, ok := last[line]; ok {
+			// Distinct lines touched strictly after prev.
+			d := fen.sumRange(prev+1, i-1)
+			h.record(d)
+			fen.add(prev, -1)
+		} else {
+			h.Cold++
+		}
+		fen.add(i, 1)
+		last[line] = i
+		h.Total++
+	}
+	return h
+}
+
+// record buckets one reuse distance.
+func (h *ReuseHistogram) record(d int64) {
+	k := 0
+	for v := d + 1; v > 1; v >>= 1 {
+		k++
+	}
+	for len(h.Buckets) <= k {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[k]++
+}
+
+// fenwick is a 1-indexed binary indexed tree over trace positions.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int64, n+1)}
+}
+
+// add adds v at 0-based position i.
+func (f *fenwick) add(i int, v int64) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += v
+	}
+}
+
+// prefix returns the sum of positions [0, i] (0-based, inclusive).
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for j := i + 1; j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// sumRange returns the sum over 0-based positions [lo, hi]; empty ranges
+// yield 0.
+func (f *fenwick) sumRange(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	s := f.prefix(hi)
+	if lo > 0 {
+		s -= f.prefix(lo - 1)
+	}
+	return s
+}
+
+// WorkingSetPoint is one window of the working-set curve.
+type WorkingSetPoint struct {
+	Start int // record index of the window start
+	Lines int // distinct lines touched in the window
+}
+
+// WorkingSet slices the trace into consecutive windows of windowAccesses
+// records and reports the number of distinct lines each touches — the
+// classic working-set curve, and the quantity the paper's chunker tries
+// to keep under the cache size.
+func (t *Trace) WorkingSet(windowAccesses, lineSize int) []WorkingSetPoint {
+	if windowAccesses <= 0 {
+		panic("trace: WorkingSet window must be positive")
+	}
+	var out []WorkingSetPoint
+	seen := make(map[memsim.Addr]struct{}, windowAccesses)
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			out = append(out, WorkingSetPoint{Start: start, Lines: len(seen)})
+		}
+	}
+	for i, r := range t.Records {
+		if i-start == windowAccesses {
+			flush(i)
+			start = i
+			seen = make(map[memsim.Addr]struct{}, windowAccesses)
+		}
+		seen[r.Addr.Line(lineSize)] = struct{}{}
+	}
+	flush(len(t.Records))
+	return out
+}
+
+// Footprint returns the total number of distinct lines the trace touches
+// and the total bytes accessed.
+func (t *Trace) Footprint(lineSize int) (lines int, bytes int64) {
+	seen := make(map[memsim.Addr]struct{}, 1024)
+	for _, r := range t.Records {
+		seen[r.Addr.Line(lineSize)] = struct{}{}
+		bytes += int64(r.Size)
+	}
+	return len(seen), bytes
+}

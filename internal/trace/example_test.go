@@ -1,0 +1,52 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// Example records a loop's address trace, analyzes its reuse behaviour,
+// and replays it through the other machine's caches.
+func Example() {
+	const n = 4096
+	space := memsim.NewSpace()
+	a := space.Alloc("A", n, 8, 8)
+	c := space.Alloc("C", n, 8, 8)
+	a.Fill(func(i int) float64 { return float64(i) })
+	loop := &loopir.Loop{
+		Name:   "walk",
+		Iters:  n,
+		RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+		Writes: []loopir.Ref{{Array: c, Index: loopir.Ident}},
+		Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if err := loop.Validate(); err != nil {
+		panic(err)
+	}
+
+	// Record from a Pentium Pro run.
+	m := machine.MustNew(machine.PentiumPro(1))
+	tr := &trace.Trace{}
+	m.Proc(0).SetObserver(tr.Observer())
+	cascade.RunSequential(m, loop, false)
+
+	lines, _ := tr.Footprint(32)
+	fmt.Println("accesses:", tr.Len())
+	fmt.Println("distinct lines:", lines)
+
+	// Replay through the R10000's hierarchy.
+	rep, err := trace.Replay(tr, machine.R10000(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("R10000 L1 misses fewer:", rep.L1.Misses < int64(tr.Len())/2)
+	// Output:
+	// accesses: 8192
+	// distinct lines: 2048
+	// R10000 L1 misses fewer: true
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+// ReplayResult reports a trace replay through a cache hierarchy.
+type ReplayResult struct {
+	Accesses int64
+	Cycles   int64
+	L1, L2   cache.Stats
+}
+
+// Replay runs the trace through a fresh single-processor instance of the
+// machine configuration and returns timing and per-level statistics. The
+// replay is demand-only: compiler prefetching needs stride knowledge that
+// a flat trace does not carry, so replayed cycle counts are an upper
+// bound for prefetching machines and exact for the others.
+func Replay(t *Trace, cfg machine.Config) (ReplayResult, error) {
+	m, err := machine.New(cfg.WithProcs(1))
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	p := m.Proc(0)
+	var res ReplayResult
+	for _, r := range t.Records {
+		out := p.Access(r.Addr, int(r.Size), r.Kind == Write)
+		res.Cycles += out.Cycles
+		res.Accesses++
+	}
+	res.L1 = m.L1Stats()
+	res.L2 = m.L2Stats()
+	return res, nil
+}

@@ -1,0 +1,343 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(0x1000, 8, false)
+	tr.Append(0x1008, 8, true)
+	tr.Append(0x40, 4, false) // backwards delta
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 3 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		n := rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			tr.Append(memsim.Addr(rng.Intn(1<<30)), 1+rng.Intn(16), rng.Intn(2) == 0)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("hello world"),
+		[]byte("CXTR01"),                     // truncated after magic
+		append([]byte("CXTR01"), 0x05, 0x02), // count 5, truncated records
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// Sequential walk: deltas are tiny, so the on-disk form must be far
+	// smaller than the naive 10 bytes/record.
+	tr := &Trace{}
+	for i := 0; i < 10000; i++ {
+		tr.Append(memsim.Addr(0x10000+8*i), 8, false)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4*10000 {
+		t.Errorf("encoded size %d bytes for 10000 sequential records; expected <= 4/record", buf.Len())
+	}
+}
+
+// naiveReuse computes line-granularity stack distances in O(n^2) as the
+// reference implementation.
+func naiveReuse(records []Record, lineSize int) (dists []int64, cold int64) {
+	for i, r := range records {
+		line := r.Addr.Line(lineSize)
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if records[j].Addr.Line(lineSize) == line {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			cold++
+			continue
+		}
+		seen := map[memsim.Addr]struct{}{}
+		for j := prev + 1; j < i; j++ {
+			l := records[j].Addr.Line(lineSize)
+			if l != line {
+				seen[l] = struct{}{}
+			}
+		}
+		dists = append(dists, int64(len(seen)))
+	}
+	return dists, cold
+}
+
+func TestReuseDistancesAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			tr.Append(memsim.Addr(rng.Intn(64)*32), 8, false)
+		}
+		h := tr.ReuseDistances(32)
+		dists, cold := naiveReuse(tr.Records, 32)
+		if h.Cold != cold || h.Total != int64(n) {
+			return false
+		}
+		want := &ReuseHistogram{}
+		for _, d := range dists {
+			want.record(d)
+		}
+		if len(want.Buckets) != len(h.Buckets) {
+			return false
+		}
+		for k := range want.Buckets {
+			if want.Buckets[k] != h.Buckets[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseDistanceSequentialWalk(t *testing.T) {
+	// A pure sequential walk revisits each line within-line (elements per
+	// line - 1 times) at distance 0 and never again.
+	tr := &Trace{}
+	for i := 0; i < 1024; i++ {
+		tr.Append(memsim.Addr(0x1000+8*i), 8, false)
+	}
+	h := tr.ReuseDistances(32)
+	if h.Cold != 256 { // 1024 elems / 4 per line
+		t.Errorf("cold = %d, want 256", h.Cold)
+	}
+	if len(h.Buckets) == 0 || h.Buckets[0] != 768 {
+		t.Errorf("distance-0 count = %v, want 768", h.Buckets)
+	}
+}
+
+func TestHitsUnderMatchesLRUSimulation(t *testing.T) {
+	// HitsUnder(C) against the naive distances (validated against the
+	// Fenwick implementation in TestReuseDistancesAgainstNaive): a
+	// fully-associative LRU cache of capacity C hits exactly the accesses
+	// with stack distance < C. Exact at bucket boundaries (C = 2^k - 1),
+	// interpolated elsewhere.
+	rng := rand.New(rand.NewSource(42))
+	tr := &Trace{}
+	for i := 0; i < 5000; i++ {
+		tr.Append(memsim.Addr(rng.Intn(512)*32), 8, false)
+	}
+	h := tr.ReuseDistances(32)
+	dists, _ := naiveReuse(tr.Records, 32)
+	lruHits := func(capacity int) int64 {
+		var want int64
+		for _, d := range dists {
+			if d < int64(capacity) {
+				want++
+			}
+		}
+		return want
+	}
+	for _, capacity := range []int{1, 3, 15, 63, 255} { // bucket boundaries
+		if got, want := h.HitsUnder(capacity), lruHits(capacity); got != want {
+			t.Errorf("HitsUnder(%d) = %d, want %d (exact boundary)", capacity, got, want)
+		}
+	}
+	for _, capacity := range []int{10, 100, 256, 400} { // interpolated
+		got, want := h.HitsUnder(capacity), lruHits(capacity)
+		if diff := got - want; diff < -want/10 || diff > want/10 {
+			t.Errorf("HitsUnder(%d) = %d, want ~%d (within 10%%)", capacity, got, want)
+		}
+	}
+	if h.HitsUnder(0) != 0 {
+		t.Error("HitsUnder(0) should be 0")
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	tr := &Trace{}
+	// Two windows: first touches 4 lines, second touches 2.
+	for i := 0; i < 8; i++ {
+		tr.Append(memsim.Addr(i%4*64), 8, false)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Append(memsim.Addr(i%2*64), 8, false)
+	}
+	ws := tr.WorkingSet(8, 64)
+	if len(ws) != 2 || ws[0].Lines != 4 || ws[1].Lines != 2 {
+		t.Errorf("working set = %+v", ws)
+	}
+	if ws[1].Start != 8 {
+		t.Errorf("second window start = %d", ws[1].Start)
+	}
+}
+
+func TestWorkingSetPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&Trace{}).WorkingSet(0, 32)
+}
+
+func TestFootprint(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(0x0, 8, false)
+	tr.Append(0x8, 8, false) // same line
+	tr.Append(0x40, 4, true) // new line
+	lines, bytes := tr.Footprint(32)
+	if lines != 2 || bytes != 20 {
+		t.Errorf("footprint = %d lines, %d bytes", lines, bytes)
+	}
+}
+
+// TestRecordAndReplayAgree: a trace recorded from a uniprocessor run
+// replays through the same configuration with identical demand statistics
+// and cycles (no compiler prefetch, so the replay is exact).
+func TestRecordAndReplayAgree(t *testing.T) {
+	const n = 4096
+	s := memsim.NewSpace()
+	a := s.Alloc("A", n, 8, 8)
+	c := s.Alloc("C", n, 8, 8)
+	a.Fill(func(i int) float64 { return float64(i) })
+	l := &loopir.Loop{
+		Name:   "walk",
+		Iters:  n,
+		RO:     []loopir.Ref{{Array: a, Index: loopir.Ident}},
+		Writes: []loopir.Ref{{Array: c, Index: loopir.Ident}},
+		Final:  func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := machine.PentiumPro(1)
+	m := machine.MustNew(cfg)
+	tr := &Trace{}
+	m.Proc(0).SetObserver(tr.Observer())
+	orig := cascade.RunSequential(m, l, false)
+	m.Proc(0).SetObserver(nil)
+
+	if tr.Len() == 0 {
+		t.Fatal("no records captured")
+	}
+	rep, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.L1.Misses != orig.L1.Misses || rep.L2.Misses != orig.L2.Misses {
+		t.Errorf("replay misses L1=%d/L2=%d, original L1=%d/L2=%d",
+			rep.L1.Misses, rep.L2.Misses, orig.L1.Misses, orig.L2.Misses)
+	}
+	if rep.Accesses != int64(tr.Len()) {
+		t.Errorf("accesses = %d, want %d", rep.Accesses, tr.Len())
+	}
+}
+
+// TestReplayAcrossConfigurations: the same trace replayed through a
+// bigger cache misses less.
+func TestReplayAcrossConfigurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := &Trace{}
+	for i := 0; i < 20000; i++ {
+		tr.Append(memsim.Addr(rng.Intn(64*1024)), 8, rng.Intn(4) == 0)
+	}
+	small, err := Replay(tr, machine.PentiumPro(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Replay(tr, machine.R10000(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.L1.Misses >= small.L1.Misses {
+		t.Errorf("32KB L1 (%d misses) should beat 8KB L1 (%d misses) on a 64KB working set",
+			big.L1.Misses, small.L1.Misses)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(0, 5)
+	f.add(3, 2)
+	f.add(9, 1)
+	if got := f.prefix(9); got != 8 {
+		t.Errorf("prefix(9) = %d", got)
+	}
+	if got := f.sumRange(1, 3); got != 2 {
+		t.Errorf("sumRange(1,3) = %d", got)
+	}
+	if got := f.sumRange(5, 3); got != 0 {
+		t.Errorf("empty range = %d", got)
+	}
+	f.add(3, -2)
+	if got := f.sumRange(0, 9); got != 6 {
+		t.Errorf("after removal = %d", got)
+	}
+}

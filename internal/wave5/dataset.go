@@ -1,0 +1,98 @@
+package wave5
+
+import "repro/internal/memsim"
+
+// congruenceModulus is the placement modulus for the big particle arrays.
+// 1 MB is the R10000's L2 way size; arrays congruent modulo 1 MB are also
+// congruent modulo every smaller way size (PentiumPro L2 128 KB, both L1s'
+// 4-16 KB), so lockstep walks over same-class arrays contend for the same
+// sets at every cache level of both machines.
+const congruenceModulus = 1 << 20
+
+// dataset holds the PARMVR arrays. Particle arrays have Particles
+// elements; grid arrays have Cells.
+type dataset struct {
+	// Particle state (8-byte reals).
+	px, py *memsim.Array // positions
+	vx, vy *memsim.Array // velocities
+	ax, ay *memsim.Array // gathered accelerations
+	t1, t2 *memsim.Array // mover temporaries
+	qw     *memsim.Array // charge weights (read-only)
+	// ci maps each particle to its grid cell (4-byte integers,
+	// read-only within PARMVR).
+	ci *memsim.Array
+
+	// Grid state (8-byte reals).
+	ex, ey, bz *memsim.Array // fields (gather sources)
+	phi        *memsim.Array // potential
+	rho        *memsim.Array // charge density (scatter target)
+	jx, jy     *memsim.Array // current density (scatter targets)
+	sm         *memsim.Array // smoothed density
+	// acc is the 1-element accumulator of the energy reduction.
+	acc *memsim.Array
+}
+
+// buildDataset allocates and initializes the arrays.
+//
+// Placement encodes the conflict structure that gives the fifteen loops
+// their range of behaviours (per-loop speedups from ~0.9 to ~4.5 in the
+// paper): congruence class 0 holds px, vx, ax, ay and t2, so the
+// three-stream combine loop thrashes the 2-way caches while the two-stream
+// pushes just fit; py/vy share class 64K; qw, t1 and ci sit in their own
+// classes so the gather and deposit loops see conflict-free streams plus
+// an essentially random gather.
+func buildDataset(p Params) (*dataset, *memsim.Space) {
+	s := memsim.NewSpace()
+	n, g := p.Particles, p.Cells
+
+	particle := func(name string, congruence int) *memsim.Array {
+		return s.AllocAt(name, n, 8, congruence, congruenceModulus)
+	}
+	d := &dataset{
+		px: particle("PX", 0),
+		vx: particle("VX", 0),
+		ax: particle("AX", 0),
+		ay: particle("AY", 0),
+		t2: particle("T2", 0),
+
+		py: particle("PY", 64<<10),
+		vy: particle("VY", 64<<10),
+
+		qw: particle("QW", 128<<10),
+		t1: particle("T1", 320<<10),
+	}
+	d.ci = s.AllocAt("CI", n, 4, 192<<10, congruenceModulus)
+
+	grid := func(name string) *memsim.Array { return s.Alloc(name, g, 8, 4096) }
+	d.ex = grid("EX")
+	d.ey = grid("EY")
+	d.bz = grid("BZ")
+	d.phi = grid("PHI")
+	d.rho = grid("RHO")
+	d.jx = grid("JX")
+	d.jy = grid("JY")
+	d.sm = grid("SM")
+	d.acc = s.Alloc("ACC", 1, 8, 8)
+
+	rng := lcg(p.Seed | 1)
+	fill := func(a *memsim.Array, lo, hi float64) {
+		a.Fill(func(int) float64 { return lo + (hi-lo)*rng.unit() })
+	}
+	fill(d.px, 0, float64(g))
+	fill(d.py, 0, float64(g))
+	fill(d.vx, -1, 1)
+	fill(d.vy, -1, 1)
+	fill(d.qw, 0.5, 1.5)
+	fill(d.ex, -2, 2)
+	fill(d.ey, -2, 2)
+	fill(d.bz, -1, 1)
+	fill(d.phi, -10, 10)
+	// Particle->cell assignment: wave5's particles are unsorted after a
+	// few steps, so the gather pattern is essentially random over the
+	// grid — the worst case for locality and the reason restructuring
+	// pays (§2.1).
+	d.ci.Fill(func(int) float64 { return float64(rng.intn(g)) })
+	// ax, ay, t1, t2, rho, jx, jy, sm, acc start at zero (allocation
+	// default), as the real mover recomputes them every call.
+	return d, s
+}

@@ -1,0 +1,287 @@
+package wave5
+
+import (
+	"repro/internal/loopir"
+)
+
+// Physics constants of the mover. Their values are irrelevant to the
+// memory behaviour; they exist so the value semantics are non-trivial and
+// result equality across execution strategies is a meaningful check.
+const (
+	dt = 0.01 // time step
+	qm = 0.5  // charge/mass ratio
+)
+
+// buildLoops constructs the fifteen PARMVR loops over the dataset. Loop
+// order matters: later loops consume arrays earlier loops produce, exactly
+// as a real mover's phases do.
+func buildLoops(d *dataset, p Params) []*loopir.Loop {
+	n, g := p.Particles, p.Cells
+
+	ciAt := func() loopir.IndexExpr { return loopir.Indirect{Tbl: d.ci, Entry: loopir.Ident} }
+	id := loopir.Ident
+
+	loops := []*loopir.Loop{
+		// 1-3: field gathers. Indirect reads of grid fields at each
+		// particle's cell — random access over the grid, plus two big
+		// strided streams. The restructuring helper converts the gather
+		// into a sequential stream; these are the paper's high-speedup
+		// loops.
+		{
+			Name:  "gather_ex",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.ex, Index: ciAt()},
+				{Array: d.qw, Index: id},
+			},
+			Writes:    []loopir.Ref{{Array: d.ax, Index: id}},
+			PreCycles: 10, FinalCycles: 4,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{qm * ro[0] * ro[1]} },
+			Final: func(_ int, pre, _ []float64) []float64 {
+				return pre
+			},
+		},
+		{
+			Name:  "gather_ey",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.ey, Index: ciAt()},
+				{Array: d.qw, Index: id},
+			},
+			Writes:    []loopir.Ref{{Array: d.ay, Index: id}},
+			PreCycles: 10, FinalCycles: 4,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{qm * ro[0] * ro[1]} },
+			Final: func(_ int, pre, _ []float64) []float64 {
+				return pre
+			},
+		},
+		{
+			Name:  "gather_bz",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.bz, Index: ciAt()},
+			},
+			Writes:    []loopir.Ref{{Array: d.t1, Index: id}},
+			PreCycles: 0, FinalCycles: 8,
+			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		},
+
+		// 4-7: velocity and position pushes. Lockstep strided streams;
+		// 4 and 6 walk three/two congruence-class-0 arrays and thrash
+		// the 2-way L1s, 5 and 7 use the milder class. Moderate paper
+		// speedups.
+		{
+			Name:  "push_vx",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.ax, Index: id},
+				{Array: d.t1, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.vx, Index: id}},
+			Writes:    []loopir.Ref{{Array: d.vx, Index: id}},
+			PreCycles: 8, FinalCycles: 5,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{dt * (ro[0] + qm*ro[1])}
+			},
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "push_vy",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.ay, Index: id},
+				{Array: d.t1, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.vy, Index: id}},
+			Writes:    []loopir.Ref{{Array: d.vy, Index: id}},
+			PreCycles: 8, FinalCycles: 5,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{dt * (ro[0] - qm*ro[1])}
+			},
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "push_px",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.vx, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.px, Index: id}},
+			Writes:    []loopir.Ref{{Array: d.px, Index: id}},
+			PreCycles: 8, FinalCycles: 6,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{dt * ro[0]} },
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "push_py",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.vy, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.py, Index: id}},
+			Writes:    []loopir.Ref{{Array: d.py, Index: id}},
+			PreCycles: 8, FinalCycles: 6,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{dt * ro[0]} },
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+
+		// 8-10: grid deposits. Indirect read-modify-write scatters onto
+		// the grid; the scatter itself cannot be restructured (it is
+		// written data), but the particle-side streams can, and the
+		// helper shadow-loads the scatter targets.
+		{
+			Name:  "deposit_rho",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.qw, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.rho, Index: ciAt()}},
+			Writes:    []loopir.Ref{{Array: d.rho, Index: ciAt()}},
+			PreCycles: 0, FinalCycles: 6,
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "deposit_jx",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.qw, Index: id},
+				{Array: d.vx, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.jx, Index: ciAt()}},
+			Writes:    []loopir.Ref{{Array: d.jx, Index: ciAt()}},
+			PreCycles: 5, FinalCycles: 5,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+		{
+			Name:  "deposit_jy",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.qw, Index: id},
+				{Array: d.vy, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.jy, Index: ciAt()}},
+			Writes:    []loopir.Ref{{Array: d.jy, Index: ciAt()}},
+			PreCycles: 5, FinalCycles: 5,
+			NPre: 1,
+			Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+
+		// 11-13: grid-sized stencil/differentiation sweeps. Small
+		// footprints (within or near L2); the paper's low-speedup loops,
+		// where transfer overhead can even cause a slight slowdown.
+		{
+			Name:  "smooth_rho",
+			Iters: g - 2,
+			RO: []loopir.Ref{
+				{Array: d.rho, Index: loopir.Affine{Scale: 1, Offset: 0}},
+				{Array: d.rho, Index: loopir.Affine{Scale: 1, Offset: 1}},
+				{Array: d.rho, Index: loopir.Affine{Scale: 1, Offset: 2}},
+			},
+			Writes:    []loopir.Ref{{Array: d.sm, Index: loopir.Affine{Scale: 1, Offset: 1}}},
+			PreCycles: 4, FinalCycles: 2,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2]}
+			},
+			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		},
+		{
+			Name:  "field_ex",
+			Iters: g - 2,
+			RO: []loopir.Ref{
+				{Array: d.phi, Index: loopir.Affine{Scale: 1, Offset: 0}},
+				{Array: d.phi, Index: loopir.Affine{Scale: 1, Offset: 2}},
+			},
+			Writes:    []loopir.Ref{{Array: d.ex, Index: loopir.Affine{Scale: 1, Offset: 1}}},
+			PreCycles: 3, FinalCycles: 2,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{0.5 * (ro[0] - ro[1])}
+			},
+			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		},
+		{
+			Name:  "field_ey",
+			Iters: g - 2,
+			RO: []loopir.Ref{
+				{Array: d.sm, Index: loopir.Affine{Scale: 1, Offset: 0}},
+				{Array: d.sm, Index: loopir.Affine{Scale: 1, Offset: 2}},
+			},
+			Writes:    []loopir.Ref{{Array: d.ey, Index: loopir.Affine{Scale: 1, Offset: 1}}},
+			PreCycles: 3, FinalCycles: 2,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{0.5 * (ro[0] - ro[1])}
+			},
+			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		},
+
+		// 14: four lockstep streams all in congruence class 0 (plus one in
+		// class 64K) — the conflict-dominated loop where restructuring
+		// shines brightest.
+		{
+			// Only the active half of the particles is combined, like the
+			// real mover's conditionally-updated species.
+			Name:  "combine_t2",
+			Iters: n / 2,
+			RO: []loopir.Ref{
+				{Array: d.t1, Index: id},
+				{Array: d.ax, Index: id},
+				{Array: d.ay, Index: id},
+			},
+			Writes:    []loopir.Ref{{Array: d.t2, Index: id}},
+			PreCycles: 14, FinalCycles: 6,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{0.3*ro[0] + 0.5*ro[1] + 0.2*ro[2]}
+			},
+			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		},
+
+		// 15: energy reduction. Three read-only streams into a register-
+		// resident accumulator (modelled as a one-element array).
+		{
+			Name:  "energy",
+			Iters: n,
+			RO: []loopir.Ref{
+				{Array: d.vx, Index: id},
+				{Array: d.vy, Index: id},
+				{Array: d.qw, Index: id},
+			},
+			RW:        []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
+			Writes:    []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
+			PreCycles: 10, FinalCycles: 4,
+			NPre: 1,
+			Pre: func(_ int, ro []float64) []float64 {
+				return []float64{ro[2] * (ro[0]*ro[0] + ro[1]*ro[1])}
+			},
+			Final: func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			},
+		},
+	}
+	return loops
+}

@@ -1,0 +1,86 @@
+// Package wave5 provides the PARMVR workload: a 15-loop synthetic stand-in
+// for the particle-mover subroutine of the Spec95fp benchmark wave5, which
+// the paper uses for its measurements (§3.1).
+//
+// SPEC sources cannot be redistributed, so the loops here are modelled on
+// what PARMVR does — wave5 is a 2-D particle-in-cell plasma code, and its
+// mover gathers field values at particle cells (indirect reads through a
+// cell-index array), pushes velocities and positions (lockstep strided
+// streams), deposits charge and current back onto the grid (indirect
+// read-modify-write scatters), and smooths/differentiates grid quantities
+// (small stencil sweeps). Like the paper's enlarged dataset, per-loop
+// footprints span roughly 0.25-17 MB, far exceeding the caches of both
+// simulated machines, and several particle arrays are deliberately placed
+// at conflicting cache-set congruences — large Fortran arrays laid out
+// contiguously in COMMON blocks collide in set-associative caches exactly
+// this way, and those conflict misses are what data restructuring
+// eliminates (§3.3).
+package wave5
+
+import "fmt"
+
+// Params sizes the PARMVR dataset.
+type Params struct {
+	// Particles is the particle count; nine of the fifteen loops iterate
+	// over particles.
+	Particles int
+	// Cells is the grid size; gather/scatter targets and the stencil
+	// loops are Cells-sized.
+	Cells int
+	// Seed drives the deterministic pseudo-random initial values and the
+	// particle->cell assignment.
+	Seed uint64
+}
+
+// DefaultParams reproduces the paper's enlarged dataset scale: per-loop
+// footprints from ~0.25 MB (grid loops) to ~14 MB (gather loops).
+func DefaultParams() Params {
+	return Params{Particles: 525_000, Cells: 16_384, Seed: 1}
+}
+
+// Scaled shrinks (or grows) the dataset by factor f, preserving the
+// workload's shape. Benchmarks use small factors to keep wall time sane;
+// EXPERIMENTS.md records full-scale runs.
+func (p Params) Scaled(f float64) Params {
+	scale := func(n int, min int) int {
+		v := int(float64(n) * f)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	return Params{
+		Particles: scale(p.Particles, 8_192),
+		Cells:     scale(p.Cells, 1_024),
+		Seed:      p.Seed,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Particles < 1024 {
+		return fmt.Errorf("wave5: need at least 1024 particles, got %d", p.Particles)
+	}
+	if p.Cells < 64 {
+		return fmt.Errorf("wave5: need at least 64 cells, got %d", p.Cells)
+	}
+	return nil
+}
+
+// lcg is a 64-bit linear congruential generator for deterministic fills.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// unit returns the next value in [0, 1).
+func (g *lcg) unit() float64 {
+	return float64(g.next()>>11) / float64(uint64(1)<<53)
+}
+
+// intn returns the next value in [0, n).
+func (g *lcg) intn(n int) int {
+	return int(g.next() % uint64(n))
+}

@@ -1,0 +1,135 @@
+package wave5
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/memsim"
+)
+
+// NumLoops is the number of loops in PARMVR (the paper's Figure 3 x-axis).
+const NumLoops = 15
+
+// PARMVR is one built instance of the workload: fifteen loops sharing one
+// dataset in one address space. Because later loops read what earlier
+// loops write, the loops must be executed in order; a fresh instance is
+// needed per measured configuration (Build is deterministic in Params, so
+// instances are comparable).
+type PARMVR struct {
+	Params Params
+	Space  *memsim.Space
+	Loops  []*loopir.Loop
+
+	data *dataset
+}
+
+// Build constructs the workload. The result is fully validated, including
+// an O(iterations) bounds check of every reference.
+func Build(p Params) (*PARMVR, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d, space := buildDataset(p)
+	loops := buildLoops(d, p)
+	if len(loops) != NumLoops {
+		return nil, fmt.Errorf("wave5: built %d loops, want %d", len(loops), NumLoops)
+	}
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		if err := l.CheckBounds(); err != nil {
+			return nil, err
+		}
+	}
+	return &PARMVR{Params: p, Space: space, Loops: loops, data: d}, nil
+}
+
+// MustBuild is Build for known-good parameters.
+func MustBuild(p Params) *PARMVR {
+	w, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// LoopNames returns the fifteen loop names in execution order.
+func (w *PARMVR) LoopNames() []string {
+	names := make([]string, len(w.Loops))
+	for i, l := range w.Loops {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// FootprintBytes returns each loop's data footprint, the quantity the
+// paper reports as "the amount of data accessed by each loop" (§3.1).
+func (w *PARMVR) FootprintBytes() []int {
+	out := make([]int, len(w.Loops))
+	for i, l := range w.Loops {
+		out[i] = l.FootprintBytes()
+	}
+	return out
+}
+
+// ParallelPhase builds the compiler-parallelizable loop that precedes
+// PARMVR in the application (the "parallel section" of Figure 1): an
+// embarrassingly parallel per-particle update with no cross-iteration
+// dependences. Each call returns a fresh Loop value over the shared
+// dataset; running it with cascade.RunParallel leaves each processor's
+// caches holding the slice of particle data it produced.
+func (w *PARMVR) ParallelPhase() *loopir.Loop {
+	d := w.data
+	l := &loopir.Loop{
+		Name:  "parallel_update",
+		Iters: w.Params.Particles,
+		RO: []loopir.Ref{
+			{Array: d.px, Index: loopir.Ident},
+			{Array: d.py, Index: loopir.Ident},
+		},
+		Writes:      []loopir.Ref{{Array: d.t2, Index: loopir.Ident}},
+		PreCycles:   6,
+		FinalCycles: 2,
+		NPre:        1,
+		Pre: func(_ int, ro []float64) []float64 {
+			return []float64{0.5*ro[0] + 0.3*ro[1]}
+		},
+		Final: func(_ int, pre, _ []float64) []float64 { return pre },
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// OutputSnapshot captures the values of every array any loop writes, for
+// cross-strategy result comparison.
+func (w *PARMVR) OutputSnapshot() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, l := range w.Loops {
+		for _, wr := range l.Writes {
+			if _, ok := out[wr.Array.Name()]; !ok {
+				out[wr.Array.Name()] = wr.Array.Snapshot()
+			}
+		}
+	}
+	return out
+}
+
+// EqualOutputs compares a snapshot against current array values,
+// returning the first differing array name, or "" if identical.
+func (w *PARMVR) EqualOutputs(snap map[string][]float64) string {
+	for _, l := range w.Loops {
+		for _, wr := range l.Writes {
+			want, ok := snap[wr.Array.Name()]
+			if !ok {
+				continue
+			}
+			if eq, _ := wr.Array.Equal(want); !eq {
+				return wr.Array.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package wave5
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+)
+
+// testParams is a small but structurally faithful dataset for tests.
+func testParams() Params {
+	return DefaultParams().Scaled(0.02) // ~14k particles, ~1k cells (min clamps)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	if err := (Params{Particles: 10, Cells: 10}).Validate(); err == nil {
+		t.Error("tiny params should fail validation")
+	}
+	if err := (Params{Particles: 100000, Cells: 10}).Validate(); err == nil {
+		t.Error("tiny grid should fail validation")
+	}
+}
+
+func TestScaledClamps(t *testing.T) {
+	p := DefaultParams().Scaled(0.0001)
+	if p.Particles < 8192 || p.Cells < 1024 {
+		t.Errorf("Scaled went below clamps: %+v", p)
+	}
+	q := DefaultParams().Scaled(2)
+	if q.Particles != 1_050_000 {
+		t.Errorf("Scaled(2).Particles = %d", q.Particles)
+	}
+}
+
+func TestBuildProducesFifteenValidLoops(t *testing.T) {
+	w, err := Build(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Loops) != NumLoops {
+		t.Fatalf("got %d loops", len(w.Loops))
+	}
+	names := w.LoopNames()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate loop name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(Params{Particles: 1, Cells: 1}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w1 := MustBuild(testParams())
+	w2 := MustBuild(testParams())
+	for i := range w1.Loops {
+		a1 := w1.Loops[i].Arrays()
+		a2 := w2.Loops[i].Arrays()
+		if len(a1) != len(a2) {
+			t.Fatalf("loop %d array counts differ", i)
+		}
+		for j := range a1 {
+			if a1[j].Base() != a2[j].Base() || a1[j].Len() != a2[j].Len() {
+				t.Errorf("loop %d array %d layout differs", i, j)
+			}
+			s1, s2 := a1[j].Snapshot(), a2[j].Snapshot()
+			for k := range s1 {
+				if s1[k] != s2[k] {
+					t.Fatalf("loop %d array %s value %d differs", i, a1[j].Name(), k)
+				}
+			}
+		}
+	}
+}
+
+func TestFootprintRange(t *testing.T) {
+	// At full scale, per-loop footprints must span the paper's enlarged
+	// dataset range: smallest around 0.25 MB, largest above 10 MB (paper:
+	// 256 KB to 17 MB).
+	w := MustBuild(DefaultParams())
+	fp := w.FootprintBytes()
+	minFP, maxFP := fp[0], fp[0]
+	for _, f := range fp {
+		if f < minFP {
+			minFP = f
+		}
+		if f > maxFP {
+			maxFP = f
+		}
+	}
+	if minFP > 512*1024 {
+		t.Errorf("smallest loop footprint %d exceeds 512KB", minFP)
+	}
+	if maxFP < 10*1024*1024 {
+		t.Errorf("largest loop footprint %d below 10MB", maxFP)
+	}
+	if maxFP > 20*1024*1024 {
+		t.Errorf("largest loop footprint %d exceeds the paper's 17MB scale", maxFP)
+	}
+}
+
+func TestConflictPlacement(t *testing.T) {
+	w := MustBuild(testParams())
+	// The class-0 arrays must share a congruence class mod 1MB.
+	var bases []int64
+	for _, l := range w.Loops {
+		for _, a := range l.Arrays() {
+			switch a.Name() {
+			case "PX", "VX", "AX", "AY", "T2":
+				bases = append(bases, int64(a.Base())%(1<<20))
+			}
+		}
+	}
+	if len(bases) == 0 {
+		t.Fatal("no class-0 arrays found")
+	}
+	for _, b := range bases {
+		if b != bases[0] {
+			t.Errorf("class-0 congruences differ: %v", bases)
+		}
+	}
+}
+
+// TestPARMVRCascadedEquivalence runs the full 15-loop sequence under all
+// three strategies and demands bitwise-identical outputs.
+func TestPARMVRCascadedEquivalence(t *testing.T) {
+	p := testParams()
+
+	runAll := func(w *PARMVR, helper cascade.Helper, useCascade bool) {
+		m := machine.MustNew(machine.PentiumPro(4))
+		for _, l := range w.Loops {
+			if useCascade {
+				opts := cascade.DefaultOptions(helper, w.Space)
+				opts.ChunkBytes = 16 * 1024
+				cascade.MustRun(m, l, opts)
+			} else {
+				cascade.RunSequential(m, l, true)
+			}
+		}
+	}
+
+	ref := MustBuild(p)
+	runAll(ref, 0, false)
+	want := ref.OutputSnapshot()
+
+	for _, h := range []cascade.Helper{cascade.HelperPrefetch, cascade.HelperRestructure} {
+		w := MustBuild(p)
+		runAll(w, h, true)
+		if diff := w.EqualOutputs(want); diff != "" {
+			t.Errorf("%v: array %s differs from sequential result", h, diff)
+		}
+	}
+}
+
+func TestEqualOutputsDetectsDifference(t *testing.T) {
+	w := MustBuild(testParams())
+	snap := w.OutputSnapshot()
+	w.data.ax.Store(0, 12345)
+	if diff := w.EqualOutputs(snap); diff != "AX" {
+		t.Errorf("EqualOutputs = %q, want AX", diff)
+	}
+}
+
+func TestLCGDeterminism(t *testing.T) {
+	g1, g2 := lcg(7), lcg(7)
+	for i := 0; i < 100; i++ {
+		if g1.next() != g2.next() {
+			t.Fatal("lcg not deterministic")
+		}
+	}
+	g := lcg(3)
+	for i := 0; i < 1000; i++ {
+		u := g.unit()
+		if u < 0 || u >= 1 {
+			t.Fatalf("unit out of range: %v", u)
+		}
+		n := g.intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("intn out of range: %d", n)
+		}
+	}
+}
