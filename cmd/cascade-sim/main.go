@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	cascade-sim -exp table1|fig2|...|conflicts|amdahl|gallery|ablations|all [flags]
+//	cascade-sim -exp table1|fig2|...|conflicts|amdahl|gallery|ablations|quickstart|all [flags]
 //
 // The -scale flag shrinks the PARMVR dataset for quick runs (1.0 is the
 // paper-scale enlarged dataset; figures in EXPERIMENTS.md use 1.0). The
 // -csv flag switches table output to CSV for plotting.
+//
+// The -metrics flag emits the per-processor metric snapshots the
+// simulator's registry records for each measured region — helper,
+// execution, and transfer cycles per processor plus cache, TLB, victim
+// and bus counters. "-metrics table" renders breakdown tables,
+// "-metrics json" the raw snapshots. Without an explicit -exp it runs
+// the quickstart scatter-add demonstration.
 package main
 
 import (
@@ -25,19 +32,40 @@ import (
 	"repro/internal/wave5"
 )
 
+// cliOptions carries the parsed command line into run.
+type cliOptions struct {
+	exp        string
+	scale      float64
+	chunkBytes int
+	n          int
+	mode       string // table, csv, chart, json
+	metrics    string // "", table, json
+	quiet      bool
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig3, fig4, fig5, fig6, fig7, conflicts, amdahl, gallery, ablations, all")
+		exp     = flag.String("exp", "all", "experiment: quickstart, table1, fig2, fig3, fig4, fig5, fig6, fig7, conflicts, amdahl, gallery, ablations, all")
 		scale   = flag.Float64("scale", 1.0, "PARMVR dataset scale factor (1.0 = paper-scale)")
-		chunkKB = flag.Int("chunk", cascade.DefaultChunkBytes/1024, "chunk size in KB for fig2/fig3/fig4/fig5")
+		chunkKB = flag.Int("chunk", cascade.DefaultChunkBytes/1024, "chunk size in KB for fig2/fig3/fig4/fig5/quickstart")
 		n       = flag.Int("n", synthetic.DefaultN, "synthetic-loop array length for fig7")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart   = flag.Bool("chart", false, "draw ASCII charts instead of tables (figures only)")
 		asJSON  = flag.Bool("json", false, "emit raw results as JSON (figures and studies)")
+		metrics = flag.String("metrics", "", "emit per-processor metric snapshots: json or table (defaults -exp to quickstart)")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *scale, *chunkKB*1024, *n, outputMode(*csv, *chart, *asJSON), *quiet); err != nil {
+	opts := cliOptions{
+		exp:        *exp,
+		scale:      *scale,
+		chunkBytes: *chunkKB * 1024,
+		n:          *n,
+		mode:       outputMode(*csv, *chart, *asJSON),
+		metrics:    *metrics,
+		quiet:      *quiet,
+	}
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-sim:", err)
 		os.Exit(1)
 	}
@@ -64,15 +92,25 @@ func emitJSON(w io.Writer, v interface{}) error {
 	return enc.Encode(v)
 }
 
-func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string, quiet bool) error {
-	params := wave5.DefaultParams().Scaled(scale)
+func run(w io.Writer, opts cliOptions) error {
+	switch opts.metrics {
+	case "", "table", "json":
+	default:
+		return fmt.Errorf("unknown -metrics mode %q (want table or json)", opts.metrics)
+	}
+	// -metrics alone means "show me the metrics layer": the quickstart
+	// demonstration is its smallest end-to-end run.
+	if opts.metrics != "" && opts.exp == "all" {
+		opts.exp = "quickstart"
+	}
+	params := wave5.DefaultParams().Scaled(opts.scale)
 	progress := func(format string, args ...interface{}) {
-		if !quiet {
+		if !opts.quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 	emit := func(t *report.Table) {
-		if mode == "csv" {
+		if opts.mode == "csv" {
 			t.RenderCSV(w)
 		} else {
 			t.Render(w)
@@ -84,15 +122,29 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 		start := time.Now()
 		defer func() { progress("%s done in %.1fs", name, time.Since(start).Seconds()) }()
 		switch name {
-		case "table1":
-			emit(experiments.Table1())
-		case "fig2":
-			progress("fig2: PARMVR processor sweep (scale %.2f)...", scale)
-			r, err := experiments.Fig2(params, chunkBytes)
+		case "quickstart":
+			qn := int(float64(experiments.QuickstartN) * opts.scale)
+			if qn < 1<<10 {
+				qn = 1 << 10
+			}
+			progress("quickstart: scatter-add metrics demo (n=%d)...", qn)
+			r, err := experiments.Quickstart(qn, opts.chunkBytes)
 			if err != nil {
 				return err
 			}
-			switch mode {
+			if opts.metrics == "json" || opts.mode == "json" {
+				return emitJSON(w, r)
+			}
+			r.Render(w)
+		case "table1":
+			emit(experiments.Table1())
+		case "fig2":
+			progress("fig2: PARMVR processor sweep (scale %.2f)...", opts.scale)
+			r, err := experiments.Fig2(params, opts.chunkBytes)
+			if err != nil {
+				return err
+			}
+			switch opts.mode {
 			case "json":
 				if err := emitJSON(w, r); err != nil {
 					return err
@@ -103,38 +155,38 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 				r.Render(w)
 			}
 		case "fig3", "fig4", "fig5":
-			progress("%s: per-loop breakdown (scale %.2f)...", name, scale)
+			progress("%s: per-loop breakdown (scale %.2f)...", name, opts.scale)
 			for _, cfg := range experiments.Machines() {
-				b, err := experiments.LoopBreakdown(cfg.WithProcs(4), params, chunkBytes)
+				b, err := experiments.LoopBreakdown(cfg.WithProcs(4), params, opts.chunkBytes)
 				if err != nil {
 					return err
 				}
 				switch {
-				case mode == "json":
+				case opts.mode == "json":
 					if err := emitJSON(w, b); err != nil {
 						return err
 					}
-				case name == "fig3" && mode == "chart":
+				case name == "fig3" && opts.mode == "chart":
 					b.RenderChartFig3(w)
 				case name == "fig3":
 					b.RenderFig3(w)
-				case name == "fig4" && mode == "chart":
+				case name == "fig4" && opts.mode == "chart":
 					b.RenderChartFig4(w)
 				case name == "fig4":
 					b.RenderFig4(w)
-				case name == "fig5" && mode == "chart":
+				case name == "fig5" && opts.mode == "chart":
 					b.RenderChartFig5(w)
 				case name == "fig5":
 					b.RenderFig5(w)
 				}
 			}
 		case "fig6":
-			progress("fig6: chunk-size sweep (scale %.2f)...", scale)
+			progress("fig6: chunk-size sweep (scale %.2f)...", opts.scale)
 			r, err := experiments.Fig6(params)
 			if err != nil {
 				return err
 			}
-			switch mode {
+			switch opts.mode {
 			case "json":
 				if err := emitJSON(w, r); err != nil {
 					return err
@@ -145,12 +197,12 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 				r.Render(w)
 			}
 		case "fig7":
-			progress("fig7: synthetic future-machine sweep (n=%d)...", n)
-			r, err := experiments.Fig7(n)
+			progress("fig7: synthetic future-machine sweep (n=%d)...", opts.n)
+			r, err := experiments.Fig7(opts.n)
 			if err != nil {
 				return err
 			}
-			switch mode {
+			switch opts.mode {
 			case "json":
 				if err := emitJSON(w, r); err != nil {
 					return err
@@ -161,22 +213,22 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 				r.Render(w)
 			}
 		case "gallery":
-			progress("gallery: kernel suite (n=%d)...", n)
+			progress("gallery: kernel suite (n=%d)...", opts.n)
 			for _, cfg := range experiments.Machines() {
-				g, err := experiments.Gallery(cfg, n, chunkBytes)
+				g, err := experiments.Gallery(cfg, opts.n, opts.chunkBytes)
 				if err != nil {
 					return err
 				}
 				g.Render(w)
 			}
 		case "amdahl":
-			progress("amdahl: application-level study (scale %.2f)...", scale)
+			progress("amdahl: application-level study (scale %.2f)...", opts.scale)
 			for _, cfg := range experiments.Machines() {
-				a, err := experiments.Amdahl(cfg, params, chunkBytes)
+				a, err := experiments.Amdahl(cfg, params, opts.chunkBytes)
 				if err != nil {
 					return err
 				}
-				switch mode {
+				switch opts.mode {
 				case "json":
 					if err := emitJSON(w, a); err != nil {
 						return err
@@ -188,7 +240,7 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 				}
 			}
 		case "conflicts":
-			progress("conflicts: sequential miss classification (scale %.2f)...", scale)
+			progress("conflicts: sequential miss classification (scale %.2f)...", opts.scale)
 			for _, cfg := range experiments.Machines() {
 				c, err := experiments.ConflictAnalysis(cfg, params)
 				if err != nil {
@@ -197,7 +249,7 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 				c.Render(w)
 			}
 		case "ablations":
-			progress("ablations (scale %.2f)...", scale)
+			progress("ablations (scale %.2f)...", opts.scale)
 			for _, f := range []func(wave5.Params) (*experiments.AblationResult, error){
 				experiments.AblationJumpOut,
 				experiments.AblationPrecompute,
@@ -219,13 +271,13 @@ func run(w io.Writer, exp string, scale float64, chunkBytes, n int, mode string,
 		return nil
 	}
 
-	if exp == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
+	if opts.exp == "all" {
+		for _, name := range []string{"quickstart", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return runOne(exp)
+	return runOne(opts.exp)
 }

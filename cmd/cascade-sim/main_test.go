@@ -11,7 +11,7 @@ const smallScale = 0.02
 
 func TestRunTable1(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "table1", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -24,7 +24,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable1CSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "table1", smallScale, 64*1024, 1<<14, "csv", true); err != nil {
+	if err := run(&b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "csv", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Processor,Memory Level") {
@@ -34,7 +34,7 @@ func TestRunTable1CSV(t *testing.T) {
 
 func TestRunFig2(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig2", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Figure 2") {
@@ -45,7 +45,7 @@ func TestRunFig2(t *testing.T) {
 func TestRunFigBreakdowns(t *testing.T) {
 	for _, exp := range []string{"fig3", "fig4", "fig5"} {
 		var b strings.Builder
-		if err := run(&b, exp, smallScale, 64*1024, 1<<14, "table", true); err != nil {
+		if err := run(&b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(b.String(), "gather_ex") {
@@ -56,7 +56,7 @@ func TestRunFigBreakdowns(t *testing.T) {
 
 func TestRunFig7(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig7", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "fig7", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Figure 7") {
@@ -66,7 +66,7 @@ func TestRunFig7(t *testing.T) {
 
 func TestRunAblations(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "ablations", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "ablations", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -79,7 +79,7 @@ func TestRunAblations(t *testing.T) {
 
 func TestRunConflicts(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "conflicts", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "conflicts", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,7 +93,7 @@ func TestRunConflicts(t *testing.T) {
 func TestRunCharts(t *testing.T) {
 	for _, exp := range []string{"fig2", "fig3", "fig7"} {
 		var b strings.Builder
-		if err := run(&b, exp, smallScale, 64*1024, 1<<14, "chart", true); err != nil {
+		if err := run(&b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "chart", quiet: true}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		out := b.String()
@@ -114,7 +114,7 @@ func TestOutputMode(t *testing.T) {
 
 func TestRunAmdahl(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "amdahl", smallScale, 64*1024, 1<<14, "table", true); err != nil {
+	if err := run(&b, cliOptions{exp: "amdahl", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Application speedup") {
@@ -124,7 +124,7 @@ func TestRunAmdahl(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig2", smallScale, 64*1024, 1<<14, "json", true); err != nil {
+	if err := run(&b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "json", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -148,7 +148,71 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", smallScale, 64*1024, 1<<14, "table", true); err == nil {
+	if err := run(&b, cliOptions{exp: "nope", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunMetricsJSON pins the acceptance path: `cascade-sim --metrics
+// json` (no explicit -exp) runs quickstart and emits per-processor
+// helper/exec/transfer cycle breakdowns in the snapshots.
+func TestRunMetricsJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "json", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Machine string
+		Procs   int
+		Rows    []struct {
+			Strategy string
+			Cycles   int64
+			Metrics  map[string]int64
+		}
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(decoded.Rows))
+	}
+	for _, row := range decoded.Rows[1:] {
+		for _, key := range []string{"cascade.p0.helper", "cascade.p0.exec", "cascade.total.transfer", "p0.l2.misses"} {
+			if _, ok := row.Metrics[key]; !ok {
+				t.Errorf("%s: snapshot missing %q", row.Strategy, key)
+			}
+		}
+	}
+}
+
+func TestRunMetricsTable(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "table", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Quickstart", "per-processor cycles and misses", "helper", "transfer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadMetricsMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "yaml", quiet: true}); err == nil {
+		t.Error("bad -metrics mode accepted")
+	}
+}
+
+// TestRunQuickstartExplicit runs quickstart as a named experiment with
+// the ordinary table renderer.
+func TestRunQuickstartExplicit(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, cliOptions{exp: "quickstart", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "scatter-add") {
+		t.Error("missing quickstart table")
 	}
 }

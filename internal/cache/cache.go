@@ -68,6 +68,9 @@ func (c *Cache) EnableClassification() {
 // section) so that reported statistics cover only the measured region.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// EmitMetrics reports the cache's counters (metrics Source contract).
+func (c *Cache) EmitMetrics(emit func(name string, value int64)) { c.stats.Emit(emit) }
+
 // Reset empties the cache and zeroes its statistics. The classification
 // shadow, if any, is reset too.
 func (c *Cache) Reset() {

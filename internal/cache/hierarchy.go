@@ -48,6 +48,17 @@ func (m *MemorySource) UpgradeLine(memsim.Addr) int64 { return 0 }
 // WritebackLine implements LineSource.
 func (m *MemorySource) WritebackLine(memsim.Addr) {}
 
+// Reset zeroes the fetch counter (memory has no cached contents to drop).
+func (m *MemorySource) Reset() { m.Fetches = 0 }
+
+// ResetStats zeroes the fetch counter.
+func (m *MemorySource) ResetStats() { m.Fetches = 0 }
+
+// EmitMetrics reports the fetch counter (metrics Source contract).
+func (m *MemorySource) EmitMetrics(emit func(name string, value int64)) {
+	emit("fetches", m.Fetches)
+}
+
 // Level identifies which level of the memory system satisfied an access.
 type Level uint8
 
@@ -134,25 +145,57 @@ func NewHierarchy(l1, l2 Config, src LineSource) *Hierarchy {
 	return &Hierarchy{L1: New(l1), L2: New(l2), Source: src}
 }
 
-// Reset empties both levels (and the TLB and victim buffer) and clears
-// statistics.
-func (h *Hierarchy) Reset() {
-	h.L1.Reset()
-	h.L2.Reset()
+// StatSource is one stat-bearing component of a hierarchy. Reset drops
+// contents and counters; ResetStats zeroes counters only; EmitMetrics
+// reports every counter under a component-local name (the metrics Source
+// contract — see internal/metrics).
+type StatSource interface {
+	Reset()
+	ResetStats()
+	EmitMetrics(emit func(name string, value int64))
+}
+
+// NamedSource is a StatSource with the hierarchy-local name it is known by.
+type NamedSource struct {
+	Name string
+	StatSource
+}
+
+// StatSources enumerates every stat-bearing component of the hierarchy, in
+// a fixed order. Reset, ResetStats, and metrics registration all walk this
+// one list, so a component added here can never be zeroed by one reset
+// path but leak through another (the victim-buffer bug this replaces: the
+// buffer was reset by Reset but skipped by ResetStats, so its counters
+// bled across the warm-up/measured-region boundary). The LineSource is
+// included when it carries stats of its own (MemorySource does; bus ports
+// do not — the bus is registered once at machine level, not per
+// hierarchy).
+func (h *Hierarchy) StatSources() []NamedSource {
+	srcs := []NamedSource{{"l1", h.L1}, {"l2", h.L2}}
 	if h.TLB != nil {
-		h.TLB.Reset()
+		srcs = append(srcs, NamedSource{"tlb", h.TLB})
 	}
 	if h.victims != nil {
-		h.victims.reset()
+		srcs = append(srcs, NamedSource{"victim", h.victims})
+	}
+	if s, ok := h.Source.(StatSource); ok {
+		srcs = append(srcs, NamedSource{"mem", s})
+	}
+	return srcs
+}
+
+// Reset empties every component (levels, TLB, victim buffer) and clears
+// statistics.
+func (h *Hierarchy) Reset() {
+	for _, s := range h.StatSources() {
+		s.Reset()
 	}
 }
 
 // ResetStats zeroes all counters, keeping contents.
 func (h *Hierarchy) ResetStats() {
-	h.L1.ResetStats()
-	h.L2.ResetStats()
-	if h.TLB != nil {
-		h.TLB.ResetStats()
+	for _, s := range h.StatSources() {
+		s.ResetStats()
 	}
 }
 

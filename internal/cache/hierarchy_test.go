@@ -331,3 +331,155 @@ func TestConflictingArraysThrash(t *testing.T) {
 		t.Errorf("conflict thrashing produced only %d L1 misses in 90 accesses", thrash)
 	}
 }
+
+// fullHierarchy is testHierarchy plus a TLB and a victim buffer, so every
+// optional stat-bearing component is present.
+func fullHierarchy() (*Hierarchy, *MemorySource) {
+	h, src := testHierarchy()
+	h.TLB = NewTLB(TLBConfig{Entries: 8, Assoc: 2, PageSize: 4096, MissLatency: 20})
+	h.EnableVictimBuffer(4, 2)
+	return h, src
+}
+
+// churn drives enough mixed traffic through h that every component's
+// primary counters go non-zero (L1/L2 misses, TLB misses, victim inserts
+// and hits, memory fetches).
+func churn(h *Hierarchy) {
+	// Thrash one L1 set (way size 512) so evictions feed the victim buffer
+	// and re-accesses hit it; spread over pages for TLB misses.
+	for i := 0; i < 20; i++ {
+		for _, b := range []memsim.Addr{0x10000, 0x10000 + 512, 0x10000 + 1024} {
+			h.Access(b, 8, i%3 == 0)
+		}
+		h.Access(memsim.Addr(0x40000+i*4096), 8, false)
+	}
+}
+
+// collectMetrics flattens every StatSource counter of h into one map.
+func collectMetrics(h *Hierarchy) map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range h.StatSources() {
+		name := s.Name
+		s.EmitMetrics(func(counter string, v int64) {
+			out[name+"."+counter] = v
+		})
+	}
+	return out
+}
+
+// TestResetStatsZeroesEveryCounter is the regression test for the
+// victim-stats leak: ResetStats must zero exactly the counter set Reset
+// zeroes, swept generically over every StatSource so a newly added
+// component cannot reintroduce the leak class.
+func TestResetStatsZeroesEveryCounter(t *testing.T) {
+	for _, reset := range []struct {
+		name string
+		do   func(h *Hierarchy)
+	}{
+		{"ResetStats", func(h *Hierarchy) { h.ResetStats() }},
+		{"Reset", func(h *Hierarchy) { h.Reset() }},
+	} {
+		h, _ := fullHierarchy()
+		churn(h)
+		before := collectMetrics(h)
+		for _, key := range []string{"l1.misses", "l2.misses", "tlb.misses", "victim.inserts", "victim.hits", "mem.fetches"} {
+			if before[key] == 0 {
+				t.Fatalf("churn produced no %s; test traffic too weak", key)
+			}
+		}
+		reset.do(h)
+		for name, v := range collectMetrics(h) {
+			if v != 0 {
+				t.Errorf("%s left %s = %d, want 0", reset.name, name, v)
+			}
+		}
+	}
+}
+
+// TestResetStatsVictimLeak pins the original bug directly: victim-buffer
+// counters must not survive ResetStats.
+func TestResetStatsVictimLeak(t *testing.T) {
+	h, _ := fullHierarchy()
+	churn(h)
+	if h.VictimStats() == (VictimStats{}) {
+		t.Fatal("churn produced no victim-buffer activity")
+	}
+	h.ResetStats()
+	if s := h.VictimStats(); s != (VictimStats{}) {
+		t.Errorf("victim stats survive ResetStats: %+v", s)
+	}
+}
+
+// TestResetStatsKeepsContents distinguishes the two reset flavours:
+// ResetStats must preserve cache, TLB, and victim-buffer contents.
+func TestResetStatsKeepsContents(t *testing.T) {
+	h, _ := fullHierarchy()
+	addr := memsim.Addr(0x4000)
+	h.Access(addr, 8, false)
+	h.ResetStats()
+	if r := h.Access(addr, 8, false); r.Level != LevelL1 {
+		t.Errorf("post-ResetStats access level = %v, want L1 (contents kept)", r.Level)
+	}
+	h.Reset()
+	h.ResetStats() // fresh stats for the cold access below
+	if r := h.Access(addr, 8, false); r.Level != LevelMem {
+		t.Errorf("post-Reset access level = %v, want mem (contents dropped)", r.Level)
+	}
+}
+
+func TestAccessSpansLines(t *testing.T) {
+	h, _ := testHierarchy() // 32B L1 lines
+	// A 16-byte access at line offset 24 spans two L1 lines.
+	addr := memsim.Addr(0x4000 + 24)
+
+	// Cold: both lines miss to memory. Latency and penalty aggregate.
+	r := h.Access(addr, 16, false)
+	if want := int64(2 * (3 + 7 + 58)); r.Cycles != want {
+		t.Errorf("cold spanning access = %d cycles, want %d", r.Cycles, want)
+	}
+	if want := int64(2 * (7 + 58)); r.MissPenalty != want {
+		t.Errorf("cold spanning MissPenalty = %d, want %d", r.MissPenalty, want)
+	}
+	if r.Level != LevelMem {
+		t.Errorf("cold spanning Level = %v, want mem", r.Level)
+	}
+	if acc := h.L1.Stats().Accesses; acc != 2 {
+		t.Errorf("spanning access counted %d L1 lookups, want 2", acc)
+	}
+
+	// Warm: both lines hit L1.
+	r = h.Access(addr, 16, false)
+	if r.Cycles != 6 || r.Level != LevelL1 || r.MissPenalty != 0 {
+		t.Errorf("warm spanning access = %+v, want 6 cycles at L1", r)
+	}
+
+	// Evict only the second line (0x4020) from L1 (its set's two ways are
+	// refilled at way-size stride): first line hits L1, second hits L2, and
+	// Level must report the deepest level touched.
+	h.Access(0x4020+512, 8, false)
+	h.Access(0x4020+1024, 8, false)
+	r = h.Access(addr, 16, false)
+	if want := int64(3 + (3 + 7)); r.Cycles != want {
+		t.Errorf("mixed spanning access = %d cycles, want %d", r.Cycles, want)
+	}
+	if r.Level != LevelL2 {
+		t.Errorf("mixed spanning Level = %v, want L2 (max over lines)", r.Level)
+	}
+	if r.MissPenalty != 7 {
+		t.Errorf("mixed spanning MissPenalty = %d, want 7", r.MissPenalty)
+	}
+}
+
+func TestAccessSpanningWithTLBWalk(t *testing.T) {
+	h, _ := fullHierarchy()
+	h.Reset()
+	// Spanning access on a fresh TLB: one page walk is charged once, on
+	// top of both lines' memory latency.
+	r := h.Access(0x4000+24, 16, false)
+	if want := int64(20 + 2*(3+7+58)); r.Cycles != want {
+		t.Errorf("spanning access with TLB walk = %d cycles, want %d", r.Cycles, want)
+	}
+	if s := h.TLB.Stats(); s.Accesses != 1 || s.Misses != 1 {
+		t.Errorf("TLB stats = %+v, want one access, one miss", s)
+	}
+}

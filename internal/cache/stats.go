@@ -52,6 +52,27 @@ func (s Stats) Sub(other Stats) Stats {
 	}
 }
 
+// Emit reports every counter under a stable snake_case name, in field
+// order, zeros included. This is the Stats half of the metrics Source
+// contract (see internal/metrics); the owning cache provides ResetStats.
+func (s Stats) Emit(emit func(name string, value int64)) {
+	emit("accesses", s.Accesses)
+	emit("hits", s.Hits)
+	emit("misses", s.Misses)
+	emit("read_misses", s.ReadMisses)
+	emit("write_misses", s.WriteMisses)
+	emit("fills", s.Fills)
+	emit("prefetch_fills", s.PrefetchFills)
+	emit("evictions", s.Evictions)
+	emit("writebacks", s.Writebacks)
+	emit("invalidations", s.Invalidations)
+	emit("downgrades", s.Downgrades)
+	emit("upgrades", s.Upgrades)
+	emit("compulsory", s.Compulsory)
+	emit("capacity", s.Capacity)
+	emit("conflict", s.Conflict)
+}
+
 // Add accumulates other into s, for aggregating across processors.
 func (s *Stats) Add(other Stats) {
 	s.Accesses += other.Accesses

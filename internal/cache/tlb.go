@@ -110,6 +110,12 @@ func (t *TLB) Reset() {
 // ResetStats zeroes counters, keeping contents.
 func (t *TLB) ResetStats() { t.stats = TLBStats{} }
 
+// EmitMetrics reports the TLB's counters (metrics Source contract).
+func (t *TLB) EmitMetrics(emit func(name string, value int64)) {
+	emit("accesses", t.stats.Accesses)
+	emit("misses", t.stats.Misses)
+}
+
 // Access translates addr, returning the cycle cost (0 on a hit, the miss
 // latency on a refill). Misses install the page, LRU within the set.
 func (t *TLB) Access(addr memsim.Addr) int64 {

@@ -92,11 +92,20 @@ func (v *victimBuffer) downgrade(addr memsim.Addr, span int) (hadModified bool) 
 	return hadModified
 }
 
-// reset clears entries and statistics.
-func (v *victimBuffer) reset() {
+// Reset clears entries and statistics.
+func (v *victimBuffer) Reset() {
 	for i := range v.entries {
 		v.entries[i] = victimEntry{}
 	}
 	v.tick = 0
 	v.stats = VictimStats{}
+}
+
+// ResetStats zeroes counters, keeping buffered lines.
+func (v *victimBuffer) ResetStats() { v.stats = VictimStats{} }
+
+// EmitMetrics reports the buffer's counters (metrics Source contract).
+func (v *victimBuffer) EmitMetrics(emit func(name string, value int64)) {
+	emit("hits", v.stats.Hits)
+	emit("inserts", v.stats.Inserts)
 }

@@ -1,0 +1,102 @@
+package cascade
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestRunPhaseTimerMatchesResult pins the per-processor phase timer to the
+// Result's aggregate cycle fields: the snapshot totals must equal
+// ExecCycles, HelperCycles, and TransferCycles exactly, and every
+// processor of the cascade must have been charged execution time.
+func TestRunPhaseTimerMatchesResult(t *testing.T) {
+	space, l, _ := buildWorkload(1<<14, true)
+	m := machine.MustNew(machine.PentiumPro(4))
+	opts := DefaultOptions(HelperRestructure, space)
+	opts.ChunkBytes = 8 * 1024
+	r := MustRun(m, l, opts)
+
+	s := r.Metrics
+	if got := s.Get("cascade.total.exec"); got != r.ExecCycles {
+		t.Errorf("timer exec total = %d, Result.ExecCycles = %d", got, r.ExecCycles)
+	}
+	if got := s.Get("cascade.total.helper"); got != r.HelperCycles {
+		t.Errorf("timer helper total = %d, Result.HelperCycles = %d", got, r.HelperCycles)
+	}
+	if got := s.Get("cascade.total.transfer"); got != r.TransferCycles {
+		t.Errorf("timer transfer total = %d, Result.TransferCycles = %d", got, r.TransferCycles)
+	}
+	if got := s.Get("cascade.total.wait"); got != 0 {
+		t.Errorf("timer wait total = %d, want 0 with JumpOut", got)
+	}
+	var perProc int64
+	for p := 0; p < m.Procs(); p++ {
+		exec := s.Get("cascade.p" + string(rune('0'+p)) + ".exec")
+		if r.Chunks >= m.Procs() && exec == 0 {
+			t.Errorf("processor %d never charged exec cycles", p)
+		}
+		perProc += exec
+	}
+	if perProc != r.ExecCycles {
+		t.Errorf("per-proc exec sum = %d, want %d", perProc, r.ExecCycles)
+	}
+	// The snapshot also carries the machine-wide cache view: L2 misses in
+	// the registry must agree with the aggregated Stats.
+	var l2Misses int64
+	for p := 0; p < m.Procs(); p++ {
+		l2Misses += s.Get("p" + string(rune('0'+p)) + ".l2.misses")
+	}
+	if l2Misses != r.L2.Misses {
+		t.Errorf("registry L2 misses = %d, Result.L2.Misses = %d", l2Misses, r.L2.Misses)
+	}
+}
+
+// TestRunNoJumpOutChargesWait pins the wait phase: with JumpOut disabled
+// the cascade stalls for helper completion, and those stall cycles must
+// show up in the timer (they are the only way helper time reaches the
+// critical path).
+func TestRunNoJumpOutChargesWait(t *testing.T) {
+	space, l, _ := buildWorkload(1<<14, true)
+	m := machine.MustNew(machine.PentiumPro(4))
+	opts := DefaultOptions(HelperRestructure, space)
+	opts.ChunkBytes = 8 * 1024
+	opts.JumpOut = false
+	r := MustRun(m, l, opts)
+	if r.Metrics.Get("cascade.total.wait") == 0 {
+		t.Error("JumpOut=false run recorded no wait cycles")
+	}
+}
+
+// TestSequentialMetricsSnapshot checks the sequential driver's snapshot:
+// all execution time on processor 0, no helper/transfer phases.
+func TestSequentialMetricsSnapshot(t *testing.T) {
+	_, l, _ := buildWorkload(1<<13, false)
+	m := machine.MustNew(machine.PentiumPro(2))
+	r := RunSequential(m, l, true)
+	s := r.Metrics
+	if got := s.Get("cascade.p0.exec"); got != r.Cycles {
+		t.Errorf("sequential p0 exec = %d, want %d", got, r.Cycles)
+	}
+	for _, name := range []string{"cascade.total.helper", "cascade.total.transfer", "cascade.p1.exec"} {
+		if got := s.Get(name); got != 0 {
+			t.Errorf("sequential run charged %s = %d, want 0", name, got)
+		}
+	}
+}
+
+// TestBackToBackRunsDoNotLeakMetrics is the measured-region regression at
+// the cascade level: a second run's snapshot must not include the first
+// run's cycles (every run resets the registry at its region boundary).
+func TestBackToBackRunsDoNotLeakMetrics(t *testing.T) {
+	space, l, _ := buildWorkload(1<<14, true)
+	m := machine.MustNew(machine.PentiumPro(4))
+	opts := DefaultOptions(HelperPrefetch, space)
+	opts.ChunkBytes = 8 * 1024
+	r1 := MustRun(m, l, opts)
+	r2 := MustRun(m, l, opts)
+	if got, want := r2.Metrics.Get("cascade.total.exec"), r2.ExecCycles; got != want {
+		t.Errorf("second run exec total = %d, want %d (first run leaked %d)",
+			got, want, r1.ExecCycles)
+	}
+}

@@ -85,6 +85,25 @@ type Options struct {
 // machines (Figure 6).
 const DefaultChunkBytes = 64 * 1024
 
+// Phase-timer names under which the run drivers account simulated time in
+// the machine's metrics registry (see internal/metrics.PhaseTimer):
+// snapshot keys are "cascade.p<i>.<phase>" and "cascade.total.<phase>".
+const (
+	// TimerName is the registry name of the cascade phase timer.
+	TimerName = "cascade"
+	// PhaseHelper is cycles spent in helper phases (hidden time, except
+	// through PhaseWait).
+	PhaseHelper = "helper"
+	// PhaseExec is cycles spent in execution phases (the critical path).
+	PhaseExec = "exec"
+	// PhaseTransfer is control-transfer overhead, charged to the receiving
+	// processor.
+	PhaseTransfer = "transfer"
+	// PhaseWait is critical-path stall waiting for helper completion; it is
+	// zero whenever Options.JumpOut is enabled.
+	PhaseWait = "wait"
+)
+
 // DefaultOptions returns the configuration used for the paper's headline
 // results: 64KB chunks, jump-out enabled, prior parallel section modelled.
 func DefaultOptions(h Helper, space *memsim.Space) Options {

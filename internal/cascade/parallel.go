@@ -26,6 +26,7 @@ func RunParallel(m *machine.Machine, l *loopir.Loop, keepState bool) (Result, er
 	if err := l.Validate(); err != nil {
 		return Result{}, err
 	}
+	timer := phaseTimer(m)
 	if !keepState {
 		m.ResetCaches()
 	}
@@ -45,6 +46,7 @@ func RunParallel(m *machine.Machine, l *loopir.Loop, keepState bool) (Result, er
 		}
 		cycles := interp.New(m.Proc(p)).ExecIters(l, lo, hi)
 		res.ExecCycles += cycles
+		timer.Add(p, PhaseExec, cycles)
 		if cycles > res.Cycles {
 			res.Cycles = cycles // makespan
 		}
@@ -54,5 +56,6 @@ func RunParallel(m *machine.Machine, l *loopir.Loop, keepState bool) (Result, er
 	res.Bus = m.Bus().Stats()
 	res.ExecL1 = res.L1
 	res.ExecL2 = res.L2
+	res.Metrics = m.Metrics().Snapshot()
 	return res, nil
 }

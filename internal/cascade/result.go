@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
+	"repro/internal/metrics"
 )
 
 // Result reports one run (sequential or cascaded) of a loop.
@@ -47,6 +48,13 @@ type Result struct {
 	// figures (4 and 5) report. Helper-phase misses are off the critical
 	// path and excluded here.
 	ExecL1, ExecL2 cache.Stats
+
+	// Metrics is the machine-wide metric snapshot for the measured region:
+	// every per-processor cache/TLB/victim counter, the bus counters, and
+	// the cascade phase timer ("cascade.p<i>.helper|exec|transfer|wait"
+	// plus "cascade.total.*"). Runs reset the registry at their measured-
+	// region boundary, so the snapshot covers exactly this run.
+	Metrics metrics.Snapshot `json:",omitempty"`
 }
 
 // HelperCompletion returns HelperIters/TotalIters in [0,1].

@@ -6,7 +6,16 @@ import (
 	"repro/internal/interp"
 	"repro/internal/loopir"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 )
+
+// phaseTimer returns m's cascade phase timer, creating and registering it
+// on first use. All run drivers (cascaded, sequential, parallel) share this
+// timer, so a machine's registry always reports simulated time under the
+// same names.
+func phaseTimer(m *machine.Machine) *metrics.PhaseTimer {
+	return m.Metrics().PhaseTimer(TimerName, PhaseHelper, PhaseExec, PhaseTransfer, PhaseWait)
+}
 
 // Run executes the loop under cascaded execution on m (Figure 1b).
 //
@@ -36,6 +45,7 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 		return Result{}, err
 	}
 
+	timer := phaseTimer(m)
 	if !opts.KeepState {
 		m.ResetCaches()
 		if opts.PriorParallel {
@@ -80,6 +90,7 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 		if k > 0 {
 			start += transfer
 			res.TransferCycles += transfer
+			timer.Add(p, PhaseTransfer, transfer)
 		}
 
 		// Helper phase for this chunk, bounded by the processor's idle
@@ -102,9 +113,11 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 		}
 		res.HelperCycles += helperCycles
 		res.HelperIters += done
+		timer.Add(p, PhaseHelper, helperCycles)
 		if !opts.JumpOut {
 			// The execution phase waits for helper completion.
 			if ready := lastEnd[p] + helperCycles; ready > start {
+				timer.Add(p, PhaseWait, ready-start)
 				start = ready
 			}
 		}
@@ -122,6 +135,7 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 		res.ExecL1.Add(m.L1Stats().Sub(l1Before))
 		res.ExecL2.Add(m.L2Stats().Sub(l2Before))
 		res.ExecCycles += execCycles
+		timer.Add(p, PhaseExec, execCycles)
 		end := start + execCycles
 		lastEnd[p] = end
 		t = end
@@ -131,6 +145,7 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 	res.L1 = m.L1Stats()
 	res.L2 = m.L2Stats()
 	res.Bus = m.Bus().Stats()
+	res.Metrics = m.Metrics().Snapshot()
 	return res, nil
 }
 

@@ -25,9 +25,11 @@ func RunSequential(m *machine.Machine, l *loopir.Loop, priorParallel bool) Resul
 // run. Statistics are reset so the result covers only this loop. Use it
 // to measure steady-state calls of repeatedly-invoked code.
 func RunSequentialWarm(m *machine.Machine, l *loopir.Loop) Result {
+	timer := phaseTimer(m)
 	m.ResetStats()
 	r := interp.New(m.Proc(0))
 	cycles := r.ExecIters(l, 0, l.Iters)
+	timer.Add(0, PhaseExec, cycles)
 	return Result{
 		Strategy:   "sequential",
 		Procs:      1,
@@ -40,6 +42,7 @@ func RunSequentialWarm(m *machine.Machine, l *loopir.Loop) Result {
 		Bus:        m.Bus().Stats(),
 		ExecL1:     m.L1Stats(),
 		ExecL2:     m.L2Stats(),
+		Metrics:    m.Metrics().Snapshot(),
 	}
 }
 

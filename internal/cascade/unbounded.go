@@ -33,6 +33,7 @@ func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	timer := phaseTimer(m)
 	if opts.PriorParallel {
 		// With one simulated processor there is nowhere else to
 		// distribute to; cold caches model the post-parallel-section
@@ -75,6 +76,7 @@ func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, err
 		}
 		res.HelperCycles += helperCycles
 		res.HelperIters += done
+		timer.Add(0, PhaseHelper, helperCycles)
 
 		l1Before, l2Before := m.L1Stats(), m.L2Stats()
 		var execCycles int64
@@ -88,12 +90,15 @@ func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, err
 		res.ExecL2.Add(m.L2Stats().Sub(l2Before))
 		res.ExecCycles += execCycles
 		res.TransferCycles += transfer
+		timer.Add(0, PhaseExec, execCycles)
+		timer.Add(0, PhaseTransfer, transfer)
 	}
 
 	res.Cycles = res.ExecCycles + res.TransferCycles
 	res.L1 = m.L1Stats()
 	res.L2 = m.L2Stats()
 	res.Bus = m.Bus().Stats()
+	res.Metrics = m.Metrics().Snapshot()
 	return res, nil
 }
 

@@ -66,6 +66,17 @@ func (b *Bus) Stats() Stats { return b.stats }
 // ResetStats zeroes the transaction counters.
 func (b *Bus) ResetStats() { b.stats = Stats{} }
 
+// EmitMetrics reports the transaction counters (metrics Source contract;
+// see internal/metrics). The bus is registered once per machine — its
+// per-node ports carry no statistics of their own.
+func (b *Bus) EmitMetrics(emit func(name string, value int64)) {
+	emit("mem_fetches", b.stats.MemFetches)
+	emit("cache_to_cache", b.stats.CacheToCache)
+	emit("invalidations_out", b.stats.InvalidationsOut)
+	emit("upgrades", b.stats.Upgrades)
+	emit("writebacks", b.stats.Writebacks)
+}
+
 // Port returns the LineSource through which node id accesses the bus. The
 // id must match the index the hierarchy is later attached at.
 func (b *Bus) Port(id int) cache.LineSource {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cascade"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/wave5"
 )
 
@@ -141,6 +142,18 @@ func RunPARMVRCall(cfg machine.Config, p wave5.Params, strat Strategy, chunkByte
 		}
 	}
 	return runCall()
+}
+
+// MergeMetrics folds the per-loop metric snapshots of a multi-loop run
+// into one snapshot for the whole point: counters and phase cycles sum,
+// so the result reads as if the registry had covered all loops as one
+// measured region.
+func MergeMetrics(results []cascade.Result) metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, len(results))
+	for i, r := range results {
+		snaps[i] = r.Metrics
+	}
+	return metrics.Merge(snaps...)
 }
 
 // TotalCycles sums the per-loop cycle counts.

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/wave5"
 )
@@ -20,6 +21,10 @@ type Fig2Point struct {
 	// before their processor was signaled (diagnostic; not in the paper's
 	// plot but explains its processor scaling).
 	HelperCompletion float64
+	// Metrics is the registry snapshot for this point, summed over the
+	// fifteen PARMVR loops: per-processor cache/TLB/victim counters, bus
+	// traffic, and cascade phase cycles.
+	Metrics metrics.Snapshot `json:",omitempty"`
 }
 
 // Fig2Result holds the Figure 2 sweep for both machines.
@@ -89,6 +94,7 @@ func Fig2(p wave5.Params, chunkBytes int) (*Fig2Result, error) {
 			Procs:            s.procs,
 			Speedup:          float64(s.base) / float64(TotalCycles(rr)),
 			HelperCompletion: float64(helperIters) / float64(totalIters),
+			Metrics:          MergeMetrics(rr),
 		}
 		return nil
 	}); err != nil {

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/wave5"
 )
@@ -18,6 +19,9 @@ type Fig6Point struct {
 	Strategy   Strategy
 	ChunkBytes int
 	Speedup    float64
+	// Metrics is the registry snapshot for this point, summed over the
+	// fifteen PARMVR loops.
+	Metrics metrics.Snapshot `json:",omitempty"`
 }
 
 // Fig6Result holds the chunk-size sweep.
@@ -74,6 +78,7 @@ func Fig6(p wave5.Params) (*Fig6Result, error) {
 			Strategy:   s.strat,
 			ChunkBytes: s.kb * 1024,
 			Speedup:    float64(s.base) / float64(TotalCycles(rr)),
+			Metrics:    MergeMetrics(rr),
 		}
 		return nil
 	}); err != nil {

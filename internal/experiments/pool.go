@@ -6,11 +6,16 @@ import (
 )
 
 // parallelFor runs fn(i) for every i in [0, n) across up to
-// runtime.GOMAXPROCS(0) workers and returns the first error encountered
-// (other work still drains). Every index's work must be independent —
+// runtime.GOMAXPROCS(0) workers. Every index's work must be independent —
 // experiment sweeps are: each point builds its own workload and machine —
 // and results must be written to distinct, pre-allocated slots so the
 // output order is deterministic regardless of scheduling.
+//
+// On failure the sweep stops promptly: no new index is dispatched once an
+// error is recorded, and already-queued indices above the failing one are
+// skipped. Indices below a recorded failure still run, so the returned
+// error is always the one with the lowest failing index — deterministic,
+// not dependent on completion order.
 //
 // Each in-flight point holds its own simulated machine and dataset, so
 // peak memory scales with the worker count; sweeps at full PARMVR scale
@@ -29,34 +34,54 @@ func parallelFor(n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		mu   sync.Mutex
-		err  error
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		mu       sync.Mutex
+		firstIdx = n // sentinel: no error recorded yet
+		firstErr error
 	)
-	record := func(e error) {
+	record := func(i int, e error) {
 		if e == nil {
 			return
 		}
 		mu.Lock()
-		if err == nil {
-			err = e
+		if i < firstIdx {
+			firstIdx, firstErr = i, e
 		}
 		mu.Unlock()
+	}
+	// skip reports whether index i is moot: an error at a lower index is
+	// already recorded. Indices below the recorded failure still run (one
+	// of them may fail too, and the lowest failing index must win).
+	skip := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return i > firstIdx
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstIdx < n
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				record(fn(i))
+				if skip(i) {
+					continue
+				}
+				record(i, fn(i))
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if failed() {
+			break // cancel: don't dispatch points that will be thrown away
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return err
+	return firstErr
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestParallelForCoversAllIndices(t *testing.T) {
@@ -58,5 +59,52 @@ func TestParallelForSerialFallback(t *testing.T) {
 func TestParallelForZero(t *testing.T) {
 	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParallelForFirstErrorByIndex(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Both indices fail; regardless of completion order the lower index's
+	// error must be returned. The high index fails instantly while the low
+	// one is delayed, biasing completion order against the expected result.
+	for trial := 0; trial < 30; trial++ {
+		err := parallelFor(100, func(i int) error {
+			switch i {
+			case 30:
+				time.Sleep(200 * time.Microsecond)
+				return errLow
+			case 31:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want the lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestParallelForCancelsAfterError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	const n = 100000
+	var ran int32
+	err := parallelFor(n, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("%d of %d points ran after early failure; cancellation not effective", got, n)
 	}
 }

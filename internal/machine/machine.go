@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/memsim"
+	"repro/internal/metrics"
 )
 
 // Machine is a simulated shared-memory multiprocessor.
@@ -13,16 +14,23 @@ type Machine struct {
 	cfg   Config
 	bus   *coherence.Bus
 	procs []*Processor
+	reg   *metrics.Registry
 }
 
 // New builds a machine from cfg. It returns an error (rather than
 // panicking) because configurations can come from CLI flags.
+//
+// Every stat-bearing component is registered in the machine's metrics
+// registry at construction: processor i's hierarchy components under
+// "p<i>.<component>" (l1, l2, tlb, victim) and the bus under "bus". All
+// statistics resets route through that one registry, so a component's
+// counters cannot survive a reset the rest of the machine observed.
 func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	bus := coherence.NewBus(cfg.MemLatency, cfg.C2CLatency, cfg.UpgradeLatency, cfg.L2.LineSize)
-	m := &Machine{cfg: cfg, bus: bus}
+	m := &Machine{cfg: cfg, bus: bus, reg: metrics.NewRegistry()}
 	for i := 0; i < cfg.Procs; i++ {
 		h := cache.NewHierarchy(cfg.L1, cfg.L2, bus.Port(i))
 		h.StoreBuffered = cfg.StoreBuffered
@@ -32,7 +40,11 @@ func New(cfg Config) (*Machine, error) {
 		}
 		bus.Attach(i, h)
 		m.procs = append(m.procs, &Processor{id: i, m: m, h: h})
+		for _, s := range h.StatSources() {
+			m.reg.Register(fmt.Sprintf("p%d.%s", i, s.Name), s)
+		}
 	}
+	m.reg.Register("bus", bus)
 	return m, nil
 }
 
@@ -57,21 +69,26 @@ func (m *Machine) Proc(i int) *Processor { return m.procs[i] }
 // Bus returns the coherence bus (for statistics).
 func (m *Machine) Bus() *coherence.Bus { return m.bus }
 
-// ResetCaches empties every processor's hierarchy and the bus statistics.
+// Metrics returns the machine's metrics registry: every cache level, TLB,
+// victim buffer, and the bus report there, and run drivers (the cascade
+// runner) add their own counters and phase timers to it.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
+
+// ResetCaches empties every processor's hierarchy and zeroes every
+// registered statistic (bus, run-driver counters included).
 func (m *Machine) ResetCaches() {
 	for _, p := range m.procs {
 		p.h.Reset()
 	}
-	m.bus.ResetStats()
+	m.reg.ResetStats()
 }
 
-// ResetStats zeroes all cache and bus statistics without disturbing cache
-// contents, so that measurements exclude warm-up traffic.
+// ResetStats zeroes every registered statistic without disturbing cache
+// contents, so that measurements exclude warm-up traffic. This is the
+// measured-region boundary: it routes through the metrics registry, which
+// enumerates every stat-bearing component exactly once.
 func (m *Machine) ResetStats() {
-	for _, p := range m.procs {
-		p.h.ResetStats()
-	}
-	m.bus.ResetStats()
+	m.reg.ResetStats()
 }
 
 // EnableClassification turns on miss classification on every cache. Opt-in

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// metricsMachine is a small two-processor machine with every optional
+// stat-bearing component enabled (TLB and victim buffer).
+func metricsMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := PentiumPro(2)
+	cfg.VictimEntries = 4
+	cfg.VictimLatency = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// metricsChurn produces cross-processor traffic that exercises caches,
+// TLB, victim buffer, and bus.
+func metricsChurn(m *Machine) {
+	for i := 0; i < 50; i++ {
+		a := memsim.Addr(0x10000 + i*4096)
+		m.Proc(0).Access(a, 8, true)
+		m.Proc(1).Access(a, 8, true) // invalidations + c2c traffic
+	}
+	// Thrash one L1 set so the victim buffer sees inserts.
+	for i := 0; i < 20; i++ {
+		for _, b := range []memsim.Addr{0x80000, 0x80000 + 8192, 0x80000 + 16384} {
+			m.Proc(0).Access(b, 8, false)
+		}
+	}
+}
+
+func TestMachineMetricsRegistryShape(t *testing.T) {
+	m := metricsMachine(t)
+	s := m.Metrics().Snapshot()
+	for _, name := range []string{
+		"p0.l1.misses", "p0.l2.accesses", "p0.tlb.misses", "p0.victim.inserts",
+		"p1.l1.misses", "bus.mem_fetches", "bus.invalidations_out",
+	} {
+		if _, ok := s[name]; !ok {
+			t.Errorf("registry snapshot missing %q; have %d names", name, len(s))
+		}
+	}
+	for name := range s {
+		if strings.HasPrefix(name, "p2.") {
+			t.Errorf("unexpected third processor metric %q", name)
+		}
+	}
+}
+
+// TestMachineResetStatsSweepsEverything is the generic leak sweep: after
+// ResetStats, every metric registered by any component of the machine must
+// read zero. This is the machine-level regression net for the class of bug
+// where one reset path misses a component (the victim-buffer leak).
+func TestMachineResetStatsSweepsEverything(t *testing.T) {
+	m := metricsMachine(t)
+	metricsChurn(m)
+	before := m.Metrics().Snapshot()
+	for _, key := range []string{"p0.l1.misses", "p0.tlb.misses", "p0.victim.inserts", "bus.mem_fetches", "bus.invalidations_out"} {
+		if before.Get(key) == 0 {
+			t.Fatalf("churn produced no %s; test traffic too weak", key)
+		}
+	}
+	m.ResetStats()
+	after := m.Metrics().Snapshot()
+	if !after.AllZero() {
+		t.Errorf("counters survive ResetStats: %v", after.NonZero())
+	}
+	// Contents must be kept: a re-access of distributed data stays cheap.
+	if m.Proc(0).Access(0x80000, 8, false).Level != 1 {
+		t.Error("ResetStats dropped cache contents")
+	}
+
+	metricsChurn(m)
+	m.ResetCaches()
+	if s := m.Metrics().Snapshot(); !s.AllZero() {
+		t.Errorf("counters survive ResetCaches: %v", s.NonZero())
+	}
+}
+
+// TestLegacyStatsMatchRegistry pins the aggregate Stats accessors to the
+// registry view, so the two reporting paths cannot drift.
+func TestLegacyStatsMatchRegistry(t *testing.T) {
+	m := metricsMachine(t)
+	metricsChurn(m)
+	s := m.Metrics().Snapshot()
+	if got, want := s.Get("p0.l1.misses")+s.Get("p1.l1.misses"), m.L1Stats().Misses; got != want {
+		t.Errorf("registry L1 misses = %d, L1Stats = %d", got, want)
+	}
+	if got, want := s.Get("p0.victim.inserts")+s.Get("p1.victim.inserts"), m.VictimStats().Inserts; got != want {
+		t.Errorf("registry victim inserts = %d, VictimStats = %d", got, want)
+	}
+	if got, want := s.Get("bus.writebacks"), m.Bus().Stats().Writebacks; got != want {
+		t.Errorf("registry bus writebacks = %d, Bus().Stats() = %d", got, want)
+	}
+	if got, want := s.Get("p0.tlb.accesses")+s.Get("p1.tlb.accesses"), m.TLBStats().Accesses; got != want {
+		t.Errorf("registry TLB accesses = %d, TLBStats = %d", got, want)
+	}
+}

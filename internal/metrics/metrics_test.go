@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Max(7)
+	g.Max(2)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	s := r.Snapshot()
+	if s.Get("events") != 5 || s.Get("depth") != 7 {
+		t.Errorf("snapshot = %v", s)
+	}
+	// Second lookup returns the same instance.
+	if r.Counter("events") != c || r.Gauge("depth") != g {
+		t.Error("lookup did not return the registered instance")
+	}
+	r.ResetStats()
+	if !r.Snapshot().AllZero() {
+		t.Errorf("after reset: %v", r.Snapshot())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Register("x", &Counter{})
+}
+
+func TestCounterNameCollisionAcrossKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("Gauge over a Counter name did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestPhaseTimer(t *testing.T) {
+	r := NewRegistry()
+	pt := r.PhaseTimer("cascade", "helper", "exec")
+	pt.Add(0, "exec", 100)
+	pt.Add(2, "helper", 30)
+	pt.Add(2, "helper", 12)
+	if got := pt.Cycles(2, "helper"); got != 42 {
+		t.Errorf("Cycles(2, helper) = %d, want 42", got)
+	}
+	if got := pt.Total("exec"); got != 100 {
+		t.Errorf("Total(exec) = %d, want 100", got)
+	}
+	if pt.Procs() != 3 {
+		t.Errorf("Procs = %d, want 3", pt.Procs())
+	}
+	s := r.Snapshot()
+	want := Snapshot{
+		"cascade.p0.helper": 0, "cascade.p0.exec": 100,
+		"cascade.p1.helper": 0, "cascade.p1.exec": 0,
+		"cascade.p2.helper": 42, "cascade.p2.exec": 0,
+		"cascade.total.helper": 42, "cascade.total.exec": 100,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("snapshot = %v, want %v", s, want)
+	}
+	// Re-fetch with the same phases is the same timer; different phases panic.
+	if r.PhaseTimer("cascade", "helper", "exec") != pt {
+		t.Error("re-fetch returned a different timer")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("phase-set mismatch did not panic")
+			}
+		}()
+		r.PhaseTimer("cascade", "helper")
+	}()
+	r.ResetStats()
+	if pt.Procs() != 3 {
+		t.Error("reset must keep the processor set")
+	}
+	if !r.Snapshot().AllZero() {
+		t.Errorf("after reset: %v", r.Snapshot())
+	}
+}
+
+func TestPhaseTimerUnknownPhasePanics(t *testing.T) {
+	pt := NewRegistry().PhaseTimer("t", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown phase did not panic")
+		}
+	}()
+	pt.Add(0, "b", 1)
+}
+
+func TestSnapshotDiffMerge(t *testing.T) {
+	a := Snapshot{"x": 10, "y": 3}
+	b := Snapshot{"x": 4, "y": 3, "gone": 9}
+	d := a.Diff(b)
+	if !reflect.DeepEqual(d, Snapshot{"x": 6, "y": 0}) {
+		t.Errorf("diff = %v", d)
+	}
+	m := a.Merge(Snapshot{"x": 1, "z": 2})
+	if !reflect.DeepEqual(m, Snapshot{"x": 11, "y": 3, "z": 2}) {
+		t.Errorf("merge = %v", m)
+	}
+	mm := Merge(a, a, Snapshot{"w": 1})
+	if !reflect.DeepEqual(mm, Snapshot{"x": 20, "y": 6, "w": 1}) {
+		t.Errorf("Merge = %v", mm)
+	}
+	nz := d.NonZero()
+	if !reflect.DeepEqual(nz, Snapshot{"x": 6}) {
+		t.Errorf("NonZero = %v", nz)
+	}
+}
+
+func TestSnapshotNamesSortedAndJSONDeterministic(t *testing.T) {
+	s := Snapshot{"b.z": 1, "a": 2, "b.a": 3}
+	if !reflect.DeepEqual(s.Names(), []string{"a", "b.a", "b.z"}) {
+		t.Errorf("Names = %v", s.Names())
+	}
+	j1, _ := json.Marshal(s)
+	j2, _ := json.Marshal(s)
+	if string(j1) != string(j2) || string(j1) != `{"a":2,"b.a":3,"b.z":1}` {
+		t.Errorf("JSON = %s", j1)
+	}
+}
+
+func TestSnapshotWithPrefix(t *testing.T) {
+	s := Snapshot{"cascade.p0.exec": 5, "cascade.p1.exec": 7, "bus.writebacks": 1, "cascade": 2, "cascadex.y": 3}
+	got := s.WithPrefix("cascade")
+	want := Snapshot{"p0.exec": 5, "p1.exec": 7, "": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WithPrefix = %v, want %v", got, want)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Add(100) // warm-up traffic
+	region := r.Begin()
+	c.Add(7)
+	got := region.End()
+	if got.Get("hits") != 7 {
+		t.Errorf("region delta = %v, want hits=7", got)
+	}
+	// The region is reusable: End reports the delta since Begin.
+	c.Add(3)
+	if region.End().Get("hits") != 10 {
+		t.Errorf("second End = %v", region.End())
+	}
+}
+
+// fakeSource checks that registered sources are driven through the one
+// reset path and prefixed correctly.
+type fakeSource struct {
+	n     int64
+	reset int
+}
+
+func (f *fakeSource) EmitMetrics(emit func(string, int64)) {
+	emit("n", f.n)
+}
+func (f *fakeSource) ResetStats() { f.reset++; f.n = 0 }
+
+func TestRegistrySources(t *testing.T) {
+	r := NewRegistry()
+	f := &fakeSource{n: 9}
+	r.Register("p0.l1", f)
+	if got := r.Snapshot().Get("p0.l1.n"); got != 9 {
+		t.Errorf("snapshot = %v", r.Snapshot())
+	}
+	r.ResetStats()
+	if f.reset != 1 || f.n != 0 {
+		t.Errorf("source not reset: %+v", f)
+	}
+}
