@@ -1,0 +1,25 @@
+# Development targets. `tier1` is the merge gate (see ROADMAP.md); `race`
+# is the fuller pre-merge check; `bench` regenerates the paper's headline
+# benchmarks; `bench-hotpath` compares the compiled fast engine against
+# the reference interpreter (see BENCH_hotpath.json for recorded runs).
+
+GO ?= go
+
+.PHONY: tier1 race bench bench-hotpath fmt
+
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkFig2$$|BenchmarkFig6$$' -benchtime 1x -count 3 .
+
+bench-hotpath:
+	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 2x -count 3 .
+
+fmt:
+	gofmt -w .

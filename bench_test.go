@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -39,7 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 // processor count for both helpers on both machines.
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(benchParams(), cascade.DefaultChunkBytes)
+		res, err := experiments.Fig2(context.Background(), benchParams(), cascade.DefaultChunkBytes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func BenchmarkFig2(b *testing.B) {
 // breakdown runs the shared Figure 3/4/5 measurement for one machine.
 func breakdown(b *testing.B, cfg machine.Config) *experiments.BreakdownResult {
 	b.Helper()
-	res, err := experiments.LoopBreakdown(cfg.WithProcs(4), benchParams(), cascade.DefaultChunkBytes)
+	res, err := experiments.LoopBreakdown(context.Background(), cfg.WithProcs(4), benchParams(), cascade.DefaultChunkBytes)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func BenchmarkFig5(b *testing.B) {
 // metrics are the best chunk size and its speedup per machine.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(benchParams())
+		res, err := experiments.Fig6(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	const n = 1 << 19 // 2MB arrays at bench scale
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(n)
+		res, err := experiments.Fig7(context.Background(), n)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkAblationJumpOut measures §3.3's jump-out-of-helper refinement.
 func BenchmarkAblationJumpOut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.AblationJumpOut(benchParams())
+		a, err := experiments.AblationJumpOut(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkAblationJumpOut(b *testing.B) {
 // BenchmarkAblationPrecompute measures §2.1's read-only precomputation.
 func BenchmarkAblationPrecompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.AblationPrecompute(benchParams())
+		a, err := experiments.AblationPrecompute(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func BenchmarkAblationPrecompute(b *testing.B) {
 // block partitioning.
 func BenchmarkAblationChunking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.AblationChunking(benchParams())
+		a, err := experiments.AblationChunking(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func BenchmarkAblationChunking(b *testing.B) {
 // BenchmarkAblationCompilerPrefetch tests the paper's MIPSpro hypothesis.
 func BenchmarkAblationCompilerPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.AblationCompilerPrefetch(benchParams())
+		a, err := experiments.AblationCompilerPrefetch(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func BenchmarkAblationCompilerPrefetch(b *testing.B) {
 // translation in the sequential baseline.
 func BenchmarkAblationTLB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.AblationTLB(benchParams())
+		a, err := experiments.AblationTLB(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}

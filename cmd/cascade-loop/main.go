@@ -85,9 +85,15 @@ func run(specPath, machineName string, procs, chunkBytes int, precompute bool) e
 		if err != nil {
 			return err
 		}
-		opts := cascade.DefaultOptions(h, space)
-		opts.ChunkBytes = chunkBytes
-		opts.Precompute = precompute
+		opts, err := cascade.NewOptions(
+			cascade.WithHelper(h),
+			cascade.WithSpace(space),
+			cascade.WithChunkBytes(chunkBytes),
+			cascade.WithPrecompute(precompute),
+		)
+		if err != nil {
+			return err
+		}
 		res, err := cascade.Run(machine.MustNew(cfg), l, opts)
 		if err != nil {
 			return err

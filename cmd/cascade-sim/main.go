@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	cascade-sim -exp table1|fig2|...|conflicts|amdahl|gallery|ablations|quickstart|all [flags]
+//	cascade-sim -exp list                 # enumerate experiments
+//	cascade-sim -exp table1|fig2|...|all  [flags]
 //
-// The -scale flag shrinks the PARMVR dataset for quick runs (1.0 is the
-// paper-scale enlarged dataset; figures in EXPERIMENTS.md use 1.0). The
-// -csv flag switches table output to CSV for plotting.
+// Experiments are dispatched through the experiments.Registry; -exp list
+// prints every registered name with its description. The -scale flag
+// shrinks the PARMVR dataset for quick runs (1.0 is the paper-scale
+// enlarged dataset; figures in EXPERIMENTS.md use 1.0). The -csv flag
+// switches table output to CSV for plotting, -chart draws ASCII charts
+// for experiments that have them, and -json emits the raw result values.
 //
 // The -metrics flag emits the per-processor metric snapshots the
 // simulator's registry records for each measured region — helper,
@@ -15,21 +19,26 @@
 // and bus counters. "-metrics table" renders breakdown tables,
 // "-metrics json" the raw snapshots. Without an explicit -exp it runs
 // the quickstart scatter-add demonstration.
+//
+// Interrupting a run (Ctrl-C) cancels the sweep promptly: in-flight
+// simulation points finish, no new ones start, and the command exits
+// with the cancellation error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cascade"
 	"repro/internal/experiments"
-	"repro/internal/report"
 	"repro/internal/synthetic"
-	"repro/internal/wave5"
 )
 
 // cliOptions carries the parsed command line into run.
@@ -45,10 +54,10 @@ type cliOptions struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: quickstart, table1, fig2, fig3, fig4, fig5, fig6, fig7, conflicts, amdahl, gallery, ablations, all")
+		exp     = flag.String("exp", "all", "experiment name, \"all\", or \"list\" to enumerate")
 		scale   = flag.Float64("scale", 1.0, "PARMVR dataset scale factor (1.0 = paper-scale)")
 		chunkKB = flag.Int("chunk", cascade.DefaultChunkBytes/1024, "chunk size in KB for fig2/fig3/fig4/fig5/quickstart")
-		n       = flag.Int("n", synthetic.DefaultN, "synthetic-loop array length for fig7")
+		n       = flag.Int("n", synthetic.DefaultN, "synthetic-loop array length for fig7 and gallery")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart   = flag.Bool("chart", false, "draw ASCII charts instead of tables (figures only)")
 		asJSON  = flag.Bool("json", false, "emit raw results as JSON (figures and studies)")
@@ -65,7 +74,9 @@ func main() {
 		metrics:    *metrics,
 		quiet:      *quiet,
 	}
-	if err := run(os.Stdout, opts); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-sim:", err)
 		os.Exit(1)
 	}
@@ -92,192 +103,86 @@ func emitJSON(w io.Writer, v interface{}) error {
 	return enc.Encode(v)
 }
 
-func run(w io.Writer, opts cliOptions) error {
+// render writes a result in the selected output mode. Modes a result does
+// not support fall back to its table rendering.
+func render(w io.Writer, r experiments.Renderable, mode string) error {
+	switch mode {
+	case "json":
+		return emitJSON(w, r)
+	case "chart":
+		if c, ok := r.(experiments.ChartRenderable); ok {
+			c.RenderChart(w)
+			return nil
+		}
+	case "csv":
+		if c, ok := r.(experiments.CSVRenderable); ok {
+			c.RenderCSV(w)
+			fmt.Fprintln(w)
+			return nil
+		}
+	}
+	r.Render(w)
+	return nil
+}
+
+// list enumerates the registry.
+func list(w io.Writer) {
+	fmt.Fprintln(w, "experiments (run with -exp <name>, or -exp all):")
+	for _, e := range experiments.Registry() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Description)
+	}
+}
+
+func run(ctx context.Context, w io.Writer, opts cliOptions) error {
 	switch opts.metrics {
 	case "", "table", "json":
 	default:
 		return fmt.Errorf("unknown -metrics mode %q (want table or json)", opts.metrics)
+	}
+	if opts.exp == "list" {
+		list(w)
+		return nil
 	}
 	// -metrics alone means "show me the metrics layer": the quickstart
 	// demonstration is its smallest end-to-end run.
 	if opts.metrics != "" && opts.exp == "all" {
 		opts.exp = "quickstart"
 	}
-	params := wave5.DefaultParams().Scaled(opts.scale)
-	progress := func(format string, args ...interface{}) {
-		if !opts.quiet {
+	mode := opts.mode
+	if opts.metrics == "json" {
+		mode = "json" // raw snapshots ride along in the result values
+	}
+	rc := experiments.RunConfig{
+		Scale:      opts.scale,
+		ChunkBytes: opts.chunkBytes,
+		N:          opts.n,
+	}
+	if !opts.quiet {
+		rc.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	emit := func(t *report.Table) {
-		if opts.mode == "csv" {
-			t.RenderCSV(w)
-		} else {
-			t.Render(w)
-		}
-		fmt.Fprintln(w)
-	}
 
-	runOne := func(name string) error {
-		start := time.Now()
-		defer func() { progress("%s done in %.1fs", name, time.Since(start).Seconds()) }()
-		switch name {
-		case "quickstart":
-			qn := int(float64(experiments.QuickstartN) * opts.scale)
-			if qn < 1<<10 {
-				qn = 1 << 10
-			}
-			progress("quickstart: scatter-add metrics demo (n=%d)...", qn)
-			r, err := experiments.Quickstart(qn, opts.chunkBytes)
-			if err != nil {
-				return err
-			}
-			if opts.metrics == "json" || opts.mode == "json" {
-				return emitJSON(w, r)
-			}
-			r.Render(w)
-		case "table1":
-			emit(experiments.Table1())
-		case "fig2":
-			progress("fig2: PARMVR processor sweep (scale %.2f)...", opts.scale)
-			r, err := experiments.Fig2(params, opts.chunkBytes)
-			if err != nil {
-				return err
-			}
-			switch opts.mode {
-			case "json":
-				if err := emitJSON(w, r); err != nil {
-					return err
-				}
-			case "chart":
-				r.RenderChart(w)
-			default:
-				r.Render(w)
-			}
-		case "fig3", "fig4", "fig5":
-			progress("%s: per-loop breakdown (scale %.2f)...", name, opts.scale)
-			for _, cfg := range experiments.Machines() {
-				b, err := experiments.LoopBreakdown(cfg.WithProcs(4), params, opts.chunkBytes)
-				if err != nil {
-					return err
-				}
-				switch {
-				case opts.mode == "json":
-					if err := emitJSON(w, b); err != nil {
-						return err
-					}
-				case name == "fig3" && opts.mode == "chart":
-					b.RenderChartFig3(w)
-				case name == "fig3":
-					b.RenderFig3(w)
-				case name == "fig4" && opts.mode == "chart":
-					b.RenderChartFig4(w)
-				case name == "fig4":
-					b.RenderFig4(w)
-				case name == "fig5" && opts.mode == "chart":
-					b.RenderChartFig5(w)
-				case name == "fig5":
-					b.RenderFig5(w)
-				}
-			}
-		case "fig6":
-			progress("fig6: chunk-size sweep (scale %.2f)...", opts.scale)
-			r, err := experiments.Fig6(params)
-			if err != nil {
-				return err
-			}
-			switch opts.mode {
-			case "json":
-				if err := emitJSON(w, r); err != nil {
-					return err
-				}
-			case "chart":
-				r.RenderChart(w)
-			default:
-				r.Render(w)
-			}
-		case "fig7":
-			progress("fig7: synthetic future-machine sweep (n=%d)...", opts.n)
-			r, err := experiments.Fig7(opts.n)
-			if err != nil {
-				return err
-			}
-			switch opts.mode {
-			case "json":
-				if err := emitJSON(w, r); err != nil {
-					return err
-				}
-			case "chart":
-				r.RenderChart(w)
-			default:
-				r.Render(w)
-			}
-		case "gallery":
-			progress("gallery: kernel suite (n=%d)...", opts.n)
-			for _, cfg := range experiments.Machines() {
-				g, err := experiments.Gallery(cfg, opts.n, opts.chunkBytes)
-				if err != nil {
-					return err
-				}
-				g.Render(w)
-			}
-		case "amdahl":
-			progress("amdahl: application-level study (scale %.2f)...", opts.scale)
-			for _, cfg := range experiments.Machines() {
-				a, err := experiments.Amdahl(cfg, params, opts.chunkBytes)
-				if err != nil {
-					return err
-				}
-				switch opts.mode {
-				case "json":
-					if err := emitJSON(w, a); err != nil {
-						return err
-					}
-				case "chart":
-					a.RenderChart(w)
-				default:
-					a.Render(w)
-				}
-			}
-		case "conflicts":
-			progress("conflicts: sequential miss classification (scale %.2f)...", opts.scale)
-			for _, cfg := range experiments.Machines() {
-				c, err := experiments.ConflictAnalysis(cfg, params)
-				if err != nil {
-					return err
-				}
-				c.Render(w)
-			}
-		case "ablations":
-			progress("ablations (scale %.2f)...", opts.scale)
-			for _, f := range []func(wave5.Params) (*experiments.AblationResult, error){
-				experiments.AblationJumpOut,
-				experiments.AblationPrecompute,
-				experiments.AblationChunking,
-				experiments.AblationCompilerPrefetch,
-				experiments.AblationTLB,
-				experiments.AblationPriorParallel,
-				experiments.AblationVictimCache,
-			} {
-				a, err := f(params)
-				if err != nil {
-					return err
-				}
-				a.Render(w)
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
-
+	names := []string{opts.exp}
 	if opts.exp == "all" {
-		for _, name := range []string{"quickstart", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
-			if err := runOne(name); err != nil {
-				return err
-			}
-		}
-		return nil
+		names = experiments.Names()
 	}
-	return runOne(opts.exp)
+	for _, name := range names {
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -exp list)", name)
+		}
+		start := time.Now()
+		r, err := e.Run(ctx, rc)
+		if err != nil {
+			return err
+		}
+		if rc.Progress != nil {
+			rc.Progress("%s done in %.1fs", name, time.Since(start).Seconds())
+		}
+		if err := render(w, r, mode); err != nil {
+			return err
+		}
+	}
+	return nil
 }

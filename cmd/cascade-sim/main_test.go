@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -11,7 +13,7 @@ const smallScale = 0.02
 
 func TestRunTable1(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -24,7 +26,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable1CSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "csv", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "table1", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "csv", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Processor,Memory Level") {
@@ -34,7 +36,7 @@ func TestRunTable1CSV(t *testing.T) {
 
 func TestRunFig2(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Figure 2") {
@@ -45,7 +47,7 @@ func TestRunFig2(t *testing.T) {
 func TestRunFigBreakdowns(t *testing.T) {
 	for _, exp := range []string{"fig3", "fig4", "fig5"} {
 		var b strings.Builder
-		if err := run(&b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+		if err := run(context.Background(), &b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(b.String(), "gather_ex") {
@@ -56,7 +58,7 @@ func TestRunFigBreakdowns(t *testing.T) {
 
 func TestRunFig7(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "fig7", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "fig7", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Figure 7") {
@@ -66,7 +68,7 @@ func TestRunFig7(t *testing.T) {
 
 func TestRunAblations(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "ablations", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "ablations", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -79,7 +81,7 @@ func TestRunAblations(t *testing.T) {
 
 func TestRunConflicts(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "conflicts", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "conflicts", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,7 +95,7 @@ func TestRunConflicts(t *testing.T) {
 func TestRunCharts(t *testing.T) {
 	for _, exp := range []string{"fig2", "fig3", "fig7"} {
 		var b strings.Builder
-		if err := run(&b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "chart", quiet: true}); err != nil {
+		if err := run(context.Background(), &b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "chart", quiet: true}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		out := b.String()
@@ -114,7 +116,7 @@ func TestOutputMode(t *testing.T) {
 
 func TestRunAmdahl(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "amdahl", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "amdahl", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Application speedup") {
@@ -124,7 +126,7 @@ func TestRunAmdahl(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "json", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "json", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -148,7 +150,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "nope", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err == nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "nope", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -158,7 +160,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // helper/exec/transfer cycle breakdowns in the snapshots.
 func TestRunMetricsJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "json", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "json", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -187,7 +189,7 @@ func TestRunMetricsJSON(t *testing.T) {
 
 func TestRunMetricsTable(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -200,7 +202,7 @@ func TestRunMetricsTable(t *testing.T) {
 
 func TestRunBadMetricsMode(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "yaml", quiet: true}); err == nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "all", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", metrics: "yaml", quiet: true}); err == nil {
 		t.Error("bad -metrics mode accepted")
 	}
 }
@@ -209,10 +211,36 @@ func TestRunBadMetricsMode(t *testing.T) {
 // the ordinary table renderer.
 func TestRunQuickstartExplicit(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, cliOptions{exp: "quickstart", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
+	if err := run(context.Background(), &b, cliOptions{exp: "quickstart", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "scatter-add") {
 		t.Error("missing quickstart table")
+	}
+}
+
+// TestRunList pins -exp list: every registered experiment is enumerated.
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), &b, cliOptions{exp: "list", mode: "table", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"quickstart", "table1", "fig2", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-exp list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCancelled pins Ctrl-C behavior: a cancelled context aborts the
+// dispatched experiment with context.Canceled.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	err := run(ctx, &b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -83,11 +83,14 @@ func run(machineName, variant, helperName string, chunkBytes, n int) error {
 	if err != nil {
 		return err
 	}
-	opts := cascade.Options{
-		Helper:     helper,
-		ChunkBytes: chunkBytes,
-		JumpOut:    true,
-		Space:      space,
+	opts, err := cascade.NewOptions(
+		cascade.WithHelper(helper),
+		cascade.WithChunkBytes(chunkBytes),
+		cascade.WithSpace(space),
+		cascade.WithPriorParallel(false),
+	)
+	if err != nil {
+		return err
 	}
 	r, err := cascade.RunUnbounded(cfg, l, opts)
 	if err != nil {

@@ -103,10 +103,16 @@ func run(machineName string, procs int, helperName string, chunkBytes int, scale
 			return err
 		}
 		for i, l := range w.Loops {
-			opts := cascade.DefaultOptions(helper, w.Space)
-			opts.ChunkBytes = chunkBytes
-			opts.Precompute = precompute
-			opts.JumpOut = jumpOut
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(helper),
+				cascade.WithSpace(w.Space),
+				cascade.WithChunkBytes(chunkBytes),
+				cascade.WithPrecompute(precompute),
+				cascade.WithJumpOut(jumpOut),
+			)
+			if err != nil {
+				return err
+			}
 			r, err := cascade.Run(m, l, opts)
 			if err != nil {
 				return err

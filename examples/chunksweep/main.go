@@ -80,8 +80,14 @@ func main() {
 		bestKB, bestSpeed := 0, 0.0
 		for _, kb := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
 			space, loop := buildStencil()
-			opts := cascade.DefaultOptions(cascade.HelperRestructure, space)
-			opts.ChunkBytes = kb * 1024
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(cascade.HelperRestructure),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(kb*1024),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
 			res, err := cascade.Run(machine.MustNew(cfg), loop, opts)
 			if err != nil {
 				log.Fatal(err)

@@ -49,12 +49,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := cascade.RunUnbounded(cfg, l, cascade.Options{
-			Helper:     cascade.HelperRestructure,
-			ChunkBytes: 2 * 1024,
-			JumpOut:    true,
-			Space:      space,
-		})
+		opts, err := cascade.NewOptions(
+			cascade.WithHelper(cascade.HelperRestructure),
+			cascade.WithChunkBytes(2*1024),
+			cascade.WithSpace(space),
+			cascade.WithPriorParallel(false),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cascade.RunUnbounded(cfg, l, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -130,8 +130,15 @@ func main() {
 			mm := machine.MustNew(cfg)
 			fmt.Printf("%s helper:\n", helper)
 			var total, seqTotal int64
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(helper),
+				cascade.WithSpace(st.space),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
 			for i, l := range st.loops {
-				res, err := cascade.Run(mm, l, cascade.DefaultOptions(helper, st.space))
+				res, err := cascade.Run(mm, l, opts)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -64,7 +64,14 @@ func main() {
 	// 2. Cascaded execution, restructuring helper, 64KB chunks.
 	space, casLoop := buildLoop(n)
 	casMachine := machine.MustNew(machine.PentiumPro(4))
-	result, err := cascade.Run(casMachine, casLoop, cascade.DefaultOptions(cascade.HelperRestructure, space))
+	opts, err := cascade.NewOptions(
+		cascade.WithHelper(cascade.HelperRestructure),
+		cascade.WithSpace(space),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := cascade.Run(casMachine, casLoop, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

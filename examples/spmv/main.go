@@ -90,8 +90,14 @@ func main() {
 				continue
 			}
 			space, l := buildSpMV()
-			opts := cascade.DefaultOptions(h, space)
-			opts.Precompute = pre
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(h),
+				cascade.WithSpace(space),
+				cascade.WithPrecompute(pre),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
 			res, err := cascade.Run(machine.MustNew(cfg), l, opts)
 			if err != nil {
 				log.Fatal(err)

@@ -28,6 +28,12 @@ type Cache struct {
 	setMask  memsim.Addr
 	setShift uint
 	assoc    int
+
+	// last points at the slot of the most recent demand hit or fill — a
+	// hint for the hierarchy's memoizer, which would otherwise repeat the
+	// set search the access just performed. Like all fast-path hints it
+	// is verified (tag, state) before use.
+	last *line
 }
 
 // New builds a cache from cfg. It panics on invalid configuration; machine
@@ -79,6 +85,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.stats = Stats{}
+	c.last = nil
 	if c.classify != nil {
 		c.classify.reset()
 	}
@@ -100,12 +107,54 @@ func (c *Cache) find(set []line, lineAddr memsim.Addr) int {
 	return -1
 }
 
+// lookup returns a pointer to the line's bookkeeping slot, or nil if the
+// line is absent, consulting the last-hit hint before searching the set.
+// The hint is verified (tag and state) so a stale one merely falls
+// through to the scan; a present line occupies exactly one slot, so the
+// hint and the scan can only agree.
+func (c *Cache) lookup(lineAddr memsim.Addr) *line {
+	if ln := c.last; ln != nil && ln.state != Invalid && ln.tag == lineAddr {
+		return ln
+	}
+	set := c.setFor(lineAddr)
+	if w := c.find(set, lineAddr); w >= 0 {
+		c.last = &set[w]
+		return &set[w]
+	}
+	return nil
+}
+
+// linePtr returns a pointer to the line's bookkeeping slot, or nil if the
+// line is absent. The pointer stays valid for the cache's lifetime (the
+// backing array is allocated once in New and never moves); it dangles
+// logically — not in memory — once the line is evicted, so holders must
+// re-verify tag and state before trusting it. The hierarchy's same-line
+// fast path memoizes it to re-touch recent lines without a set search.
+func (c *Cache) linePtr(lineAddr memsim.Addr) *line {
+	return c.lookup(lineAddr)
+}
+
+// touchFast repeats a demand hit on a line already known to be present
+// (via a linePtr memo), performing exactly the bookkeeping Touch's hit
+// path performs — statistics, the LRU tick, the classification shadow —
+// without the set search. Callers guarantee ln points at the valid slot
+// for its line; the hierarchy's fast path establishes that by checking
+// the slot's current tag and state immediately before the call.
+func (c *Cache) touchFast(ln *line) {
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.tick++
+	ln.lru = c.tick
+	if c.classify != nil {
+		c.classify.touch(ln.tag)
+	}
+}
+
 // Probe reports the line's state without touching LRU order or statistics.
 // The address must be line-aligned.
 func (c *Cache) Probe(lineAddr memsim.Addr) State {
-	set := c.setFor(lineAddr)
-	if w := c.find(set, lineAddr); w >= 0 {
-		return set[w].state
+	if ln := c.lookup(lineAddr); ln != nil {
+		return ln.state
 	}
 	return Invalid
 }
@@ -116,9 +165,8 @@ func (c *Cache) Probe(lineAddr memsim.Addr) State {
 // SetState). Statistics are updated. The address must be line-aligned.
 func (c *Cache) Touch(lineAddr memsim.Addr, write bool) (hit bool, st State) {
 	c.stats.Accesses++
-	set := c.setFor(lineAddr)
-	w := c.find(set, lineAddr)
-	if w < 0 {
+	ln := c.lookup(lineAddr)
+	if ln == nil {
 		c.stats.Misses++
 		if write {
 			c.stats.WriteMisses++
@@ -132,11 +180,12 @@ func (c *Cache) Touch(lineAddr memsim.Addr, write bool) (hit bool, st State) {
 	}
 	c.stats.Hits++
 	c.tick++
-	set[w].lru = c.tick
+	ln.lru = c.tick
+	c.last = ln
 	if c.classify != nil {
 		c.classify.touch(lineAddr)
 	}
-	return true, set[w].state
+	return true, ln.state
 }
 
 // classifyMiss records a demand miss in the shadow structures and bumps the
@@ -196,6 +245,7 @@ func (c *Cache) Fill(lineAddr memsim.Addr, st State, prefetch bool) Victim {
 	}
 	c.tick++
 	set[victim] = line{tag: lineAddr, state: st, lru: c.tick}
+	c.last = &set[victim]
 	c.stats.Fills++
 	if prefetch {
 		c.stats.PrefetchFills++
@@ -206,28 +256,26 @@ func (c *Cache) Fill(lineAddr memsim.Addr, st State, prefetch bool) Victim {
 // SetState changes the state of a present line (e.g. S->M after a coherence
 // upgrade). It reports whether the line was present. Upgrades are counted.
 func (c *Cache) SetState(lineAddr memsim.Addr, st State) bool {
-	set := c.setFor(lineAddr)
-	w := c.find(set, lineAddr)
-	if w < 0 {
+	ln := c.lookup(lineAddr)
+	if ln == nil {
 		return false
 	}
-	if set[w].state == Shared && st == Modified {
+	if ln.state == Shared && st == Modified {
 		c.stats.Upgrades++
 	}
-	set[w].state = st
+	ln.state = st
 	return true
 }
 
 // Invalidate removes the line if present, returning its prior state.
 // Coherence-initiated removals are counted as invalidations.
 func (c *Cache) Invalidate(lineAddr memsim.Addr) (prior State) {
-	set := c.setFor(lineAddr)
-	w := c.find(set, lineAddr)
-	if w < 0 {
+	ln := c.lookup(lineAddr)
+	if ln == nil {
 		return Invalid
 	}
-	prior = set[w].state
-	set[w] = line{}
+	prior = ln.state
+	*ln = line{}
 	c.stats.Invalidations++
 	return prior
 }
@@ -235,14 +283,13 @@ func (c *Cache) Invalidate(lineAddr memsim.Addr) (prior State) {
 // Downgrade forces a Modified line to Shared (a remote reader snooped it).
 // It reports the prior state; Invalid means the line was absent.
 func (c *Cache) Downgrade(lineAddr memsim.Addr) (prior State) {
-	set := c.setFor(lineAddr)
-	w := c.find(set, lineAddr)
-	if w < 0 {
+	ln := c.lookup(lineAddr)
+	if ln == nil {
 		return Invalid
 	}
-	prior = set[w].state
+	prior = ln.state
 	if prior == Modified {
-		set[w].state = Shared
+		ln.state = Shared
 		c.stats.Downgrades++
 	}
 	return prior

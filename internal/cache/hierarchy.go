@@ -116,7 +116,55 @@ type Hierarchy struct {
 	// they warm the caches.
 	TLB *TLB
 
+	// FastPath enables the same-line short-circuit: a demand access that
+	// lands in a recently-accessed L1 line skips the TLB scan, set
+	// search, and multi-line span logic, and re-touches the memoized line
+	// directly. The shortcut is observably identical to the full path —
+	// same latency, same counters, same LRU ticks — because it only ever
+	// applies when the full path would have been a pure L1 (and TLB) hit;
+	// see DESIGN.md §4 for the invariants. Off by default so
+	// direct-construction tests exercise the reference path; machines
+	// switch it on for EngineFast configurations.
+	FastPath bool
+
 	victims *victimBuffer
+
+	// memo is the same-line hint table: a small direct-mapped cache over
+	// recent single-line accesses, indexed by L1 line address. Entries
+	// are *hints*, not authority — every use re-verifies the pointed-at
+	// L1 slot (tag and state) and TLB slot (page and validity) against
+	// their current contents, so an entry staled by an eviction,
+	// invalidation, downgrade, or TLB refill simply fails verification
+	// and falls back to the full path. No event in the hierarchy needs to
+	// clear hints.
+	memo [fastSlots]fastMemo
+}
+
+// fastSlots is the hint table size: a power of two, sized to cover the
+// distinct lines live inside one loop iteration — a handful of array
+// streams plus index tables, and for gather loops the L1-resident slice
+// of the gathered array — with room for churn.
+const fastSlots = 256
+
+// fastIdx maps a line address to its hint slot. A multiplicative hash
+// (Fibonacci hashing) rather than direct line-bit indexing: the live
+// lines of two lockstep array streams advance together, so any direct
+// congruence collision between them would persist for the whole loop and
+// thrash both streams' hints; hashing makes collisions incidental.
+func fastIdx(line memsim.Addr) int {
+	return int((uint64(line) * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// fastMemo is one hint: the claim that L1 line `line` currently occupies
+// the slot *ln, and (when a TLB is modelled) that page `page` currently
+// occupies the slot *tlb. The pointers reach into backing arrays that are
+// allocated once and never move, so a stale hint dangles only logically;
+// verification against the slots' current tags makes using one safe.
+type fastMemo struct {
+	ln   *line
+	tlb  *tlbEntry
+	line memsim.Addr
+	page memsim.Addr
 }
 
 // EnableVictimBuffer attaches a fully-associative victim cache of the
@@ -187,6 +235,7 @@ func (h *Hierarchy) StatSources() []NamedSource {
 // Reset empties every component (levels, TLB, victim buffer) and clears
 // statistics.
 func (h *Hierarchy) Reset() {
+	h.memo = [fastSlots]fastMemo{}
 	for _, s := range h.StatSources() {
 		s.Reset()
 	}
@@ -206,14 +255,33 @@ func (h *Hierarchy) Access(addr memsim.Addr, size int, write bool) Result {
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: Access size %d", size))
 	}
+	first := addr.Line(h.L1.cfg.LineSize)
+	last := (addr + memsim.Addr(size) - 1).Line(h.L1.cfg.LineSize)
+	// Same-line fast path: a verified hint proves the line is L1-resident
+	// in a sufficient state — any valid state for a read, Modified for a
+	// write (a Shared-line write needs the coherence upgrade) — and that
+	// its page translation is resident (an L1 line never spans pages), so
+	// the full path would have been a pure L1+TLB hit. Re-touch the
+	// memoized slots with the exact bookkeeping of the full hit path and
+	// skip all searching.
+	if h.FastPath && first == last {
+		m := &h.memo[fastIdx(first)]
+		if m.ln != nil && m.line == first && m.ln.tag == first &&
+			(m.ln.state == Modified || (m.ln.state != Invalid && !write)) &&
+			(h.TLB == nil || (m.tlb.valid && m.tlb.page == m.page)) {
+			h.L1.touchFast(m.ln)
+			if h.TLB != nil {
+				h.TLB.touchFast(m.tlb)
+			}
+			return Result{Cycles: h.L1.cfg.HitLatency, Level: LevelL1}
+		}
+	}
 	var walk int64
 	if h.TLB != nil {
 		// One translation per access; elements are naturally aligned and
 		// never span pages. The walk serializes with the access.
 		walk = h.TLB.Access(addr)
 	}
-	first := addr.Line(h.L1.cfg.LineSize)
-	last := (addr + memsim.Addr(size) - 1).Line(h.L1.cfg.LineSize)
 	res := h.accessLine(first, write)
 	res.Cycles += walk
 	for l := first + memsim.Addr(h.L1.cfg.LineSize); l <= last; l += memsim.Addr(h.L1.cfg.LineSize) {
@@ -224,7 +292,40 @@ func (h *Hierarchy) Access(addr memsim.Addr, size int, write bool) Result {
 			res.Level = r.Level
 		}
 	}
+	if h.FastPath && first == last {
+		h.memoize(first)
+	}
 	return res
+}
+
+// memoize records the just-completed single-line access in the hint
+// table. Only the single-line case is memoized: spanning accesses are not
+// worth short-circuiting, and the workloads' element accesses never span
+// lines. The demand access just completed, so the line is L1-resident
+// (and `last` points at its slot) and its page freshly translated; the
+// verified-fallback searches fail safe (no hint) should a future change
+// break either invariant.
+func (h *Hierarchy) memoize(first memsim.Addr) {
+	ln := h.L1.last
+	if ln == nil || ln.state == Invalid || ln.tag != first {
+		if ln = h.L1.linePtr(first); ln == nil {
+			return
+		}
+	}
+	m := &h.memo[fastIdx(first)]
+	if h.TLB != nil {
+		page := first >> h.TLB.setShift
+		e := h.TLB.last
+		if e == nil || !e.valid || e.page != page {
+			if e = h.TLB.entryPtr(first); e == nil {
+				return
+			}
+		}
+		m.tlb = e
+		m.page = page
+	}
+	m.ln = ln
+	m.line = first
 }
 
 // accessLine handles a single L1-line-aligned demand access.
@@ -340,12 +441,20 @@ func (h *Hierarchy) fillL2(l2Addr memsim.Addr, st State, prefetch bool) {
 func (h *Hierarchy) PrefetchLine(addr memsim.Addr) bool {
 	l1Addr := addr.Line(h.L1.cfg.LineSize)
 	l2Addr := addr.Line(h.L2.cfg.LineSize)
+	if h.FastPath {
+		// A verified hint answers the L1 presence probe without a set
+		// search (Probe reads state only — no stats, no LRU — so the
+		// short-cut is trivially identical).
+		m := &h.memo[fastIdx(l1Addr)]
+		if m.ln != nil && m.line == l1Addr && m.ln.tag == l1Addr && m.ln.state != Invalid {
+			return false
+		}
+	}
 	if h.L1.Probe(l1Addr) != Invalid {
 		return false
 	}
-	if h.L2.Probe(l2Addr) != Invalid {
+	if st := h.L2.Probe(l2Addr); st != Invalid {
 		// Promote to L1 only; state follows L2's.
-		st := h.L2.Probe(l2Addr)
 		h.fillL1(l1Addr, st, true)
 		return false
 	}

@@ -68,6 +68,27 @@ type TLB struct {
 	stats    TLBStats
 	setMask  memsim.Addr
 	setShift uint
+
+	// last points at the slot of the most recent translation (hit or
+	// refill); the hierarchy's memoizer reuses it to avoid a second scan.
+	last *tlbEntry
+
+	// hints short-circuits the set scan: a hash-indexed table of
+	// candidate slots for recently translated pages. A page lives in at
+	// most one slot, so a verified hint (valid, matching page) yields
+	// exactly the entry the scan would find — pure search-order
+	// optimization, observably identical, and worth a lot on the
+	// R10000's fully-associative TLB where the scan is all 64 entries.
+	hints [tlbHintSlots]*tlbEntry
+}
+
+// tlbHintSlots is the translation hint table size (power of two).
+const tlbHintSlots = 128
+
+// tlbHint maps a page number to its hint slot (Fibonacci hashing, so
+// lockstep page streams don't collide persistently).
+func tlbHint(page memsim.Addr) int {
+	return int((uint64(page) * 0x9E3779B97F4A7C15) >> 57)
 }
 
 // NewTLB builds a TLB; it panics on invalid configuration (configs are
@@ -105,6 +126,8 @@ func (t *TLB) Reset() {
 	}
 	t.tick = 0
 	t.stats = TLBStats{}
+	t.last = nil
+	t.hints = [tlbHintSlots]*tlbEntry{}
 }
 
 // ResetStats zeroes counters, keeping contents.
@@ -121,12 +144,20 @@ func (t *TLB) EmitMetrics(emit func(name string, value int64)) {
 func (t *TLB) Access(addr memsim.Addr) int64 {
 	t.stats.Accesses++
 	page := addr >> t.setShift
+	t.tick++
+	hint := &t.hints[tlbHint(page)]
+	if e := *hint; e != nil && e.valid && e.page == page {
+		e.lru = t.tick
+		t.last = e
+		return 0
+	}
 	setIdx := int(page & t.setMask)
 	set := t.sets[setIdx*t.cfg.Assoc : (setIdx+1)*t.cfg.Assoc]
-	t.tick++
 	for i := range set {
 		if set[i].valid && set[i].page == page {
 			set[i].lru = t.tick
+			t.last = &set[i]
+			*hint = &set[i]
 			return 0
 		}
 	}
@@ -142,7 +173,36 @@ func (t *TLB) Access(addr memsim.Addr) int64 {
 		}
 	}
 	set[victim] = tlbEntry{page: page, valid: true, lru: t.tick}
+	t.last = &set[victim]
+	*hint = &set[victim]
 	return t.cfg.MissLatency
+}
+
+// entryPtr returns a pointer to the slot holding addr's translation, or
+// nil on a TLB miss. Pointers stay valid for the TLB's lifetime; the
+// hierarchy's fast path memoizes recently translated pages' entries so a
+// same-page access can re-touch one — after re-verifying its page and
+// validity — without the set scan.
+func (t *TLB) entryPtr(addr memsim.Addr) *tlbEntry {
+	page := addr >> t.setShift
+	setIdx := int(page & t.setMask)
+	set := t.sets[setIdx*t.cfg.Assoc : (setIdx+1)*t.cfg.Assoc]
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touchFast repeats a translation hit on a memoized entry, with exactly
+// the bookkeeping Access's hit path performs (access count, LRU tick) and
+// none of the set scan. The caller guarantees the entry is still the valid
+// translation of the accessed page by checking it immediately beforehand.
+func (t *TLB) touchFast(e *tlbEntry) {
+	t.stats.Accesses++
+	t.tick++
+	e.lru = t.tick
 }
 
 // Reach returns the bytes of address space the TLB can map.

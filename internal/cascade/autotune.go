@@ -52,8 +52,14 @@ func AutoTune(cfg machine.Config, build func() (*memsim.Space, *loopir.Loop, err
 		if err != nil {
 			return 0, nil, err
 		}
-		opts := DefaultOptions(helper, space)
-		opts.ChunkBytes = kb * 1024
+		opts, err := NewOptions(
+			WithHelper(helper),
+			WithSpace(space),
+			WithChunkBytes(kb*1024),
+		)
+		if err != nil {
+			return 0, nil, err
+		}
 		res, err := Run(m, &probe, opts)
 		if err != nil {
 			return 0, nil, err

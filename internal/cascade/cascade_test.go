@@ -121,12 +121,12 @@ func TestOptionsValidation(t *testing.T) {
 		{"restructure without space", Options{Helper: HelperRestructure, ChunkBytes: 1024}},
 	}
 	for _, c := range cases {
-		if err := c.o.validate(); err == nil {
+		if err := c.o.Validate(); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
 	ok := DefaultOptions(HelperRestructure, s)
-	if err := ok.validate(); err != nil {
+	if err := ok.Validate(); err != nil {
 		t.Errorf("default options invalid: %v", err)
 	}
 	if ok.ChunkBytes != DefaultChunkBytes || !ok.JumpOut || !ok.PriorParallel {

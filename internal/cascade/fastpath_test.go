@@ -1,0 +1,172 @@
+package cascade_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gallery"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/wave5"
+)
+
+// fastpathConfigs returns both paper machines at reduced processor counts
+// (enough to exercise coherence and the cascade timeline without making
+// the differential sweep slow).
+func fastpathConfigs() []machine.Config {
+	return []machine.Config{machine.PentiumPro(4), machine.R10000(4)}
+}
+
+// runMode is one execution mode of the differential matrix.
+type runMode struct {
+	name string
+	run  func(cfg machine.Config, space *memsim.Space, l *loopir.Loop) (cascade.Result, error)
+}
+
+func runModes(chunkBytes int) []runMode {
+	cascaded := func(h cascade.Helper) func(machine.Config, *memsim.Space, *loopir.Loop) (cascade.Result, error) {
+		return func(cfg machine.Config, space *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
+			m, err := machine.New(cfg)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(h),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(chunkBytes),
+			)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			return cascade.Run(m, l, opts)
+		}
+	}
+	return []runMode{
+		{"sequential", func(cfg machine.Config, _ *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
+			m, err := machine.New(cfg)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			return cascade.RunSequential(m, l, true), nil
+		}},
+		{"cascade-prefetch", cascaded(cascade.HelperPrefetch)},
+		{"cascade-restructure", cascaded(cascade.HelperRestructure)},
+		{"parallel", func(cfg machine.Config, _ *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
+			m, err := machine.New(cfg)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			return cascade.RunParallel(m, l, false)
+		}},
+		{"unbounded", func(cfg machine.Config, space *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(cascade.HelperRestructure),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(chunkBytes),
+			)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			return cascade.RunUnbounded(cfg, l, opts)
+		}},
+	}
+}
+
+// diffResults asserts that the fast and reference engines produced
+// observably identical runs: same cycle counts, same phase breakdown,
+// and bit-identical metric snapshots (every cache/TLB/bus counter on
+// every processor).
+func diffResults(t *testing.T, fast, ref cascade.Result) {
+	t.Helper()
+	if fast.Cycles != ref.Cycles {
+		t.Errorf("cycles diverge: fast %d, reference %d", fast.Cycles, ref.Cycles)
+	}
+	if fast.ExecCycles != ref.ExecCycles || fast.HelperCycles != ref.HelperCycles ||
+		fast.TransferCycles != ref.TransferCycles || fast.HelperIters != ref.HelperIters {
+		t.Errorf("phase breakdown diverges:\nfast %+v\nref  %+v",
+			[4]int64{fast.ExecCycles, fast.HelperCycles, fast.TransferCycles, int64(fast.HelperIters)},
+			[4]int64{ref.ExecCycles, ref.HelperCycles, ref.TransferCycles, int64(ref.HelperIters)})
+	}
+	if fast.L1 != ref.L1 {
+		t.Errorf("L1 stats diverge:\nfast %+v\nref  %+v", fast.L1, ref.L1)
+	}
+	if fast.L2 != ref.L2 {
+		t.Errorf("L2 stats diverge:\nfast %+v\nref  %+v", fast.L2, ref.L2)
+	}
+	if !reflect.DeepEqual(fast.Metrics, ref.Metrics) {
+		for _, n := range ref.Metrics.Names() {
+			if fast.Metrics.Get(n) != ref.Metrics.Get(n) {
+				t.Errorf("metric %s diverges: fast %d, reference %d", n, fast.Metrics.Get(n), ref.Metrics.Get(n))
+			}
+		}
+		for _, n := range fast.Metrics.Names() {
+			if _, ok := ref.Metrics[n]; !ok {
+				t.Errorf("metric %s present only under fast engine", n)
+			}
+		}
+	}
+}
+
+// TestFastPathEquivalence is the tentpole's differential test: the
+// compiled-plan engine plus the hierarchy's same-line fast path must be
+// observably identical to the reference interpreter with full lookups —
+// bit-identical metric snapshots and cycle counts — on the PARMVR loops
+// and every gallery kernel, under all run modes, on both machines.
+func TestFastPathEquivalence(t *testing.T) {
+	const chunkBytes = 8 * 1024
+	for _, cfg := range fastpathConfigs() {
+		for _, mode := range runModes(chunkBytes) {
+			t.Run(fmt.Sprintf("%s/%s/parmvr", cfg.Name, mode.name), func(t *testing.T) {
+				p := wave5.DefaultParams().Scaled(0.02)
+				wFast := wave5.MustBuild(p)
+				wRef := wave5.MustBuild(p)
+				for li := range wFast.Loops {
+					fast, err := mode.run(cfg.WithEngine(machine.EngineFast), wFast.Space, wFast.Loops[li])
+					if err != nil {
+						t.Fatalf("fast engine, loop %d: %v", li, err)
+					}
+					ref, err := mode.run(cfg.WithEngine(machine.EngineReference), wRef.Space, wRef.Loops[li])
+					if err != nil {
+						t.Fatalf("reference engine, loop %d: %v", li, err)
+					}
+					if t.Failed() {
+						break
+					}
+					diffResults(t, fast, ref)
+					if t.Failed() {
+						t.Logf("first divergence in PARMVR loop %d (%s)", li, wFast.Loops[li].Name)
+						break
+					}
+				}
+			})
+			t.Run(fmt.Sprintf("%s/%s/gallery", cfg.Name, mode.name), func(t *testing.T) {
+				const n = 1 << 12
+				for _, k := range gallery.Kernels() {
+					spaceFast, loopFast, err := k.Build(n)
+					if err != nil {
+						t.Fatalf("%s: %v", k.Name, err)
+					}
+					spaceRef, loopRef, err := k.Build(n)
+					if err != nil {
+						t.Fatalf("%s: %v", k.Name, err)
+					}
+					fast, err := mode.run(cfg.WithEngine(machine.EngineFast), spaceFast, loopFast)
+					if err != nil {
+						t.Fatalf("%s fast engine: %v", k.Name, err)
+					}
+					ref, err := mode.run(cfg.WithEngine(machine.EngineReference), spaceRef, loopRef)
+					if err != nil {
+						t.Fatalf("%s reference engine: %v", k.Name, err)
+					}
+					diffResults(t, fast, ref)
+					if t.Failed() {
+						t.Fatalf("first divergence in kernel %s", k.Name)
+					}
+				}
+			})
+		}
+	}
+}

@@ -116,8 +116,61 @@ func DefaultOptions(h Helper, space *memsim.Space) Options {
 	}
 }
 
-// validate checks option consistency.
-func (o Options) validate() error {
+// Option adjusts one field of an Options value. Options are built with
+// NewOptions, which starts from the paper's headline configuration and
+// validates the result:
+//
+//	opts, err := cascade.NewOptions(
+//		cascade.WithHelper(cascade.HelperRestructure),
+//		cascade.WithSpace(space),
+//	)
+//
+// The Options struct itself remains exported for callers that prefer
+// literal construction; such values are validated by the run drivers.
+type Option func(*Options)
+
+// WithHelper selects the helper-phase strategy.
+func WithHelper(h Helper) Option { return func(o *Options) { o.Helper = h } }
+
+// WithChunkBytes sets the per-chunk data budget (§2.2).
+func WithChunkBytes(n int) Option { return func(o *Options) { o.ChunkBytes = n } }
+
+// WithJumpOut toggles §3.3's jump-out-of-helper-on-signal refinement.
+func WithJumpOut(on bool) Option { return func(o *Options) { o.JumpOut = on } }
+
+// WithPrecompute makes the restructuring helper apply the loop's
+// read-only computation and buffer its results (§2.1).
+func WithPrecompute(on bool) Option { return func(o *Options) { o.Precompute = on } }
+
+// WithSpace sets the address space for per-processor sequential buffers
+// (required by HelperRestructure).
+func WithSpace(s *memsim.Space) Option { return func(o *Options) { o.Space = s } }
+
+// WithPriorParallel toggles modelling of the parallel section that
+// precedes the unparallelized loop (data distributed dirty across caches).
+func WithPriorParallel(on bool) Option { return func(o *Options) { o.PriorParallel = on } }
+
+// WithKeepState preserves machine cache state across the run, for
+// steady-state measurements of repeatedly-invoked loops.
+func WithKeepState(on bool) Option { return func(o *Options) { o.KeepState = on } }
+
+// NewOptions builds a validated Options value: the paper's headline
+// configuration (prefetch helper, 64KB chunks, jump-out, prior parallel
+// section) with the given adjustments applied in order.
+func NewOptions(fns ...Option) (Options, error) {
+	o := DefaultOptions(HelperPrefetch, nil)
+	for _, fn := range fns {
+		fn(&o)
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// Validate checks option consistency: a positive chunk budget, a known
+// helper, and a buffer space whenever the restructuring helper needs one.
+func (o Options) Validate() error {
 	if o.ChunkBytes <= 0 {
 		return fmt.Errorf("cascade: ChunkBytes = %d", o.ChunkBytes)
 	}

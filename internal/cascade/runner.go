@@ -38,7 +38,7 @@ func phaseTimer(m *machine.Machine) *metrics.PhaseTimer {
 // DESIGN.md §4 for why this approximation is benign (chunks touch almost
 // entirely disjoint data, and coherence invalidations still apply).
 func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := l.Validate(); err != nil {

@@ -23,7 +23,7 @@ import (
 // The machine configuration is used at one processor regardless of
 // cfg.Procs.
 func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := l.Validate(); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cache"
@@ -59,6 +60,9 @@ func runPARMVRWith(cfg machine.Config, p wave5.Params, mutate func(*cascade.Opti
 	for _, l := range w.Loops {
 		opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
 		mutate(&opts)
+		if err := opts.Validate(); err != nil {
+			return 0, err
+		}
 		r, err := cascade.Run(m, l, opts)
 		if err != nil {
 			return 0, err
@@ -70,9 +74,12 @@ func runPARMVRWith(cfg machine.Config, p wave5.Params, mutate func(*cascade.Opti
 
 // AblationJumpOut quantifies §3.3's refinement: jumping out of the helper
 // phase on signal versus waiting for helper completion.
-func AblationJumpOut(p wave5.Params) (*AblationResult, error) {
+func AblationJumpOut(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "jump-out-of-helper on signal (restructured, 64KB chunks)"}
 	for _, cfg := range Machines() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
 		if err != nil {
 			return nil, err
@@ -98,9 +105,12 @@ func AblationJumpOut(p wave5.Params) (*AblationResult, error) {
 
 // AblationPrecompute quantifies §2.1's optional read-only precomputation
 // during the restructuring helper phase.
-func AblationPrecompute(p wave5.Params) (*AblationResult, error) {
+func AblationPrecompute(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "read-only precomputation in helper (restructured, 64KB chunks)"}
 	for _, cfg := range Machines() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
 		if err != nil {
 			return nil, err
@@ -127,9 +137,12 @@ func AblationPrecompute(p wave5.Params) (*AblationResult, error) {
 // AblationChunking compares the paper's byte-budget chunk sizing (§2.2)
 // against naive block partitioning (one chunk per processor, the obvious
 // alternative a scheduler might pick).
-func AblationChunking(p wave5.Params) (*AblationResult, error) {
+func AblationChunking(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "chunk sizing: 64KB byte budget vs one block per processor (restructured)"}
 	for _, cfg := range Machines() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
 		if err != nil {
 			return nil, err
@@ -156,8 +169,14 @@ func AblationChunking(p wave5.Params) (*AblationResult, error) {
 		}
 		var block int64
 		for _, l := range w.Loops {
-			opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
-			opts.ChunkBytes = (l.Iters*l.BytesPerIter() + cfg.Procs - 1) / cfg.Procs
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(cascade.HelperRestructure),
+				cascade.WithSpace(w.Space),
+				cascade.WithChunkBytes((l.Iters*l.BytesPerIter()+cfg.Procs-1)/cfg.Procs),
+			)
+			if err != nil {
+				return nil, err
+			}
 			r, err := cascade.Run(m, l, opts)
 			if err != nil {
 				return nil, err
@@ -177,7 +196,7 @@ func AblationChunking(p wave5.Params) (*AblationResult, error) {
 // "distributed among the other processors during a previous parallel
 // section" — to quantify how much that start state costs the sequential
 // baseline.
-func AblationPriorParallel(p wave5.Params) (*AblationResult, error) {
+func AblationPriorParallel(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "prior-parallel-section start state (sequential baseline)"}
 	for _, cfg := range Machines() {
 		for _, prior := range []bool{true, false} {
@@ -210,7 +229,7 @@ func AblationPriorParallel(p wave5.Params) (*AblationResult, error) {
 // sequential baseline's cost is address translation (the model's answer:
 // little for these loops — their page-level locality is good even when
 // their line-level locality is terrible).
-func AblationTLB(p wave5.Params) (*AblationResult, error) {
+func AblationTLB(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "data-TLB modelling (sequential baseline)"}
 	for _, base := range Machines() {
 		for _, tlbOn := range []bool{true, false} {
@@ -239,7 +258,7 @@ func AblationTLB(p wave5.Params) (*AblationResult, error) {
 // AblationCompilerPrefetch removes the R10000's compiler-prefetch model
 // to test the paper's hypothesis that MIPSpro's inserted prefetches are
 // why helper prefetching gains nothing on that machine (§3.3).
-func AblationCompilerPrefetch(p wave5.Params) (*AblationResult, error) {
+func AblationCompilerPrefetch(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "R10000 compiler prefetching vs cascaded prefetch helper (64KB chunks)"}
 	for _, pfEnabled := range []bool{true, false} {
 		cfg := machine.R10000(8)
@@ -272,9 +291,12 @@ func AblationCompilerPrefetch(p wave5.Params) (*AblationResult, error) {
 // 16-entry victim buffer beside each L1, and restructured cascading.
 // The buffer absorbs L1 conflict thrashing but cannot touch L2 conflicts,
 // capacity misses, or gather locality — restructuring still wins.
-func AblationVictimCache(p wave5.Params) (*AblationResult, error) {
+func AblationVictimCache(ctx context.Context, p wave5.Params) (*AblationResult, error) {
 	out := &AblationResult{Name: "16-entry L1 victim cache vs restructuring"}
 	for _, cfg := range Machines() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seq, err := RunPARMVR(cfg, p, Sequential, cascade.DefaultChunkBytes)
 		if err != nil {
 			return nil, err

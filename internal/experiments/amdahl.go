@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -45,7 +46,7 @@ const amdahlParallelReps = 10
 
 // Amdahl runs the application study on one machine configuration across
 // its processor sweep (1..Procs).
-func Amdahl(cfg machine.Config, p wave5.Params, chunkBytes int) (*AmdahlResult, error) {
+func Amdahl(ctx context.Context, cfg machine.Config, p wave5.Params, chunkBytes int) (*AmdahlResult, error) {
 	out := &AmdahlResult{Machine: cfg.Name, ParallelReps: amdahlParallelReps}
 
 	type appTime struct{ par, loops int64 }
@@ -68,9 +69,15 @@ func Amdahl(cfg machine.Config, p wave5.Params, chunkBytes int) (*AmdahlResult, 
 		}
 		for _, l := range w.Loops {
 			if cascaded && procs > 1 {
-				opts := cascade.DefaultOptions(cascade.HelperRestructure, w.Space)
-				opts.ChunkBytes = chunkBytes
-				opts.KeepState = true // the parallel phase set the state
+				opts, err := cascade.NewOptions(
+					cascade.WithHelper(cascade.HelperRestructure),
+					cascade.WithSpace(w.Space),
+					cascade.WithChunkBytes(chunkBytes),
+					cascade.WithKeepState(true), // the parallel phase set the state
+				)
+				if err != nil {
+					return appTime{}, err
+				}
 				r, err := cascade.Run(m, l, opts)
 				if err != nil {
 					return appTime{}, err
@@ -89,6 +96,9 @@ func Amdahl(cfg machine.Config, p wave5.Params, chunkBytes int) (*AmdahlResult, 
 	}
 	baseTotal := base.par + base.loops
 	for procs := 1; procs <= cfg.Procs; procs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		std, err := runApp(procs, false)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/machine"
@@ -38,7 +39,7 @@ type BreakdownResult struct {
 // configuration (4 processors, 64KB chunks, unless overridden by cfg and
 // chunkBytes). The paper presents "the 12th call out of 5000" —
 // deterministic workload construction plays that role here.
-func LoopBreakdown(cfg machine.Config, p wave5.Params, chunkBytes int) (*BreakdownResult, error) {
+func LoopBreakdown(ctx context.Context, cfg machine.Config, p wave5.Params, chunkBytes int) (*BreakdownResult, error) {
 	out := &BreakdownResult{
 		Machine:    cfg.Name,
 		Procs:      cfg.Procs,
@@ -47,6 +48,9 @@ func LoopBreakdown(cfg machine.Config, p wave5.Params, chunkBytes int) (*Breakdo
 		Stats:      make(map[Strategy][]LoopStats),
 	}
 	for _, strat := range Strategies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		results, err := RunPARMVR(cfg, p, strat, chunkBytes)
 		if err != nil {
 			return nil, err

@@ -78,8 +78,14 @@ func RunPARMVR(cfg machine.Config, p wave5.Params, strat Strategy, chunkBytes in
 		if strat == Sequential {
 			r = cascade.RunSequential(m, l, true)
 		} else {
-			opts := cascade.DefaultOptions(strat.helper(), w.Space)
-			opts.ChunkBytes = chunkBytes
+			opts, oerr := cascade.NewOptions(
+				cascade.WithHelper(strat.helper()),
+				cascade.WithSpace(w.Space),
+				cascade.WithChunkBytes(chunkBytes),
+			)
+			if oerr != nil {
+				return nil, oerr
+			}
 			r, err = cascade.Run(m, l, opts)
 			if err != nil {
 				return nil, err
@@ -116,9 +122,15 @@ func RunPARMVRCall(cfg machine.Config, p wave5.Params, strat Strategy, chunkByte
 			if strat == Sequential {
 				r = cascade.RunSequentialWarm(m, l)
 			} else {
-				opts := cascade.DefaultOptions(strat.helper(), w.Space)
-				opts.ChunkBytes = chunkBytes
-				opts.KeepState = true // state carries over between loops/calls
+				opts, oerr := cascade.NewOptions(
+					cascade.WithHelper(strat.helper()),
+					cascade.WithSpace(w.Space),
+					cascade.WithChunkBytes(chunkBytes),
+					cascade.WithKeepState(true), // state carries over between loops/calls
+				)
+				if oerr != nil {
+					return nil, oerr
+				}
 				r, err = cascade.Run(m, l, opts)
 				if err != nil {
 					return nil, err

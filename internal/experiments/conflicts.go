@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -29,7 +30,7 @@ type ConflictResult struct {
 
 // ConflictAnalysis runs the PARMVR loops sequentially with miss
 // classification enabled and returns per-loop, per-level classes.
-func ConflictAnalysis(cfg machine.Config, p wave5.Params) (*ConflictResult, error) {
+func ConflictAnalysis(ctx context.Context, cfg machine.Config, p wave5.Params) (*ConflictResult, error) {
 	w, err := wave5.Build(p)
 	if err != nil {
 		return nil, err
@@ -41,6 +42,9 @@ func ConflictAnalysis(cfg machine.Config, p wave5.Params) (*ConflictResult, erro
 	m.EnableClassification()
 	out := &ConflictResult{Machine: cfg.Name}
 	for _, l := range w.Loops {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// RunSequential resets caches (and therefore stats) at entry, so
 		// the post-run counters cover exactly this loop. The simulated
 		// prior parallel section touches every line first, so compulsory

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestConflictAnalysisPartition(t *testing.T) {
-	c, err := ConflictAnalysis(machine.R10000(4), testParams())
+	c, err := ConflictAnalysis(context.Background(), machine.R10000(4), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestConflictAnalysisFindsCombineConflicts(t *testing.T) {
 	// R10000 L2 its misses must be conflict-dominated, and it must be the
 	// dominant source of L2 conflict misses overall — the model mechanism
 	// behind the paper's associativity observation.
-	c, err := ConflictAnalysis(machine.R10000(4), testParams())
+	c, err := ConflictAnalysis(context.Background(), machine.R10000(4), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestConflictAnalysisFindsCombineConflicts(t *testing.T) {
 		t.Errorf("combine_t2 L2 misses not conflict-dominated: %+v", combine)
 	}
 	// The Pentium Pro's 4-way L2 absorbs those conflicts.
-	cp, err := ConflictAnalysis(machine.PentiumPro(4), testParams())
+	cp, err := ConflictAnalysis(context.Background(), machine.PentiumPro(4), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestConflictAnalysisFindsCombineConflicts(t *testing.T) {
 }
 
 func TestConflictAnalysisRender(t *testing.T) {
-	c, err := ConflictAnalysis(machine.PentiumPro(2), testParams())
+	c, err := ConflictAnalysis(context.Background(), machine.PentiumPro(2), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestConflictAnalysisRender(t *testing.T) {
 }
 
 func TestAblationPriorParallel(t *testing.T) {
-	a, err := AblationPriorParallel(testParams())
+	a, err := AblationPriorParallel(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestRunPARMVRCallSequential(t *testing.T) {
 }
 
 func TestAblationVictimCache(t *testing.T) {
-	a, err := AblationVictimCache(testParams())
+	a, err := AblationVictimCache(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestAblationVictimCache(t *testing.T) {
 }
 
 func TestAmdahlShape(t *testing.T) {
-	r, err := Amdahl(machine.PentiumPro(4), testParams(), 64*1024)
+	r, err := Amdahl(context.Background(), machine.PentiumPro(4), testParams(), 64*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestRunParallelDistributesState(t *testing.T) {
 
 func TestGalleryShape(t *testing.T) {
 	const n = 1 << 16
-	g, err := Gallery(machine.R10000(8), n, 64*1024)
+	g, err := Gallery(context.Background(), machine.R10000(8), n, 64*1024)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func TestRunPARMVRRejectsBadConfig(t *testing.T) {
 // from more processors, and prefetching alone gains ~nothing on the
 // R10000 (the MIPSpro effect).
 func TestFig2Shape(t *testing.T) {
-	res, err := Fig2(testParams(), cascade.DefaultChunkBytes)
+	res, err := Fig2(context.Background(), testParams(), cascade.DefaultChunkBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig2Shape(t *testing.T) {
 // execution-phase cache misses dramatically and no loop slows down
 // catastrophically.
 func TestBreakdownShape(t *testing.T) {
-	b, err := LoopBreakdown(machine.PentiumPro(4), testParams(), cascade.DefaultChunkBytes)
+	b, err := LoopBreakdown(context.Background(), machine.PentiumPro(4), testParams(), cascade.DefaultChunkBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestBreakdownShape(t *testing.T) {
 // TestFig6Shape asserts Figure 6's claims: an interior optimum chunk size
 // larger than L1, with degraded performance at the 2MB extreme.
 func TestFig6Shape(t *testing.T) {
-	res, err := Fig6(testParams())
+	res, err := Fig6(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig6Shape(t *testing.T) {
 // restructuring at least matches prefetching at the peak.
 func TestFig7Shape(t *testing.T) {
 	const n = 1 << 17 // 512KB arrays: past both L2s at test scale
-	res, err := Fig7(n)
+	res, err := Fig7(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestAblationJumpOut(t *testing.T) {
-	a, err := AblationJumpOut(testParams())
+	a, err := AblationJumpOut(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestAblationJumpOut(t *testing.T) {
 }
 
 func TestAblationPrecompute(t *testing.T) {
-	a, err := AblationPrecompute(testParams())
+	a, err := AblationPrecompute(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestAblationPrecompute(t *testing.T) {
 }
 
 func TestAblationChunking(t *testing.T) {
-	a, err := AblationChunking(testParams())
+	a, err := AblationChunking(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestAblationChunking(t *testing.T) {
 }
 
 func TestAblationCompilerPrefetch(t *testing.T) {
-	a, err := AblationCompilerPrefetch(testParams())
+	a, err := AblationCompilerPrefetch(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestAblationCompilerPrefetch(t *testing.T) {
 }
 
 func TestAblationTLB(t *testing.T) {
-	a, err := AblationTLB(testParams())
+	a, err := AblationTLB(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}

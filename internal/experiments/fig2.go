@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/machine"
@@ -40,7 +41,7 @@ type Fig2Result struct {
 // with the paper's best 64KB chunks (pass cascade.DefaultChunkBytes).
 // Sweep points are independent simulations and run in parallel across the
 // host's cores.
-func Fig2(p wave5.Params, chunkBytes int) (*Fig2Result, error) {
+func Fig2(ctx context.Context, p wave5.Params, chunkBytes int) (*Fig2Result, error) {
 	res := &Fig2Result{
 		Params:     p,
 		ChunkBytes: chunkBytes,
@@ -48,7 +49,7 @@ func Fig2(p wave5.Params, chunkBytes int) (*Fig2Result, error) {
 	}
 	machines := Machines()
 	bases := make([]int64, len(machines))
-	if err := parallelFor(len(machines), func(i int) error {
+	if err := parallelFor(ctx, len(machines), func(i int) error {
 		seq, err := RunPARMVR(machines[i], p, Sequential, chunkBytes)
 		if err != nil {
 			return err
@@ -77,7 +78,7 @@ func Fig2(p wave5.Params, chunkBytes int) (*Fig2Result, error) {
 		}
 	}
 	points := make([]Fig2Point, len(specs))
-	if err := parallelFor(len(specs), func(k int) error {
+	if err := parallelFor(ctx, len(specs), func(k int) error {
 		s := specs[k]
 		rr, err := RunPARMVR(s.cfg.WithProcs(s.procs), p, s.strat, chunkBytes)
 		if err != nil {

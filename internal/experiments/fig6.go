@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/machine"
@@ -35,13 +36,13 @@ type Fig6Result struct {
 // overall PARMVR speedup with four processors, for both helpers and both
 // machines. The sweep's independent simulations run in parallel across
 // the host's cores.
-func Fig6(p wave5.Params) (*Fig6Result, error) {
+func Fig6(ctx context.Context, p wave5.Params) (*Fig6Result, error) {
 	const procs = 4
 	res := &Fig6Result{Params: p, Procs: procs}
 
 	machines := Machines()
 	bases := make([]int64, len(machines))
-	if err := parallelFor(len(machines), func(i int) error {
+	if err := parallelFor(ctx, len(machines), func(i int) error {
 		seq, err := RunPARMVR(machines[i].WithProcs(procs), p, Sequential, 64*1024)
 		if err != nil {
 			return err
@@ -67,7 +68,7 @@ func Fig6(p wave5.Params) (*Fig6Result, error) {
 		}
 	}
 	points := make([]Fig6Point, len(specs))
-	if err := parallelFor(len(specs), func(k int) error {
+	if err := parallelFor(ctx, len(specs), func(k int) error {
 		s := specs[k]
 		rr, err := RunPARMVR(s.cfg, p, s.strat, s.kb*1024)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -33,7 +34,7 @@ type Fig7Result struct {
 // unbounded processors (§3.4's single-processor alternation methodology),
 // for dense and sparse variants, both helpers, chunk sizes 1KB-256KB, on
 // both machines. Points run in parallel across the host's cores.
-func Fig7(n int) (*Fig7Result, error) {
+func Fig7(ctx context.Context, n int) (*Fig7Result, error) {
 	res := &Fig7Result{N: n}
 	machines := Machines()
 	variants := []synthetic.Params{synthetic.Dense(n), synthetic.Sparse(n)}
@@ -49,7 +50,7 @@ func Fig7(n int) (*Fig7Result, error) {
 		}
 	}
 	bases := make([]cascade.Result, len(baseKeys))
-	if err := parallelFor(len(baseKeys), func(i int) error {
+	if err := parallelFor(ctx, len(baseKeys), func(i int) error {
 		_, lbase, err := synthetic.Build(baseKeys[i].variant)
 		if err != nil {
 			return err
@@ -80,17 +81,20 @@ func Fig7(n int) (*Fig7Result, error) {
 		}
 	}
 	points := make([]Fig7Point, len(specs))
-	if err := parallelFor(len(specs), func(k int) error {
+	if err := parallelFor(ctx, len(specs), func(k int) error {
 		s := specs[k]
 		space, l, err := synthetic.Build(s.variant)
 		if err != nil {
 			return err
 		}
-		opts := cascade.Options{
-			Helper:     s.strat.helper(),
-			ChunkBytes: s.kb * 1024,
-			JumpOut:    true,
-			Space:      space,
+		opts, err := cascade.NewOptions(
+			cascade.WithHelper(s.strat.helper()),
+			cascade.WithChunkBytes(s.kb*1024),
+			cascade.WithSpace(space),
+			cascade.WithPriorParallel(false),
+		)
+		if err != nil {
+			return err
 		}
 		r, err := cascade.RunUnbounded(s.cfg, l, opts)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -28,10 +29,10 @@ type GalleryResult struct {
 // Gallery runs every gallery kernel under all three strategies on one
 // machine at n elements per kernel. Kernels are measured in parallel
 // across the host's cores (each builds its own arrays and machines).
-func Gallery(cfg machine.Config, n, chunkBytes int) (*GalleryResult, error) {
+func Gallery(ctx context.Context, cfg machine.Config, n, chunkBytes int) (*GalleryResult, error) {
 	kernels := gallery.Kernels()
 	rows := make([]GalleryRow, len(kernels))
-	err := parallelFor(len(kernels), func(i int) error {
+	err := parallelFor(ctx, len(kernels), func(i int) error {
 		k := kernels[i]
 		_, lseq, err := k.Build(n)
 		if err != nil {
@@ -54,8 +55,14 @@ func Gallery(cfg machine.Config, n, chunkBytes int) (*GalleryResult, error) {
 			if err != nil {
 				return err
 			}
-			opts := cascade.DefaultOptions(strat.helper(), space)
-			opts.ChunkBytes = chunkBytes
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(strat.helper()),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(chunkBytes),
+			)
+			if err != nil {
+				return err
+			}
 			res, err := cascade.Run(mm, l, opts)
 			if err != nil {
 				return err

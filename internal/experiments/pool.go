@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -17,16 +18,25 @@ import (
 // error is always the one with the lowest failing index — deterministic,
 // not dependent on completion order.
 //
+// Cancelling ctx also stops the sweep promptly: no new index is
+// dispatched, in-flight points finish (a point's work is not
+// interruptible), and ctx.Err() is returned unless an fn error was
+// recorded first. fn errors take precedence so that a failure racing a
+// Ctrl-C is still reported.
+//
 // Each in-flight point holds its own simulated machine and dataset, so
 // peak memory scales with the worker count; sweeps at full PARMVR scale
 // hold tens of megabytes per worker.
-func parallelFor(n int, fn func(i int) error) error {
+func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -75,13 +85,21 @@ func parallelFor(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		if failed() {
+		if failed() || ctx.Err() != nil {
 			break // cancel: don't dispatch points that will be thrown away
 		}
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -13,7 +14,7 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	defer runtime.GOMAXPROCS(old)
 	const n = 1000
 	var hits [n]int32
-	if err := parallelFor(n, func(i int) error {
+	if err := parallelFor(context.Background(), n, func(i int) error {
 		atomic.AddInt32(&hits[i], 1)
 		return nil
 	}); err != nil {
@@ -30,7 +31,7 @@ func TestParallelForPropagatesError(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	boom := errors.New("boom")
-	err := parallelFor(100, func(i int) error {
+	err := parallelFor(context.Background(), 100, func(i int) error {
 		if i == 57 {
 			return boom
 		}
@@ -45,7 +46,7 @@ func TestParallelForSerialFallback(t *testing.T) {
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
 	count := 0
-	if err := parallelFor(10, func(i int) error {
+	if err := parallelFor(context.Background(), 10, func(i int) error {
 		count++ // safe: serial path
 		return nil
 	}); err != nil {
@@ -57,7 +58,7 @@ func TestParallelForSerialFallback(t *testing.T) {
 }
 
 func TestParallelForZero(t *testing.T) {
-	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := parallelFor(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -71,7 +72,7 @@ func TestParallelForFirstErrorByIndex(t *testing.T) {
 	// error must be returned. The high index fails instantly while the low
 	// one is delayed, biasing completion order against the expected result.
 	for trial := 0; trial < 30; trial++ {
-		err := parallelFor(100, func(i int) error {
+		err := parallelFor(context.Background(), 100, func(i int) error {
 			switch i {
 			case 30:
 				time.Sleep(200 * time.Microsecond)
@@ -93,7 +94,7 @@ func TestParallelForCancelsAfterError(t *testing.T) {
 	boom := errors.New("boom")
 	const n = 100000
 	var ran int32
-	err := parallelFor(n, func(i int) error {
+	err := parallelFor(context.Background(), n, func(i int) error {
 		atomic.AddInt32(&ran, 1)
 		if i == 0 {
 			return boom
@@ -106,5 +107,64 @@ func TestParallelForCancelsAfterError(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&ran); got > n/2 {
 		t.Errorf("%d of %d points ran after early failure; cancellation not effective", got, n)
+	}
+}
+
+func TestParallelForContextCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100000
+	var ran int32
+	err := parallelFor(ctx, n, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("%d of %d points ran after cancel; cancellation not effective", got, n)
+	}
+}
+
+func TestParallelForSerialContextCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := parallelFor(ctx, 100, func(i int) error {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Errorf("ran = %d, want 5 (no index after cancel)", ran)
+	}
+}
+
+func TestParallelForErrorBeatsCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := parallelFor(ctx, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the fn error to win over cancellation", err)
 	}
 }

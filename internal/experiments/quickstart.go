@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -74,7 +75,7 @@ func quickstartLoop(n int) (*memsim.Space, *loopir.Loop, error) {
 // snapshot of each run. It is the smallest end-to-end demonstration of
 // the metrics layer: one loop, three strategies, per-processor phase
 // and cache breakdowns.
-func Quickstart(n, chunkBytes int) (*QuickstartResult, error) {
+func Quickstart(ctx context.Context, n, chunkBytes int) (*QuickstartResult, error) {
 	cfg := machine.PentiumPro(4)
 	res := &QuickstartResult{
 		Machine:    cfg.Name,
@@ -84,6 +85,9 @@ func Quickstart(n, chunkBytes int) (*QuickstartResult, error) {
 	}
 	var base int64
 	for _, strat := range Strategies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		space, loop, err := quickstartLoop(n)
 		if err != nil {
 			return nil, err
@@ -97,8 +101,14 @@ func Quickstart(n, chunkBytes int) (*QuickstartResult, error) {
 			r = cascade.RunSequential(m, loop, true)
 			base = r.Cycles
 		} else {
-			opts := cascade.DefaultOptions(strat.helper(), space)
-			opts.ChunkBytes = chunkBytes
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(strat.helper()),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(chunkBytes),
+			)
+			if err != nil {
+				return nil, err
+			}
 			r, err = cascade.Run(m, loop, opts)
 			if err != nil {
 				return nil, err

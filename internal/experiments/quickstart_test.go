@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestQuickstartRowsAndMetrics(t *testing.T) {
 	const n = 1 << 14
-	r, err := Quickstart(n, 8*1024)
+	r, err := Quickstart(context.Background(), n, 8*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestQuickstartRowsAndMetrics(t *testing.T) {
 }
 
 func TestQuickstartRender(t *testing.T) {
-	r, err := Quickstart(1<<13, 8*1024)
+	r, err := Quickstart(context.Background(), 1<<13, 8*1024)
 	if err != nil {
 		t.Fatal(err)
 	}

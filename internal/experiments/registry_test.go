@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNamesAndLookup pins the registry's canonical contents: every
+// paper artifact dispatches through it, and Lookup agrees with Names.
+func TestRegistryNamesAndLookup(t *testing.T) {
+	want := []string{"quickstart", "table1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if e.Name != name || e.Description == "" || e.Run == nil {
+			t.Errorf("Lookup(%q) = %+v: incomplete entry", name, e)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+// TestRegistryRunsCancelled pins that every registered experiment honors a
+// pre-cancelled context: sweeps must not run to completion when the user
+// has already hit Ctrl-C.
+func TestRegistryRunsCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := RunConfig{Scale: 0.02, ChunkBytes: 64 * 1024, N: 1 << 12}
+	for _, e := range Registry() {
+		if e.Name == "table1" {
+			continue // static table; nothing to cancel
+		}
+		if _, err := e.Run(ctx, rc); err == nil {
+			t.Errorf("%s: ran to completion under a cancelled context", e.Name)
+		}
+	}
+}
+
+// TestRegistryQuickRun exercises one cheap registry entry end-to-end
+// through the Experiment interface, including Renderable output.
+func TestRegistryQuickRun(t *testing.T) {
+	e, ok := Lookup("conflicts")
+	if !ok {
+		t.Fatal("conflicts not registered")
+	}
+	var msgs []string
+	rc := RunConfig{
+		Scale: 0.02, ChunkBytes: 64 * 1024, N: 1 << 12,
+		Progress: func(format string, args ...interface{}) { msgs = append(msgs, format) },
+	}
+	r, err := e.Run(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "miss classification") {
+		t.Errorf("render output missing expected header:\n%s", b.String())
+	}
+	if len(msgs) == 0 {
+		t.Error("no progress messages emitted")
+	}
+}

@@ -27,6 +27,15 @@ type Runner struct {
 	packIdx  []int
 	ro, rw   []float64
 	scratch  []float64
+
+	// Compiled-plan engine state: compiled selects the fast engine (from
+	// the machine's Engine configuration); the runner caches the access
+	// plan of the loop it last executed. A nil plan for a non-nil
+	// planLoop records that the loop is not statically compilable and the
+	// interpreter must be used.
+	compiled bool
+	plan     *plan
+	planLoop *loopir.Loop
 }
 
 // tblRead records an index-table element already loaded this iteration, so
@@ -42,10 +51,11 @@ type tblRead struct {
 func New(proc *machine.Processor) *Runner {
 	cfg := proc.Machine().Config()
 	return &Runner{
-		proc:   proc,
-		maxOut: cfg.MaxOutstanding,
-		pf:     cfg.CompilerPrefetch,
-		line:   cfg.L1.LineSize,
+		proc:     proc,
+		maxOut:   cfg.MaxOutstanding,
+		pf:       cfg.CompilerPrefetch,
+		line:     cfg.L1.LineSize,
+		compiled: cfg.Engine == machine.EngineFast,
 	}
 }
 
@@ -181,6 +191,9 @@ func (r *Runner) finishIter(l *loopir.Loop, i int, pre []float64) int64 {
 // cascaded execution.
 func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	if p := r.planFor(l); p != nil {
+		return r.execPlan(p, l, lo, hi)
+	}
 	var cycles int64
 	for i := lo; i < hi; i++ {
 		r.beginIter()
@@ -199,6 +212,9 @@ func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
 // the cycles spent.
 func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int, cycles int64) {
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	if p := r.planFor(l); p != nil {
+		return r.shadowPlan(p, lo, hi, budget)
+	}
 	for i := lo; i < hi; i++ {
 		if budget != Unlimited && cycles >= budget {
 			return i - lo, cycles
@@ -244,6 +260,9 @@ func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int
 // Reset and hold at least (hi-lo)*l.BufSlotsPerIter() values.
 func (r *Runner) RestructureIters(l *loopir.Loop, lo, hi int, buf *SeqBuf, budget int64, precompute bool) (done int, cycles int64) {
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	if p := r.planFor(l); p != nil {
+		return r.restructurePlan(p, l, lo, hi, buf, budget, precompute)
+	}
 	for i := lo; i < hi; i++ {
 		if budget != Unlimited && cycles >= budget {
 			return i - lo, cycles
@@ -315,6 +334,9 @@ func (r *Runner) markPacked(tbl *memsim.Array, pos int) {
 // full home-location path (the helper jumped out early).
 func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBuf, precompute bool) int64 {
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	if p := r.planFor(l); p != nil {
+		return r.execBufferPlan(p, l, lo, hi, buffered, buf, precompute)
+	}
 	if buffered > hi-lo {
 		buffered = hi - lo
 	}

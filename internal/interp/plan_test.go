@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/gallery"
+	"repro/internal/loopir"
+	"repro/internal/memsim"
+	"repro/internal/wave5"
+)
+
+// TestPlanCoversPaperWorkloads pins down that the plan compiler accepts
+// every loop the experiments actually run — all fifteen PARMVR loops and
+// the full kernel gallery. If a loop here started falling back to the
+// reference interpreter, the differential tests would still pass (both
+// engines would interpret) but the fast engine's speedup would silently
+// vanish.
+func TestPlanCoversPaperWorkloads(t *testing.T) {
+	w := wave5.MustBuild(wave5.DefaultParams().Scaled(0.01))
+	for i, l := range w.Loops {
+		if compilePlan(l) == nil {
+			t.Errorf("PARMVR loop %d (%s) did not compile", i, l.Name)
+		}
+	}
+	for _, k := range gallery.Kernels() {
+		_, l, err := k.Build(1 << 10)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if compilePlan(l) == nil {
+			t.Errorf("gallery kernel %s did not compile", k.Name)
+		}
+	}
+}
+
+// TestPlanRefGroups checks the compiled plan preserves the IR's reference
+// order and group boundaries.
+func TestPlanRefGroups(t *testing.T) {
+	w := wave5.MustBuild(wave5.DefaultParams().Scaled(0.01))
+	for i, l := range w.Loops {
+		p := compilePlan(l)
+		if p == nil {
+			t.Fatalf("loop %d did not compile", i)
+		}
+		if len(p.ro) != len(l.RO) || len(p.rw) != len(l.RW) || len(p.wr) != len(l.Writes) {
+			t.Errorf("loop %d: group sizes (%d,%d,%d) want (%d,%d,%d)", i,
+				len(p.ro), len(p.rw), len(p.wr), len(l.RO), len(l.RW), len(l.Writes))
+		}
+	}
+}
+
+// TestPlanRefusesCrossingIndirects verifies the compiler bails out when
+// two index-table walks coincide at an iteration inside the loop range —
+// the case whose dedup the interpreter decides dynamically and a static
+// plan cannot express.
+func TestPlanRefusesCrossingIndirects(t *testing.T) {
+	space := memsim.NewSpace()
+	tbl := space.Alloc("tbl", 64, 8, 8)
+	tbl.Fill(func(i int) float64 { return float64(i) })
+	a := space.Alloc("a", 64, 8, 8)
+	b := space.Alloc("b", 64, 8, 8)
+
+	mk := func(s1, o1, s2, o2 int, iters int) *loopir.Loop {
+		return &loopir.Loop{
+			Name:  "crossing",
+			Iters: iters,
+			RO: []loopir.Ref{
+				{Array: a, Index: loopir.Indirect{Tbl: tbl, Entry: loopir.Affine{Scale: s1, Offset: o1}}},
+				{Array: b, Index: loopir.Indirect{Tbl: tbl, Entry: loopir.Affine{Scale: s2, Offset: o2}}},
+			},
+			Writes: []loopir.Ref{{Array: a, Index: loopir.Affine{Scale: 1}}},
+			Final:  func(i int, pre, rw []float64) []float64 { return []float64{pre[0] + pre[1]} },
+		}
+	}
+
+	// Positions 2i and i+4 coincide at i=4, inside [0,8): must refuse.
+	if compilePlan(mk(2, 0, 1, 4, 8)) != nil {
+		t.Error("compiled a loop whose indirect walks cross inside the range")
+	}
+	// Same crossing, but the loop ends at i=4: compilable.
+	if compilePlan(mk(2, 0, 1, 4, 4)) == nil {
+		t.Error("refused a loop whose crossing lies outside the range")
+	}
+	// Same scale, different offsets never coincide: compilable.
+	if compilePlan(mk(1, 0, 1, 4, 8)) == nil {
+		t.Error("refused non-coinciding same-stride walks")
+	}
+	// Identical walks coincide always: compilable, second marked dup.
+	p := compilePlan(mk(1, 2, 1, 2, 8))
+	if p == nil {
+		t.Fatal("refused identical walks")
+	}
+	if p.ro[1].dupLoad < 0 {
+		t.Error("second identical walk not marked as a duplicate load")
+	}
+}

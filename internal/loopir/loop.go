@@ -131,7 +131,66 @@ func (l *Loop) Validate() error {
 // in range. It is O(Iters x refs) and intended for workload construction
 // and tests.
 func (l *Loop) CheckBounds() error {
-	check := func(r Ref, i int) error {
+	for _, g := range [][]Ref{l.RO, l.RW, l.Writes} {
+		for _, r := range g {
+			if err := l.checkRefBounds(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// affineInRange reports whether Scale*i + Offset stays inside [0, n) for
+// every i in [0, iters). An affine sequence is monotonic, so checking its
+// two endpoints suffices.
+func affineInRange(a Affine, iters, n int) bool {
+	lo, hi := a.Offset, a.Scale*(iters-1)+a.Offset
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo >= 0 && hi < n
+}
+
+// checkRefBounds verifies one reference over the whole iteration range.
+// Known index shapes are checked without the per-iteration interface
+// dispatch of the generic scan: affine indices by their endpoints alone,
+// indirect ones by an endpoint check of the table positions plus a tight
+// scan of the table values. On failure it falls back to the generic scan,
+// which reports the first offending iteration exactly as it always has.
+func (l *Loop) checkRefBounds(r Ref) error {
+	if l.Iters <= 0 {
+		return nil
+	}
+	switch ix := r.Index.(type) {
+	case Affine:
+		if affineInRange(ix, l.Iters, r.Array.Len()) {
+			return nil
+		}
+	case Indirect:
+		if affineInRange(ix.Entry, l.Iters, ix.Tbl.Len()) {
+			ok, n := true, r.Array.Len()
+			for i, pos := 0, ix.Entry.Offset; i < l.Iters; i, pos = i+1, pos+ix.Entry.Scale {
+				if idx := ix.Tbl.LoadInt(pos); idx < 0 || idx >= n {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return nil
+			}
+		}
+	default:
+		// Unknown index shape: only the generic scan below applies.
+	}
+	return l.scanRefBounds(r)
+}
+
+// scanRefBounds is the generic per-iteration bounds scan, used for index
+// shapes the endpoint analysis does not know and to produce the error for
+// references the analysis rejected.
+func (l *Loop) scanRefBounds(r Ref) error {
+	for i := 0; i < l.Iters; i++ {
 		if tbl, pos := r.Index.Table(i); tbl != nil {
 			if pos < 0 || pos >= tbl.Len() {
 				return fmt.Errorf("loopir: loop %s: %s: index-table position %d out of [0,%d) at i=%d",
@@ -142,24 +201,6 @@ func (l *Loop) CheckBounds() error {
 		if idx < 0 || idx >= r.Array.Len() {
 			return fmt.Errorf("loopir: loop %s: %s: element %d out of [0,%d) at i=%d",
 				l.Name, r, idx, r.Array.Len(), i)
-		}
-		return nil
-	}
-	for i := 0; i < l.Iters; i++ {
-		for _, r := range l.RO {
-			if err := check(r, i); err != nil {
-				return err
-			}
-		}
-		for _, r := range l.RW {
-			if err := check(r, i); err != nil {
-				return err
-			}
-		}
-		for _, r := range l.Writes {
-			if err := check(r, i); err != nil {
-				return err
-			}
 		}
 	}
 	return nil

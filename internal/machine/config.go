@@ -24,11 +24,48 @@ type PrefetchConfig struct {
 	IssueCost int64 // cycles charged per issued prefetch instruction
 }
 
+// Engine selects the simulator implementation used for a machine's
+// processors. Both engines produce bit-identical results — same cycle
+// counts, same event counters, same LRU decisions — the choice only
+// trades simulation speed against implementation simplicity. The
+// differential tests in internal/cascade assert that equivalence.
+type Engine int
+
+const (
+	// EngineFast is the default: loop bodies run from compiled access
+	// plans (internal/interp) and each hierarchy short-circuits accesses
+	// that land in the MRU L1 line of the previous access
+	// (internal/cache). This is what experiment sweeps use.
+	EngineFast Engine = iota
+	// EngineReference is the original unoptimized path: the loop IR is
+	// re-interpreted every iteration and every access walks the full
+	// TLB/L1/L2/bus lookup. It exists as the oracle for differential
+	// testing.
+	EngineReference
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineReference:
+		return "reference"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
 // Config describes one simulated machine.
 type Config struct {
 	Name     string
 	Procs    int
 	ClockMHz int // informational; reported in Table 1 output
+
+	// Engine selects the simulation implementation (fast compiled plans
+	// versus the reference interpreter); it does not affect simulated
+	// results, only wall-clock speed. The zero value is EngineFast.
+	Engine Engine
 
 	L1, L2     cache.Config
 	MemLatency int64 // main-memory supply latency in cycles
@@ -107,7 +144,17 @@ func (c Config) Validate() error {
 	if err := c.TLB.Validate(); err != nil {
 		return fmt.Errorf("machine %s: %w", c.Name, err)
 	}
+	if c.Engine != EngineFast && c.Engine != EngineReference {
+		return fmt.Errorf("machine %s: unknown engine %d", c.Name, int(c.Engine))
+	}
 	return nil
+}
+
+// WithEngine returns a copy of the configuration running on the given
+// simulation engine (used by the differential fast-path tests).
+func (c Config) WithEngine(e Engine) Config {
+	c.Engine = e
+	return c
 }
 
 // WithProcs returns a copy of the configuration with a different processor

@@ -34,6 +34,7 @@ func New(cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.Procs; i++ {
 		h := cache.NewHierarchy(cfg.L1, cfg.L2, bus.Port(i))
 		h.StoreBuffered = cfg.StoreBuffered
+		h.FastPath = cfg.Engine == EngineFast
 		h.TLB = cache.NewTLB(cfg.TLB)
 		if cfg.VictimEntries > 0 {
 			h.EnableVictimBuffer(cfg.VictimEntries, cfg.VictimLatency)

@@ -21,6 +21,26 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 	ciAt := func() loopir.IndexExpr { return loopir.Indirect{Tbl: d.ci, Entry: loopir.Ident} }
 	id := loopir.Ident
 
+	// pre1/fin1 wrap a one-value iteration function in the Pre/Final
+	// closure shape, reusing a single result slot across iterations.
+	// Every execution strategy consumes a returned slice before its
+	// iteration ends (values are stored or buffered immediately), so the
+	// reuse is safe and keeps the simulator's hot loop allocation-free.
+	pre1 := func(f func(ro []float64) float64) func(int, []float64) []float64 {
+		out := make([]float64, 1)
+		return func(_ int, ro []float64) []float64 {
+			out[0] = f(ro)
+			return out
+		}
+	}
+	fin1 := func(f func(pre, rw []float64) float64) func(int, []float64, []float64) []float64 {
+		out := make([]float64, 1)
+		return func(_ int, pre, rw []float64) []float64 {
+			out[0] = f(pre, rw)
+			return out
+		}
+	}
+
 	loops := []*loopir.Loop{
 		// 1-3: field gathers. Indirect reads of grid fields at each
 		// particle's cell — random access over the grid, plus two big
@@ -37,7 +57,7 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			Writes:    []loopir.Ref{{Array: d.ax, Index: id}},
 			PreCycles: 10, FinalCycles: 4,
 			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{qm * ro[0] * ro[1]} },
+			Pre:  pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
 			Final: func(_ int, pre, _ []float64) []float64 {
 				return pre
 			},
@@ -52,7 +72,7 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			Writes:    []loopir.Ref{{Array: d.ay, Index: id}},
 			PreCycles: 10, FinalCycles: 4,
 			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{qm * ro[0] * ro[1]} },
+			Pre:  pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
 			Final: func(_ int, pre, _ []float64) []float64 {
 				return pre
 			},
@@ -82,13 +102,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.vx, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.vx, Index: id}},
 			PreCycles: 8, FinalCycles: 5,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{dt * (ro[0] + qm*ro[1])}
-			},
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return dt * (ro[0] + qm*ro[1]) }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_vy",
@@ -100,13 +116,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.vy, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.vy, Index: id}},
 			PreCycles: 8, FinalCycles: 5,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{dt * (ro[0] - qm*ro[1])}
-			},
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return dt * (ro[0] - qm*ro[1]) }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_px",
@@ -117,11 +129,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.px, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.px, Index: id}},
 			PreCycles: 8, FinalCycles: 6,
-			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{dt * ro[0]} },
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_py",
@@ -132,11 +142,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.py, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.py, Index: id}},
 			PreCycles: 8, FinalCycles: 6,
-			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{dt * ro[0]} },
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 
 		// 8-10: grid deposits. Indirect read-modify-write scatters onto
@@ -152,9 +160,7 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.rho, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.rho, Index: ciAt()}},
 			PreCycles: 0, FinalCycles: 6,
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "deposit_jx",
@@ -166,11 +172,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.jx, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.jx, Index: ciAt()}},
 			PreCycles: 5, FinalCycles: 5,
-			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "deposit_jy",
@@ -182,11 +186,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.jy, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.jy, Index: ciAt()}},
 			PreCycles: 5, FinalCycles: 5,
-			NPre: 1,
-			Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] * ro[1]} },
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 
 		// 11-13: grid-sized stencil/differentiation sweeps. Small
@@ -202,10 +204,8 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.sm, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 4, FinalCycles: 2,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return 0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2] }),
 			Final: func(_ int, pre, _ []float64) []float64 { return pre },
 		},
 		{
@@ -217,10 +217,8 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ex, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 3, FinalCycles: 2,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{0.5 * (ro[0] - ro[1])}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
 			Final: func(_ int, pre, _ []float64) []float64 { return pre },
 		},
 		{
@@ -232,10 +230,8 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ey, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 3, FinalCycles: 2,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{0.5 * (ro[0] - ro[1])}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
 			Final: func(_ int, pre, _ []float64) []float64 { return pre },
 		},
 
@@ -254,10 +250,8 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.t2, Index: id}},
 			PreCycles: 14, FinalCycles: 6,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{0.3*ro[0] + 0.5*ro[1] + 0.2*ro[2]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return 0.3*ro[0] + 0.5*ro[1] + 0.2*ro[2] }),
 			Final: func(_ int, pre, _ []float64) []float64 { return pre },
 		},
 
@@ -274,13 +268,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
 			Writes:    []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
 			PreCycles: 10, FinalCycles: 4,
-			NPre: 1,
-			Pre: func(_ int, ro []float64) []float64 {
-				return []float64{ro[2] * (ro[0]*ro[0] + ro[1]*ro[1])}
-			},
-			Final: func(_ int, pre, rw []float64) []float64 {
-				return []float64{rw[0] + pre[0]}
-			},
+			NPre:  1,
+			Pre:   pre1(func(ro []float64) float64 { return ro[2] * (ro[0]*ro[0] + ro[1]*ro[1]) }),
+			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 	}
 	return loops
