@@ -1,11 +1,14 @@
 # Development targets. `tier1` is the merge gate (see ROADMAP.md); `race`
-# is the fuller pre-merge check; `bench` regenerates the paper's headline
-# benchmarks; `bench-hotpath` compares the compiled fast engine against
-# the reference interpreter (see BENCH_hotpath.json for recorded runs).
+# is the fuller pre-merge check and `race-short` its fast CI variant;
+# `serve` boots the experiment-serving daemon; `bench` regenerates the
+# paper's headline benchmarks; `bench-hotpath` compares the compiled fast
+# engine against the reference interpreter (see BENCH_hotpath.json for
+# recorded runs).
 
 GO ?= go
+SERVE_FLAGS ?= -cache .cascade-cache
 
-.PHONY: tier1 race bench bench-hotpath fmt
+.PHONY: tier1 race race-short serve bench bench-hotpath fmt
 
 tier1:
 	$(GO) build ./...
@@ -14,6 +17,12 @@ tier1:
 
 race:
 	$(GO) test -race ./...
+
+race-short:
+	$(GO) test -race -short ./...
+
+serve:
+	$(GO) run ./cmd/cascade-server $(SERVE_FLAGS)
 
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkFig2$$|BenchmarkFig6$$' -benchtime 1x -count 3 .

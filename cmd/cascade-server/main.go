@@ -1,0 +1,119 @@
+// Command cascade-server is the experiment-serving daemon: a long-running
+// HTTP JSON service over the experiments.Registry with a bounded job
+// queue, a content-addressed result cache, and live metrics.
+//
+// Usage:
+//
+//	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir] [-drain 30s]
+//
+// API (see internal/server for details):
+//
+//	GET  /v1/experiments   experiment discovery (names, descriptions, defaults)
+//	POST /v1/jobs          submit {"experiment": "fig2", "params": {"scale": 0.1}}
+//	GET  /v1/jobs/{id}     job status + result; ?wait=10s blocks until done
+//	GET  /metrics          live counters/gauges, one "name value" per line
+//
+// Identical jobs are answered from the cache without re-simulating, and
+// concurrent identical submissions coalesce into one run. With -cache
+// the store persists across restarts and is shared with
+// `cascade-sim -cache` sweeps.
+//
+// SIGINT/SIGTERM triggers graceful shutdown: submissions are rejected,
+// queued and running jobs drain within the -drain budget, then in-flight
+// sweeps are cancelled through the experiment layer's context plumbing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// serverOptions carries the parsed command line into run.
+type serverOptions struct {
+	addr       string
+	workers    int
+	queueDepth int
+	cacheDir   string
+	drain      time.Duration
+	onListen   func(net.Addr) // test hook: reports the bound address
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
+		queue    = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheDir = flag.String("cache", "", "result cache directory (empty: in-memory only)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := serverOptions{
+		addr:       *addr,
+		workers:    *workers,
+		queueDepth: *queue,
+		cacheDir:   *cacheDir,
+		drain:      *drain,
+	}
+	if err := run(ctx, os.Stderr, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "cascade-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains gracefully. The log
+// writer w receives startup and shutdown progress lines.
+func run(ctx context.Context, w io.Writer, opts serverOptions) error {
+	s, err := server.New(server.Config{
+		Workers:    opts.workers,
+		QueueDepth: opts.queueDepth,
+		CacheDir:   opts.cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	if opts.onListen != nil {
+		opts.onListen(ln.Addr())
+	}
+	fmt.Fprintf(w, "cascade-server: listening on http://%s (%d workers, queue %d)\n",
+		ln.Addr(), opts.workers, opts.queueDepth)
+
+	hs := &http.Server{Handler: s.Handler()}
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintf(w, "cascade-server: shutting down (drain budget %s)\n", opts.drain)
+		dctx, cancel := context.WithTimeout(context.Background(), opts.drain)
+		defer cancel()
+		// Drain the job queue first so blocked ?wait= requests resolve,
+		// then stop the HTTP listener.
+		err := s.Shutdown(dctx)
+		hs.Shutdown(dctx)
+		drained <- err
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintln(w, "cascade-server: drained cleanly")
+	return nil
+}

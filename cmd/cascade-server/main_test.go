@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, drives the
+// HTTP API (discovery, submit, await, metrics), then sends the shutdown
+// signal and verifies a clean drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, io.Discard, serverOptions{
+			addr:       "127.0.0.1:0",
+			workers:    1,
+			queueDepth: 4,
+			cacheDir:   t.TempDir(),
+			drain:      10 * time.Second,
+			onListen:   func(a net.Addr) { addrCh <- a },
+		})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"quickstart"`) {
+		t.Errorf("/v1/experiments missing quickstart:\n%s", body)
+	}
+
+	// table1 is static — instant even in a unit test.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment": "table1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/jobs/" + submitted.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		State  string          `json:"state"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != "done" || len(job.Result) == 0 {
+		t.Fatalf("job = %s (error %q), want done with result", job.State, job.Error)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "jobs.completed 1") {
+		t.Errorf("/metrics missing jobs.completed 1:\n%s", body)
+	}
+
+	cancel() // deliver the "signal"
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit = %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

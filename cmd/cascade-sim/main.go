@@ -20,12 +20,20 @@
 // "-metrics json" the raw snapshots. Without an explicit -exp it runs
 // the quickstart scatter-add demonstration.
 //
+// The -cache flag points at a content-addressed result cache directory
+// (the same store cascade-server's -cache uses): an experiment whose
+// fully-resolved configuration was already simulated — by an earlier
+// sweep or by the serving daemon — is answered from the cache instead
+// of re-simulated. Entries are keyed per output mode; -json sweeps
+// share entries with the server.
+//
 // Interrupting a run (Ctrl-C) cancels the sweep promptly: in-flight
 // simulation points finish, no new ones start, and the command exits
 // with the cancellation error.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/cascade"
 	"repro/internal/experiments"
+	"repro/internal/server"
 	"repro/internal/synthetic"
 )
 
@@ -49,6 +58,7 @@ type cliOptions struct {
 	n          int
 	mode       string // table, csv, chart, json
 	metrics    string // "", table, json
+	cacheDir   string // "" = no memoization
 	quiet      bool
 }
 
@@ -62,6 +72,7 @@ func main() {
 		chart   = flag.Bool("chart", false, "draw ASCII charts instead of tables (figures only)")
 		asJSON  = flag.Bool("json", false, "emit raw results as JSON (figures and studies)")
 		metrics = flag.String("metrics", "", "emit per-processor metric snapshots: json or table (defaults -exp to quickstart)")
+		cache   = flag.String("cache", "", "content-addressed result cache directory, shared with cascade-server")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
 	)
 	flag.Parse()
@@ -72,6 +83,7 @@ func main() {
 		n:          *n,
 		mode:       outputMode(*csv, *chart, *asJSON),
 		metrics:    *metrics,
+		cacheDir:   *cache,
 		quiet:      *quiet,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -125,12 +137,15 @@ func render(w io.Writer, r experiments.Renderable, mode string) error {
 	return nil
 }
 
-// list enumerates the registry.
+// list enumerates the registry from the same exported metadata the
+// serving daemon's GET /v1/experiments returns.
 func list(w io.Writer) {
 	fmt.Fprintln(w, "experiments (run with -exp <name>, or -exp all):")
-	for _, e := range experiments.Registry() {
-		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Description)
+	for _, info := range experiments.Infos() {
+		fmt.Fprintf(w, "  %-12s %s\n", info.Name, info.Description)
 	}
+	d := experiments.DefaultRunConfig()
+	fmt.Fprintf(w, "defaults: -scale %g -chunk %d -n %d\n", d.Scale, d.ChunkBytes/1024, d.N)
 }
 
 func run(ctx context.Context, w io.Writer, opts cliOptions) error {
@@ -163,6 +178,15 @@ func run(ctx context.Context, w io.Writer, opts cliOptions) error {
 		}
 	}
 
+	var cache *server.Cache
+	if opts.cacheDir != "" {
+		var err error
+		cache, err = server.NewCache(opts.cacheDir, nil)
+		if err != nil {
+			return err
+		}
+	}
+
 	names := []string{opts.exp}
 	if opts.exp == "all" {
 		names = experiments.Names()
@@ -172,6 +196,27 @@ func run(ctx context.Context, w io.Writer, opts cliOptions) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -exp list)", name)
 		}
+		var key string
+		if cache != nil {
+			jobKey, err := server.JobKey(name, server.JobParams{
+				Scale:   opts.scale,
+				ChunkKB: opts.chunkBytes / 1024,
+				N:       opts.n,
+			})
+			if err != nil {
+				return err
+			}
+			key = server.RenderKey(jobKey, mode)
+			if val, ok := cache.Get(key); ok {
+				if rc.Progress != nil {
+					rc.Progress("%s served from cache", name)
+				}
+				if _, err := w.Write(val); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		start := time.Now()
 		r, err := e.Run(ctx, rc)
 		if err != nil {
@@ -180,7 +225,20 @@ func run(ctx context.Context, w io.Writer, opts cliOptions) error {
 		if rc.Progress != nil {
 			rc.Progress("%s done in %.1fs", name, time.Since(start).Seconds())
 		}
-		if err := render(w, r, mode); err != nil {
+		if cache == nil {
+			if err := render(w, r, mode); err != nil {
+				return err
+			}
+			continue
+		}
+		var buf bytes.Buffer
+		if err := render(&buf, r, mode); err != nil {
+			return err
+		}
+		if err := cache.Put(key, buf.Bytes()); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			return err
 		}
 	}

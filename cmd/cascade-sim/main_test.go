@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,6 +69,9 @@ func TestRunFig7(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: the ablation matrix runs many full simulations")
+	}
 	var b strings.Builder
 	if err := run(context.Background(), &b, cliOptions{exp: "ablations", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
@@ -93,6 +98,9 @@ func TestRunConflicts(t *testing.T) {
 }
 
 func TestRunCharts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: chart mode re-runs three figure sweeps")
+	}
 	for _, exp := range []string{"fig2", "fig3", "fig7"} {
 		var b strings.Builder
 		if err := run(context.Background(), &b, cliOptions{exp: exp, scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "chart", quiet: true}); err != nil {
@@ -115,6 +123,9 @@ func TestOutputMode(t *testing.T) {
 }
 
 func TestRunAmdahl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: the Amdahl study sweeps serial fractions end to end")
+	}
 	var b strings.Builder
 	if err := run(context.Background(), &b, cliOptions{exp: "amdahl", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); err != nil {
 		t.Fatal(err)
@@ -226,10 +237,67 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{"quickstart", "table1", "fig2", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"} {
+	for _, want := range []string{"quickstart", "table1", "fig2", "fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations", "defaults:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-exp list missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunCacheReuse pins the -cache flag: the first run fills the
+// content-addressed store, a repeat run with the same fully-resolved
+// configuration is answered from it byte-for-byte (proven by tampering
+// with the stored entry), and a different configuration misses.
+func TestRunCacheReuse(t *testing.T) {
+	dir := t.TempDir()
+	opts := cliOptions{exp: "quickstart", scale: smallScale, chunkBytes: 64 * 1024,
+		n: 1 << 14, mode: "json", cacheDir: dir, quiet: true}
+
+	var first strings.Builder
+	if err := run(context.Background(), &first, opts); err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if err := run(context.Background(), &second, opts); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("cached rerun output differs from the original run")
+	}
+
+	// Overwrite the single stored entry; a third run must echo the
+	// tampered bytes — proof the output came from the cache, not a
+	// fresh simulation.
+	var entries []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d files, want 1", len(entries))
+	}
+	if err := os.WriteFile(entries[0], []byte("TAMPERED"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var third strings.Builder
+	if err := run(context.Background(), &third, opts); err != nil {
+		t.Fatal(err)
+	}
+	if third.String() != "TAMPERED" {
+		t.Errorf("third run did not come from the cache: %q", third.String())
+	}
+
+	// A different configuration must not hit the tampered entry.
+	miss := opts
+	miss.scale = smallScale * 2
+	var fresh strings.Builder
+	if err := run(context.Background(), &fresh, miss); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fresh.String(), "TAMPERED") {
+		t.Error("different scale was served the old cache entry")
 	}
 }
 

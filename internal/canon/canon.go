@@ -1,0 +1,40 @@
+// Package canon produces canonical JSON serializations for
+// content-addressed caching. A canonical serialization must be stable
+// across refactors that do not change observable simulation semantics
+// (struct field reordering, literal-vs-helper construction) and must
+// change whenever an observable field changes value — cache keys are
+// derived from these bytes, so instability means silent cache misses and
+// laxity means stale results served as fresh.
+package canon
+
+import "encoding/json"
+
+// JSON returns the canonical JSON encoding of v: v is marshalled, decoded
+// into generic maps, and re-marshalled. The round-trip through
+// map[string]interface{} makes the output independent of struct field
+// declaration order (encoding/json sorts map keys), while still picking up
+// every exported field automatically — a field added to a config struct
+// changes the canonical bytes without anyone remembering to update a
+// hand-written serializer.
+func JSON(v interface{}) ([]byte, error) {
+	m, err := Map(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(m)
+}
+
+// Map returns v's generic-JSON form (maps, slices, float64s), for callers
+// that need to patch fields — normalize a default, replace a pointer with
+// a presence marker — before canonical encoding with encoding/json.
+func Map(v interface{}) (map[string]interface{}, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,28 @@
+package cascade
+
+import "repro/internal/canon"
+
+// CanonicalBytes returns the options' canonical serialization, the
+// options half of a simulation point's content-addressed cache key (see
+// internal/server). Defaults are resolved before encoding so that a
+// default-filled value and an explicitly-spelled one hash equal:
+//
+//   - ChunkBytes 0 encodes as DefaultChunkBytes (the run drivers would
+//     reject 0, but option builders treat "unset" as the paper default);
+//   - Space encodes as a presence flag, not the space contents. Buffer
+//     placement inside a workload's address space is determined by the
+//     workload itself, which the key's caller identifies separately; the
+//     pointer's identity carries no extra observable information.
+func (o Options) CanonicalBytes() ([]byte, error) {
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
+	hasSpace := o.Space != nil
+	o.Space = nil
+	m, err := canon.Map(o)
+	if err != nil {
+		return nil, err
+	}
+	m["Space"] = hasSpace
+	return canon.JSON(m)
+}

@@ -116,6 +116,9 @@ func diffResults(t *testing.T, fast, ref cascade.Result) {
 // bit-identical metric snapshots and cycle counts — on the PARMVR loops
 // and every gallery kernel, under all run modes, on both machines.
 func TestFastPathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: the equivalence matrix covers every kernel, mode, and machine")
+	}
 	const chunkBytes = 8 * 1024
 	for _, cfg := range fastpathConfigs() {
 		for _, mode := range runModes(chunkBytes) {

@@ -111,6 +111,9 @@ func TestAblationPriorParallel(t *testing.T) {
 }
 
 func TestRunPARMVRCallSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: steady-state run repeats the full PARMVR call")
+	}
 	p := testParams()
 	cfg := machine.PentiumPro(4)
 	// A steady-state call must be deterministic in its warm-up depth.
@@ -190,6 +193,9 @@ func TestAblationVictimCache(t *testing.T) {
 }
 
 func TestAmdahlShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: the Amdahl study sweeps serial fractions end to end")
+	}
 	r, err := Amdahl(context.Background(), machine.PentiumPro(4), testParams(), 64*1024)
 	if err != nil {
 		t.Fatal(err)

@@ -76,6 +76,9 @@ func TestRunPARMVRRejectsBadConfig(t *testing.T) {
 // from more processors, and prefetching alone gains ~nothing on the
 // R10000 (the MIPSpro effect).
 func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: fig2 sweeps both machines at several processor counts")
+	}
 	res, err := Fig2(context.Background(), testParams(), cascade.DefaultChunkBytes)
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +153,9 @@ func TestBreakdownShape(t *testing.T) {
 // TestFig6Shape asserts Figure 6's claims: an interior optimum chunk size
 // larger than L1, with degraded performance at the 2MB extreme.
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: fig6 sweeps the full chunk-size grid")
+	}
 	res, err := Fig6(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +189,9 @@ func TestFig6Shape(t *testing.T) {
 // (more memory-bound) variant speeds up more than the dense one, and
 // restructuring at least matches prefetching at the peak.
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: fig7 runs the synthetic gallery at a past-L2 array size")
+	}
 	const n = 1 << 17 // 512KB arrays: past both L2s at test scale
 	res, err := Fig7(context.Background(), n)
 	if err != nil {

@@ -6,6 +6,20 @@ import (
 	"sync"
 )
 
+// DefaultJobWorkers is the bounded concurrency at which the serving
+// layer (internal/server) executes experiment jobs: half the scheduler's
+// processors, at least one. Each job's sweep already fans out across
+// GOMAXPROCS via parallelFor below, so running every queued job at full
+// width would oversubscribe the machine; halving keeps one job's sweep
+// and the next job's warm-up overlapped without thrashing.
+func DefaultJobWorkers() int {
+	w := runtime.GOMAXPROCS(0) / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // parallelFor runs fn(i) for every i in [0, n) across up to
 // runtime.GOMAXPROCS(0) workers. Every index's work must be independent —
 // experiment sweeps are: each point builds its own workload and machine —

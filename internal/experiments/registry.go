@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"sort"
 
+	"repro/internal/cascade"
+	"repro/internal/synthetic"
 	"repro/internal/wave5"
 )
 
@@ -65,9 +68,76 @@ type Experiment struct {
 	Run         func(ctx context.Context, rc RunConfig) (Renderable, error)
 }
 
-// Registry returns every experiment in canonical order — the order "all"
-// runs them and "list" prints them.
+// Info is an experiment's exported metadata: what `cascade-sim -exp list`
+// prints and what the serving daemon's GET /v1/experiments returns — one
+// source of truth for both.
+type Info struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Defaults    Defaults `json:"defaults"`
+}
+
+// Defaults are an experiment's default run parameters in the units
+// clients supply them (chunk budget in KB, as on the cascade-sim command
+// line and in the serving API's job parameters).
+type Defaults struct {
+	// Scale is the PARMVR dataset scale factor (1.0 = paper-scale).
+	Scale float64 `json:"scale"`
+	// ChunkKB is the cascade chunk budget in KB.
+	ChunkKB int `json:"chunk_kb"`
+	// N is the synthetic-loop / kernel-gallery array length.
+	N int `json:"n"`
+}
+
+// DefaultRunConfig returns the run configuration every experiment uses
+// when the caller overrides nothing: paper-scale dataset, the paper's
+// best chunk size, the synthetic loop's default length.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Scale:      1.0,
+		ChunkBytes: cascade.DefaultChunkBytes,
+		N:          synthetic.DefaultN,
+	}
+}
+
+// Info returns the experiment's exported metadata.
+func (e Experiment) Info() Info {
+	rc := DefaultRunConfig()
+	return Info{
+		Name:        e.Name,
+		Description: e.Description,
+		Defaults: Defaults{
+			Scale:   rc.Scale,
+			ChunkKB: rc.ChunkBytes / 1024,
+			N:       rc.N,
+		},
+	}
+}
+
+// Infos returns every registered experiment's metadata, sorted by name
+// like Registry.
+func Infos() []Info {
+	reg := Registry()
+	infos := make([]Info, len(reg))
+	for i, e := range reg {
+		infos[i] = e.Info()
+	}
+	return infos
+}
+
+// Registry returns every experiment sorted by name. Enumeration order is
+// deterministic and shared by every consumer: the order "all" runs them,
+// "-exp list" prints them, and the serving daemon's /v1/experiments
+// returns them.
 func Registry() []Experiment {
+	reg := registry()
+	sort.Slice(reg, func(i, j int) bool { return reg[i].Name < reg[j].Name })
+	return reg
+}
+
+// registry lists the experiments in paper-presentation order; public
+// enumeration sorts by name.
+func registry() []Experiment {
 	return []Experiment{
 		{
 			Name:        "quickstart",
@@ -185,7 +255,7 @@ func Registry() []Experiment {
 	}
 }
 
-// Names returns the registry's experiment names in canonical order.
+// Names returns the registry's experiment names, sorted.
 func Names() []string {
 	reg := Registry()
 	names := make([]string, len(reg))

@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// TestRegistryNamesAndLookup pins the registry's canonical contents: every
-// paper artifact dispatches through it, and Lookup agrees with Names.
+// TestRegistryNamesAndLookup pins the registry's canonical contents and
+// enumeration order: every paper artifact dispatches through it, names
+// come back sorted, and Lookup agrees with Names.
 func TestRegistryNamesAndLookup(t *testing.T) {
-	want := []string{"quickstart", "table1", "fig2", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "conflicts", "amdahl", "gallery", "ablations"}
+	want := []string{"ablations", "amdahl", "conflicts", "fig2", "fig3",
+		"fig4", "fig5", "fig6", "fig7", "gallery", "quickstart", "table1"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -31,6 +32,31 @@ func TestRegistryNamesAndLookup(t *testing.T) {
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+// TestInfosMetadata pins the exported metadata: one Info per experiment,
+// sorted like the registry, with non-empty descriptions and the shared
+// defaults (paper scale, 64KB chunks, the synthetic default length).
+func TestInfosMetadata(t *testing.T) {
+	infos := Infos()
+	names := Names()
+	if len(infos) != len(names) {
+		t.Fatalf("Infos() has %d entries, Names() %d", len(infos), len(names))
+	}
+	rc := DefaultRunConfig()
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("Infos()[%d].Name = %q, want %q", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+		d := info.Defaults
+		if d.Scale != rc.Scale || d.ChunkKB != rc.ChunkBytes/1024 || d.N != rc.N {
+			t.Errorf("%s: defaults = %+v, want scale %g chunk %dKB n %d",
+				info.Name, d, rc.Scale, rc.ChunkBytes/1024, rc.N)
+		}
 	}
 }
 

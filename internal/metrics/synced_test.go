@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncedConcurrentCounters pins the whole point of Synced: many
+// goroutines hammering the same counters race-free (run under -race) and
+// no increment is lost.
+func TestSyncedConcurrentCounters(t *testing.T) {
+	s := NewSynced()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Inc("jobs.submitted")
+				s.Add("cache.hits", 2)
+				s.Set("queue.depth", int64(g))
+				s.Max("queue.peak", int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if got := snap.Get("jobs.submitted"); got != goroutines*perG {
+		t.Errorf("jobs.submitted = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Get("cache.hits"); got != 2*goroutines*perG {
+		t.Errorf("cache.hits = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := snap.Get("queue.peak"); got != perG-1 {
+		t.Errorf("queue.peak = %d, want %d", got, perG-1)
+	}
+}
+
+// TestSyncedWithAndReset exercises the escape hatch and the reset path.
+func TestSyncedWithAndReset(t *testing.T) {
+	s := NewSynced()
+	s.With(func(r *Registry) {
+		r.PhaseTimer("jobs.time", "queued", "run").Add(0, "run", 42)
+	})
+	if got := s.Value("jobs.time.total.run"); got != 42 {
+		t.Errorf("jobs.time.total.run = %d, want 42", got)
+	}
+	s.Inc("n")
+	s.ResetStats()
+	if !s.Snapshot().AllZero() {
+		t.Errorf("after ResetStats, snapshot not all zero: %v", s.Snapshot().NonZero())
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Cache is the content-addressed result store: rendered experiment
+// results keyed by the canonical hashes of key.go. It always holds an
+// in-memory map; with a directory it additionally persists every entry
+// to disk (dir/<key[:2]>/<key>), so separate processes — the serving
+// daemon and cascade-sim -cache runs — share memoized results.
+//
+// Values are immutable once stored: a key is derived from everything
+// that determines the result bytes, so two writers racing on one key
+// are by construction writing identical content.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string][]byte
+	dir string // "" = memory only
+
+	m *metrics.Synced // nil = unmetered (CLI use)
+}
+
+// NewCache returns a cache rooted at dir (created if missing; "" for
+// memory-only) reporting hit/miss counters to m (nil for none).
+func NewCache(dir string, m *metrics.Synced) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{mem: make(map[string][]byte), dir: dir, m: m}, nil
+}
+
+// Get returns the bytes stored under key. Disk entries are promoted into
+// memory on first read. Metrics: cache.hits / cache.misses count every
+// lookup; cache.disk_hits counts the hits served from disk.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.mem[key]; ok {
+		c.inc("cache.hits")
+		return v, true
+	}
+	if c.dir != "" {
+		if v, err := os.ReadFile(c.path(key)); err == nil {
+			c.mem[key] = v
+			c.inc("cache.hits")
+			c.inc("cache.disk_hits")
+			return v, true
+		}
+	}
+	c.inc("cache.misses")
+	return nil, false
+}
+
+// Put stores val under key in memory and, when the cache has a
+// directory, on disk (written to a temp file and renamed, so readers
+// never observe a partial entry).
+func (c *Cache) Put(key string, val []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[key]; !ok {
+		c.mem[key] = val
+		if c.m != nil {
+			c.m.Inc("cache.entries")
+			c.m.Add("cache.bytes", int64(len(val)))
+		}
+	}
+	if c.dir == "" {
+		return nil
+	}
+	path := c.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // identical content by construction; keep the old file
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// path shards entries by the first two key characters so no single
+// directory grows unboundedly.
+func (c *Cache) path(key string) string {
+	shard := key
+	if len(shard) > 2 {
+		shard = shard[:2]
+	}
+	return filepath.Join(c.dir, shard, key)
+}
+
+func (c *Cache) inc(name string) {
+	if c.m != nil {
+		c.m.Inc(name)
+	}
+}

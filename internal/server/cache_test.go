@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestCacheMemory(t *testing.T) {
+	m := metrics.NewSynced()
+	c, err := NewCache("", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if err := c.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get("k1")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v", v, ok)
+	}
+	snap := m.Snapshot()
+	if snap.Get("cache.hits") != 1 || snap.Get("cache.misses") != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", snap.Get("cache.hits"), snap.Get("cache.misses"))
+	}
+	if snap.Get("cache.entries") != 1 || snap.Get("cache.bytes") != 2 {
+		t.Errorf("entries/bytes = %d/%d, want 1/2", snap.Get("cache.entries"), snap.Get("cache.bytes"))
+	}
+}
+
+// TestCacheDiskPersistence pins the cross-process sharing path: a second
+// cache over the same directory — a fresh server, or a cascade-sim -cache
+// run — sees the first one's entries, and the disk hit is counted.
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 1000)
+	if err := c1.Put("deadbeef-json", val); err != nil {
+		t.Fatal(err)
+	}
+	// Entries shard by the first two key characters.
+	if _, err := os.Stat(filepath.Join(dir, "de", "deadbeef-json")); err != nil {
+		t.Fatalf("expected sharded cache file: %v", err)
+	}
+
+	m := metrics.NewSynced()
+	c2, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef-json")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("disk entry not shared: ok=%v len=%d", ok, len(got))
+	}
+	if m.Value("cache.disk_hits") != 1 {
+		t.Errorf("cache.disk_hits = %d, want 1", m.Value("cache.disk_hits"))
+	}
+	// Promoted to memory: a second read must not be a disk hit.
+	if _, ok := c2.Get("deadbeef-json"); !ok {
+		t.Fatal("promoted entry lost")
+	}
+	if m.Value("cache.disk_hits") != 1 {
+		t.Errorf("promoted entry re-read from disk")
+	}
+	if c2.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c2.Len())
+	}
+}
+
+// TestCachePutIdempotent pins that re-storing a key (two processes
+// finishing the same point) neither errors nor double-counts.
+func TestCachePutIdempotent(t *testing.T) {
+	m := metrics.NewSynced()
+	c, err := NewCache(t.TempDir(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put("kk", []byte("vv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Value("cache.entries") != 1 || m.Value("cache.bytes") != 2 {
+		t.Errorf("entries/bytes = %d/%d, want 1/2", m.Value("cache.entries"), m.Value("cache.bytes"))
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/machine"
+)
+
+// defaultOpts returns the paper's headline options via the builder.
+func defaultOpts(t *testing.T) cascade.Options {
+	t.Helper()
+	opts, err := cascade.NewOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+// TestPointKeySemanticEquality pins the cache-key invariant that makes
+// memoization sound: configurations with identical observable semantics
+// hash equal however they were constructed.
+func TestPointKeySemanticEquality(t *testing.T) {
+	base, err := PointKey(machine.PentiumPro(4), defaultOpts(t), "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Preset-built vs literal-built: the helper and a hand-spelled copy
+	// of the same machine are the same machine.
+	literal := machine.PentiumPro(4) // fields copied — a struct literal in effect
+	lk, err := PointKey(literal, defaultOpts(t), "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk != base {
+		t.Error("copied config hashes differently")
+	}
+
+	// Engine choice is not observable: both engines produce bit-identical
+	// results, so a cached result from either must satisfy both.
+	refEng, err := PointKey(machine.PentiumPro(4).WithEngine(machine.EngineReference), defaultOpts(t), "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refEng != base {
+		t.Error("reference-engine config hashes differently from fast-engine config")
+	}
+
+	// Default-filled vs explicit: an Options with ChunkBytes left 0 (the
+	// builder default) equals one spelling DefaultChunkBytes out.
+	implicit := defaultOpts(t)
+	implicit.ChunkBytes = 0
+	ik, err := PointKey(machine.PentiumPro(4), implicit, "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := defaultOpts(t)
+	explicit.ChunkBytes = cascade.DefaultChunkBytes
+	ek, err := PointKey(machine.PentiumPro(4), explicit, "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ik != ek || ik != base {
+		t.Error("default-filled and explicit ChunkBytes hash differently")
+	}
+}
+
+// TestPointKeyObservableChanges pins the converse invariant: any
+// observable field change must produce a different key, else the cache
+// serves wrong results.
+func TestPointKeyObservableChanges(t *testing.T) {
+	cfg := machine.PentiumPro(4)
+	opts := defaultOpts(t)
+	base, err := PointKey(cfg, opts, "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"base": base}
+	check := func(label string, cfg machine.Config, opts cascade.Options, workload string) {
+		t.Helper()
+		k, err := PointKey(cfg, opts, workload)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for prev, pk := range seen {
+			if pk == k {
+				t.Errorf("%s collides with %s", label, prev)
+			}
+		}
+		seen[label] = k
+	}
+
+	check("procs", cfg.WithProcs(3), opts, "parmvr")
+	check("other machine", machine.R10000(8), opts, "parmvr")
+	smallL2 := cfg
+	smallL2.L2.Size /= 2
+	check("L2 size", smallL2, opts, "parmvr")
+	slowMem := cfg
+	slowMem.MemLatency++
+	check("memory latency", slowMem, opts, "parmvr")
+	noTLB := cfg
+	noTLB.TLB.Entries = 0
+	check("TLB", noTLB, opts, "parmvr")
+
+	chunk := opts
+	chunk.ChunkBytes = 32 * 1024
+	check("chunk size", cfg, chunk, "parmvr")
+	noJump := opts
+	noJump.JumpOut = false
+	check("jump-out", cfg, noJump, "parmvr")
+	helper := opts
+	helper.Helper = cascade.HelperRestructure
+	check("helper", cfg, helper, "parmvr")
+
+	check("workload", cfg, opts, "parmvr@scale=0.5")
+}
+
+// Golden keys, generated once from the current canonical serialization.
+// If one of these fails without an intentional semantic change, the key
+// derivation drifted — previously cached results would silently stop
+// matching (or worse, a lax canonicalization change could alias distinct
+// configs). On an intentional change, bump keySchema and regenerate.
+const (
+	goldenPointKey = "9c864957d3f465dd508fa180dfe7635571a49e5c2780bcf9a6ec84f5bd0fba75"
+	goldenJobKey   = "8969e3479609562a5742ddb6e2100e498e4b6696643527e740eb9e5d8d4a583b"
+)
+
+func TestGoldenKeys(t *testing.T) {
+	pk, err := PointKey(machine.PentiumPro(4), defaultOpts(t), "parmvr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk != goldenPointKey {
+		t.Errorf("PointKey drifted:\n got %s\nwant %s\n(bump keySchema if this change is intentional)", pk, goldenPointKey)
+	}
+	jk, err := JobKey("fig2", JobParams{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jk != goldenJobKey {
+		t.Errorf("JobKey drifted:\n got %s\nwant %s\n(bump keySchema if this change is intentional)", jk, goldenJobKey)
+	}
+}
+
+// TestJobKeyParamResolution pins that job keys are derived from
+// fully-resolved parameters: omitting a field and spelling its default
+// out address the same cache entry, while changing any parameter or the
+// experiment name moves to a different one.
+func TestJobKeyParamResolution(t *testing.T) {
+	implicit, err := JobKey("fig2", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := JobKey("fig2", DefaultJobParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Error("zero params and explicit defaults hash differently")
+	}
+	scaled, err := JobKey("fig2", JobParams{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled == implicit {
+		t.Error("scale change did not change the job key")
+	}
+	otherExp, err := JobKey("fig6", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherExp == implicit {
+		t.Error("experiment name does not contribute to the job key")
+	}
+}
+
+func TestJobParamsValidate(t *testing.T) {
+	if err := DefaultJobParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	for _, p := range []JobParams{
+		{Scale: -1, ChunkKB: 64, N: 1024},
+		{Scale: 1, ChunkKB: -1, N: 1024},
+		{Scale: 1, ChunkKB: 64, N: -5},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Metric names the serving layer maintains in its Synced registry. They
+// are pre-registered at server construction so GET /metrics always
+// exposes the full, stable set (zeros included) — the same
+// stable-snapshot-shape convention internal/metrics imposes on
+// simulation Sources.
+const (
+	// Counters.
+	mJobsSubmitted = "jobs.submitted"  // POST /v1/jobs accepted
+	mJobsExecuted  = "jobs.executed"   // jobs that actually ran a simulation
+	mJobsCompleted = "jobs.completed"  // jobs finished in StateDone
+	mJobsFailed    = "jobs.failed"     // jobs finished in StateFailed
+	mJobsCoalesced = "jobs.coalesced"  // jobs attached to an identical in-flight run
+	mJobsCacheHits = "jobs.cache_hits" // jobs answered from the cache at submit
+	mJobsRejected  = "jobs.rejected"   // jobs refused (queue full or shutting down)
+
+	// Per-phase job timers (wall time, nanoseconds).
+	mTimeQueued = "jobs.time.queued_ns" // submit → worker pickup
+	mTimeRun    = "jobs.time.run_ns"    // worker pickup → result stored
+
+	// Gauges.
+	mQueueDepth = "queue.depth"      // jobs currently waiting in the queue
+	mQueuePeak  = "queue.depth_peak" // high-water mark of queue.depth
+
+	// Cache counters (cache.hits / cache.misses / cache.disk_hits /
+	// cache.entries / cache.bytes) are maintained by Cache itself.
+)
+
+// initMetrics pre-registers every server metric at zero.
+func initMetrics(m *metrics.Synced) {
+	for _, name := range []string{
+		mJobsSubmitted, mJobsExecuted, mJobsCompleted, mJobsFailed,
+		mJobsCoalesced, mJobsCacheHits, mJobsRejected,
+		mTimeQueued, mTimeRun,
+		"cache.hits", "cache.misses", "cache.disk_hits",
+		"cache.entries", "cache.bytes",
+	} {
+		m.Add(name, 0)
+	}
+	m.Set(mQueueDepth, 0)
+	m.Set(mQueuePeak, 0)
+}
+
+// writeMetrics renders a snapshot in the flat text exposition format of
+// GET /metrics: one "name value" line per metric, sorted by name.
+func writeMetrics(w io.Writer, snap metrics.Snapshot) {
+	for _, name := range snap.Names() {
+		fmt.Fprintf(w, "%s %d\n", name, snap.Get(name))
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrUnknownExperiment is returned for a name the registry lacks.
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrQueueFull is returned when the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrShuttingDown is returned for submissions after Shutdown began.
+	ErrShuttingDown = errors.New("server shutting down")
+)
+
+// Submit accepts one experiment job. Zero-valued parameters are resolved
+// to the registry defaults before anything else, so the content-addressed
+// key always reflects fully-resolved parameters. The result is one of:
+//
+//   - cache hit: the job completes immediately with the stored bytes —
+//     no simulation runs, no queue slot is consumed;
+//   - coalesced: an identical job (same key) is already queued or
+//     running, so this job attaches to it and completes when it does —
+//     concurrent duplicate submissions share one simulation;
+//   - queued: the job takes a queue slot and a worker will run it.
+//
+// The returned view reflects the job's state at return; poll Job (or
+// await it) for completion.
+func (s *Server) Submit(experiment string, p JobParams) (JobView, error) {
+	e, ok := s.exps[experiment]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, experiment)
+	}
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return JobView{}, err
+	}
+	jobKey, err := JobKey(experiment, p)
+	if err != nil {
+		return JobView{}, err
+	}
+	key := RenderKey(jobKey, "json")
+	s.metrics.Inc(mJobsSubmitted)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.metrics.Inc(mJobsRejected)
+		return JobView{}, ErrShuttingDown
+	}
+	j := &job{
+		id:         fmt.Sprintf("j%d", s.nextID),
+		experiment: e.Name,
+		params:     p,
+		key:        key,
+		state:      StateQueued,
+		created:    time.Now(),
+		done:       make(chan struct{}),
+	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+
+	if leader, ok := s.inflight[key]; ok {
+		j.coalesced = true
+		s.metrics.Inc(mJobsCoalesced)
+		s.wg.Add(1)
+		go s.follow(j, leader)
+		return j.view(true), nil
+	}
+	if val, ok := s.cache.Get(key); ok {
+		j.cached = true
+		s.finishLocked(j, val, nil)
+		s.metrics.Inc(mJobsCacheHits)
+		return j.view(true), nil
+	}
+	select {
+	case s.queue <- j:
+		s.inflight[key] = j
+		depth := int64(len(s.queue))
+		s.metrics.Set(mQueueDepth, depth)
+		s.metrics.Max(mQueuePeak, depth)
+	default:
+		s.finishLocked(j, nil, ErrQueueFull)
+		s.metrics.Inc(mJobsRejected)
+		return j.view(true), ErrQueueFull
+	}
+	return j.view(true), nil
+}
+
+// Job returns the view of a submitted job (false when the id is unknown).
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(true), true
+}
+
+// Jobs returns every job in submission order, without result payloads.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, len(s.order))
+	for i, j := range s.order {
+		out[i] = j.view(false)
+	}
+	return out
+}
+
+// Await blocks until the job finishes, the timeout elapses (0 = return
+// immediately), or cancel is closed/ready; it then returns the current
+// view.
+func (s *Server) Await(id string, timeout time.Duration, cancel <-chan struct{}) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-cancel:
+		}
+	}
+	return s.Job(id)
+}
+
+// follow completes a coalesced follower when its leader finishes: the
+// follower adopts the leader's result or error. The leader always closes
+// done — success, failure, or shutdown cancellation — so followers never
+// leak.
+func (s *Server) follow(j, leader *job) {
+	defer s.wg.Done()
+	<-leader.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if leader.state == StateDone {
+		s.finishLocked(j, leader.result, nil)
+	} else {
+		s.finishLocked(j, nil, errors.New(leader.errMsg))
+	}
+}
+
+// worker drains the job queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.Set(mQueueDepth, int64(len(s.queue)))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one leader job: run the experiment under the server's
+// run context, render the result to JSON, store it in the cache, and
+// finish the job (waking any followers).
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.metrics.Add(mTimeQueued, j.started.Sub(j.created).Nanoseconds())
+	s.metrics.Inc(mJobsExecuted)
+
+	e := s.exps[j.experiment]
+	r, err := e.Run(s.runCtx, j.params.RunConfig())
+	var val []byte
+	if err == nil {
+		val, err = RenderJSON(r)
+	}
+	if err == nil {
+		err = s.cache.Put(j.key, val)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	s.finishLocked(j, val, err)
+	s.mu.Unlock()
+	s.metrics.Add(mTimeRun, j.finished.Sub(j.started).Nanoseconds())
+}
+
+// finishLocked moves a job to its terminal state and wakes waiters.
+// Callers must hold the server mutex.
+func (s *Server) finishLocked(j *job, val []byte, err error) {
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.metrics.Inc(mJobsFailed)
+	} else {
+		j.state = StateDone
+		j.result = val
+		s.metrics.Inc(mJobsCompleted)
+	}
+	close(j.done)
+}
+
+// RenderJSON renders an experiment result exactly as cascade-sim's -json
+// mode does (indented, trailing newline), so CLI sweeps and the server
+// produce — and therefore share — byte-identical cache entries.
+func RenderJSON(r experiments.Renderable) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,255 @@
+// Package server is the experiment-serving daemon: a long-running HTTP
+// JSON service that accepts experiment jobs against the
+// experiments.Registry, runs them on a bounded worker pool, memoizes
+// results in a content-addressed cache, and exposes live metrics.
+//
+// API:
+//
+//	GET  /v1/experiments      registry metadata (names, descriptions, defaults)
+//	POST /v1/jobs             submit {"experiment": "...", "params": {...}}
+//	GET  /v1/jobs             list submitted jobs (no result payloads)
+//	GET  /v1/jobs/{id}        one job, result included; ?wait=5s blocks
+//	GET  /metrics             flat "name value" metric exposition
+//	GET  /healthz             liveness
+//
+// Identical work never runs twice: a submitted job is first looked up in
+// the cache by the canonical hash of its fully-resolved configuration
+// (see key.go), and a miss that matches an already-queued or running job
+// coalesces with it single-flight style. Shutdown is graceful — the
+// queue drains, results flush to the cache — with a deadline after which
+// in-flight sweeps are cancelled through the experiment layer's context
+// plumbing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// Config configures a Server. The zero value serves the full experiment
+// registry from a memory-only cache with experiments.DefaultJobWorkers
+// workers.
+type Config struct {
+	// Workers bounds how many jobs execute concurrently (each job's
+	// sweep additionally parallelizes internally via the experiment
+	// pool). Default: experiments.DefaultJobWorkers().
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// submissions beyond it are rejected with ErrQueueFull. Default: 64.
+	QueueDepth int
+	// CacheDir persists the result cache under this directory; empty
+	// keeps it in memory only.
+	CacheDir string
+	// Experiments overrides the served experiment set (tests inject
+	// synthetic experiments here). Default: experiments.Registry().
+	Experiments []experiments.Experiment
+	// Metrics receives the server's counters and gauges. Default: a
+	// fresh registry.
+	Metrics *metrics.Synced
+}
+
+// Server is the serving daemon. Create with New, expose Handler over
+// HTTP, stop with Shutdown.
+type Server struct {
+	metrics *metrics.Synced
+	cache   *Cache
+	exps    map[string]experiments.Experiment
+	infos   []experiments.Info
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup // workers + follower waiters
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*job
+	order    []*job
+	inflight map[string]*job // cache key → queued/running leader
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = experiments.DefaultJobWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Experiments == nil {
+		cfg.Experiments = experiments.Registry()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewSynced()
+	}
+	initMetrics(cfg.Metrics)
+	cache, err := NewCache(cfg.CacheDir, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		metrics:   cfg.Metrics,
+		cache:     cache,
+		exps:      make(map[string]experiments.Experiment, len(cfg.Experiments)),
+		runCtx:    runCtx,
+		cancelRun: cancel,
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		nextID:    1,
+	}
+	for _, e := range cfg.Experiments {
+		if _, dup := s.exps[e.Name]; dup {
+			cancel()
+			return nil, fmt.Errorf("server: duplicate experiment %q", e.Name)
+		}
+		s.exps[e.Name] = e
+		s.infos = append(s.infos, e.Info())
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown stops the server gracefully: new submissions are rejected,
+// the queue drains (queued and running jobs finish and their results
+// flush to the cache), and the worker pool exits. If ctx expires before
+// the drain completes, the run context is cancelled — the experiment
+// layer stops dispatching new simulation points, in-flight points
+// finish, and the affected jobs fail with the cancellation error — and
+// Shutdown returns ctx's error after the pool exits. A nil return means
+// every accepted job ran to completion.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.cancelRun()
+		<-drained
+		err = ctx.Err()
+	}
+	s.cancelRun()
+	return err
+}
+
+// Experiments returns the served experiments' metadata, sorted by name.
+func (s *Server) Experiments() []experiments.Info {
+	return s.infos
+}
+
+// Metrics returns a snapshot of the server's metrics.
+func (s *Server) Metrics() metrics.Snapshot {
+	return s.metrics.Snapshot()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"experiments": s.infos})
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Experiment string    `json:"experiment"`
+	Params     JobParams `json:"params"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	v, err := s.Submit(req.Experiment, req.Params)
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case v.State == StateDone:
+		writeJSON(w, http.StatusOK, v) // served from cache at submit time
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var wait time.Duration
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", raw))
+			return
+		}
+		wait = d
+	}
+	v, ok := s.Await(id, wait, r.Context().Done())
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeMetrics(w, s.metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

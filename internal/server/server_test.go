@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// fakeResult is a minimal Renderable for injected test experiments.
+type fakeResult struct {
+	Value string `json:"value"`
+}
+
+func (f fakeResult) Render(w io.Writer) { fmt.Fprintln(w, f.Value) }
+
+// gatedExperiment returns an experiment whose runs block until gate is
+// closed (or the run context is cancelled), signalling each start on
+// running and counting executions in runs.
+func gatedExperiment(name string, gate <-chan struct{}, running chan struct{}, runs *atomic.Int32) experiments.Experiment {
+	return experiments.Experiment{
+		Name:        name,
+		Description: "test stand-in",
+		Run: func(ctx context.Context, rc experiments.RunConfig) (experiments.Renderable, error) {
+			runs.Add(1)
+			running <- struct{}{}
+			select {
+			case <-gate:
+				return fakeResult{Value: fmt.Sprintf("%s n=%d", name, rc.N)}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+}
+
+// TestServerCoalescing pins single-flight semantics: concurrent
+// submission of an identical job attaches to the in-flight run instead
+// of simulating twice, and both jobs finish with the same result bytes.
+func TestServerCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     2,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	v1, err := s.Submit("fake", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running // the leader is inside its simulation now
+
+	v2, err := s.Submit("fake", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Coalesced {
+		t.Error("duplicate submission did not coalesce")
+	}
+	close(gate)
+
+	r1, _ := s.Await(v1.ID, 5*time.Second, nil)
+	r2, _ := s.Await(v2.ID, 5*time.Second, nil)
+	if r1.State != StateDone || r2.State != StateDone {
+		t.Fatalf("states = %s/%s, want done/done", r1.State, r2.State)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("experiment ran %d times, want 1", got)
+	}
+	if !bytes.Equal(r1.Result, r2.Result) {
+		t.Error("coalesced job's result differs from its leader's")
+	}
+	if r1.Key != r2.Key {
+		t.Errorf("coalesced jobs carry different keys: %s vs %s", r1.Key, r2.Key)
+	}
+	if got := s.Metrics().Get(mJobsCoalesced); got != 1 {
+		t.Errorf("jobs.coalesced = %d, want 1", got)
+	}
+}
+
+// TestServerGracefulShutdownDrains pins the drain path: Shutdown with a
+// generous deadline lets the running job and the queued job both finish,
+// and their results are retrievable afterwards.
+func TestServerGracefulShutdownDrains(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := s.Submit("fake", JobParams{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	v2, err := s.Submit("fake", JobParams{N: 200}) // distinct key: stays queued
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate) // release the runs while Shutdown is draining
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful Shutdown = %v, want nil", err)
+	}
+
+	for _, id := range []string{v1.ID, v2.ID} {
+		v, ok := s.Job(id)
+		if !ok || v.State != StateDone || len(v.Result) == 0 {
+			t.Errorf("after drain, job %s = %+v, want done with result", id, v)
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("experiment ran %d times, want 2", got)
+	}
+	if _, err := s.Submit("fake", JobParams{N: 300}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Submit after Shutdown = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestServerShutdownCancelsInFlight pins forced shutdown: when the drain
+// deadline expires, cancellation propagates through the run context into
+// the experiment pool and the stuck job fails with the context error.
+func TestServerShutdownCancelsInFlight(t *testing.T) {
+	gate := make(chan struct{}) // never closed: the job can only end via ctx
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Submit("fake", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Shutdown = %v, want DeadlineExceeded", err)
+	}
+	got, _ := s.Job(v.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, context.Canceled.Error()) {
+		t.Errorf("cancelled job = state %s error %q, want failed with context.Canceled", got.State, got.Error)
+	}
+}
+
+// TestServerQueueBound pins the bounded queue: with one busy worker and a
+// one-slot queue, a third distinct job is rejected with ErrQueueFull.
+func TestServerQueueBound(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		QueueDepth:  1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(gate)
+		s.Shutdown(context.Background())
+	}()
+
+	if _, err := s.Submit("fake", JobParams{N: 100}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if _, err := s.Submit("fake", JobParams{N: 200}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Submit("fake", JobParams{N: 300})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	if v.State != StateFailed {
+		t.Errorf("rejected job state = %s, want failed", v.State)
+	}
+	if got := s.Metrics().Get(mJobsRejected); got != 1 {
+		t.Errorf("jobs.rejected = %d, want 1", got)
+	}
+}
+
+// TestServerUnknownExperiment pins submission validation.
+func TestServerUnknownExperiment(t *testing.T) {
+	s, err := New(Config{Workers: 1, Experiments: []experiments.Experiment{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if _, err := s.Submit("nope", JobParams{}); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("Submit(nope) = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+// submitHTTP posts one job and decodes the response view.
+func submitHTTP(t *testing.T, url, body string) (JobView, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// TestServerEndToEndCacheHit is the acceptance test: over HTTP, submit
+// the same real experiment twice. The first submission simulates; the
+// second is served from the cache (no second simulation, hit counter
+// increments) with byte-identical results, which in turn match a fresh
+// direct simulation of the same configuration — the differential
+// guarantee that memoization never changes answers.
+func TestServerEndToEndCacheHit(t *testing.T) {
+	s, err := New(Config{Workers: 2, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Tiny quickstart: n clamps to 1024, milliseconds of simulation.
+	const body = `{"experiment": "quickstart", "params": {"scale": 0.001}}`
+	v1, code := submitHTTP(t, ts.URL, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("first submit: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v1.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done JobView
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done.State != StateDone {
+		t.Fatalf("first job = %s (error %q), want done", done.State, done.Error)
+	}
+	if len(done.Result) == 0 {
+		t.Fatal("first job has no result payload")
+	}
+
+	// Second submission: answered at submit time, from the cache.
+	v2, code := submitHTTP(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Errorf("second submit: status %d, want 200 (cache hit)", code)
+	}
+	if v2.State != StateDone || !v2.Cached {
+		t.Errorf("second job = state %s cached %v, want immediate cached done", v2.State, v2.Cached)
+	}
+	if !bytes.Equal(done.Result, v2.Result) {
+		t.Error("cached result differs from the first run's result")
+	}
+
+	snap := s.Metrics()
+	if got := snap.Get(mJobsExecuted); got != 1 {
+		t.Errorf("jobs.executed = %d, want 1 (second run must not simulate)", got)
+	}
+	if got := snap.Get("cache.hits"); got != 1 {
+		t.Errorf("cache.hits = %d, want 1", got)
+	}
+	if got := snap.Get(mJobsCacheHits); got != 1 {
+		t.Errorf("jobs.cache_hits = %d, want 1", got)
+	}
+
+	// The exposition endpoint reflects the same counters.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"jobs.executed 1", "cache.hits 1", "queue.depth ", "jobs.time.run_ns "} {
+		if !strings.Contains(string(mtext), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mtext)
+		}
+	}
+
+	// Differential check: the stored cache entry is byte-identical to a
+	// fresh simulation of the same fully-resolved configuration,
+	// rendered the same way. (The HTTP responses above re-indent the
+	// nested result, so the comparison is against the cache itself.)
+	e, ok := experiments.Lookup("quickstart")
+	if !ok {
+		t.Fatal("quickstart not registered")
+	}
+	params := JobParams{Scale: 0.001}.WithDefaults()
+	r, err := e.Run(context.Background(), params.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RenderJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := s.cache.Get(done.Key)
+	if !ok {
+		t.Fatal("no cache entry under the job's key")
+	}
+	if !bytes.Equal(fresh, cached) {
+		t.Error("cached result bytes differ from a fresh simulation of the same config")
+	}
+}
+
+// TestServerHTTPSurface covers the remaining endpoints: experiment
+// discovery shares the registry's metadata, job listing, and the error
+// statuses.
+func TestServerHTTPSurface(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disc struct {
+		Experiments []experiments.Info `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&disc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := experiments.Infos()
+	if len(disc.Experiments) != len(want) {
+		t.Fatalf("/v1/experiments returned %d entries, want %d", len(disc.Experiments), len(want))
+	}
+	for i := range want {
+		if disc.Experiments[i] != want[i] {
+			t.Errorf("experiment[%d] = %+v, want %+v", i, disc.Experiments[i], want[i])
+		}
+	}
+
+	if _, code := submitHTTP(t, ts.URL, `{"experiment": "nope"}`); code != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d, want 404", code)
+	}
+	if _, code := submitHTTP(t, ts.URL, `{"experiment": "table1", "params": {"scale": -1}}`); code != http.StatusBadRequest {
+		t.Errorf("bad params: status %d, want 400", code)
+	}
+	if _, code := submitHTTP(t, ts.URL, `{"bogus": true}`); code != http.StatusBadRequest {
+		t.Errorf("unknown body field: status %d, want 400", code)
+	}
+
+	v, code := submitHTTP(t, ts.URL, `{"experiment": "table1"}`)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("table1 submit: status %d", code)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "?wait=10s"); err == nil {
+		resp.Body.Close()
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Errorf("job list = %+v, want the one submitted job", list.Jobs)
+	}
+	if len(list.Jobs) == 1 && list.Jobs[0].Result != nil {
+		t.Error("job list leaked result payloads")
+	}
+
+	for path, wantCode := range map[string]int{
+		"/v1/jobs/absent":                  http.StatusNotFound,
+		"/v1/jobs/" + v.ID + "?wait=bogus": http.StatusBadRequest,
+		"/healthz":                         http.StatusOK,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, wantCode)
+		}
+	}
+}
