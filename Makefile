@@ -1,14 +1,16 @@
 # Development targets. `tier1` is the merge gate (see ROADMAP.md); `race`
 # is the fuller pre-merge check and `race-short` its fast CI variant;
-# `serve` boots the experiment-serving daemon; `bench` regenerates the
-# paper's headline benchmarks; `bench-hotpath` compares the compiled fast
-# engine against the reference interpreter (see BENCH_hotpath.json for
-# recorded runs).
+# `chaos` is the fault-injection sweep of DESIGN.md §10 (fixed seed;
+# set CHAOS_SEED to explore other schedules); `serve` boots the
+# experiment-serving daemon; `bench` regenerates the paper's headline
+# benchmarks; `bench-hotpath` compares the compiled fast engine against
+# the reference interpreter (see BENCH_hotpath.json for recorded runs).
 
 GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
+CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short serve bench bench-hotpath fmt
+.PHONY: tier1 race race-short chaos serve bench bench-hotpath fmt
 
 tier1:
 	$(GO) build ./...
@@ -20,6 +22,9 @@ race:
 
 race-short:
 	$(GO) test -race -short ./...
+
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaos -count=1 -v ./internal/server
 
 serve:
 	$(GO) run ./cmd/cascade-server $(SERVE_FLAGS)

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir] [-drain 30s]
+//	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir]
+//	               [-drain 30s] [-job-timeout 15m]
+//	               [-faults "site:p=0.05;..."] [-fault-seed N]
 //
 // API (see internal/server for details):
 //
@@ -21,6 +23,16 @@
 // SIGINT/SIGTERM triggers graceful shutdown: submissions are rejected,
 // queued and running jobs drain within the -drain budget, then in-flight
 // sweeps are cancelled through the experiment layer's context plumbing.
+//
+// The -faults flag (development/testing only) arms the deterministic
+// fault-injection layer of DESIGN.md §10 so the daemon's degradation
+// paths can be exercised live: e.g.
+//
+//	cascade-server -faults "exp.panic:p=0.1;cache.write:n=3"
+//
+// panics one run in ten and fails the third disk write. Probabilistic
+// sites replay from -fault-seed. Valid sites are those of
+// server.FaultSites(); the daemon refuses to start on an unknown one.
 package main
 
 import (
@@ -33,10 +45,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -47,16 +61,22 @@ type serverOptions struct {
 	queueDepth int
 	cacheDir   string
 	drain      time.Duration
+	jobTimeout time.Duration
+	faultsSpec string
+	faultSeed  int64
 	onListen   func(net.Addr) // test hook: reports the bound address
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers  = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
-		queue    = flag.Int("queue", 64, "bounded job-queue depth")
-		cacheDir = flag.String("cache", "", "result cache directory (empty: in-memory only)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
+		queue      = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheDir   = flag.String("cache", "", "result cache directory (empty: in-memory only)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		jobTimeout = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job execution deadline (0 disables)")
+		faultsSpec = flag.String("faults", "", `fault-injection spec, e.g. "exp.panic:p=0.1;cache.write:n=3" (dev/testing)`)
+		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -faults triggers")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,6 +87,9 @@ func main() {
 		queueDepth: *queue,
 		cacheDir:   *cacheDir,
 		drain:      *drain,
+		jobTimeout: *jobTimeout,
+		faultsSpec: *faultsSpec,
+		faultSeed:  *faultSeed,
 	}
 	if err := run(ctx, os.Stderr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-server:", err)
@@ -77,10 +100,34 @@ func main() {
 // run serves until ctx is cancelled, then drains gracefully. The log
 // writer w receives startup and shutdown progress lines.
 func run(ctx context.Context, w io.Writer, opts serverOptions) error {
+	inj, err := faults.Parse(opts.faultsSpec, opts.faultSeed)
+	if err != nil {
+		return err
+	}
+	if armed := inj.Sites(); len(armed) > 0 {
+		valid := make(map[string]bool)
+		for _, site := range server.FaultSites() {
+			valid[site] = true
+		}
+		for _, site := range armed {
+			if !valid[site] {
+				return fmt.Errorf("-faults: unknown site %q (valid: %s)",
+					site, strings.Join(server.FaultSites(), ", "))
+			}
+		}
+		fmt.Fprintf(w, "cascade-server: FAULT INJECTION ARMED (%s; seed %d)\n",
+			strings.Join(armed, ", "), opts.faultSeed)
+	}
+	jobTimeout := opts.jobTimeout
+	if jobTimeout == 0 {
+		jobTimeout = -1 // flag 0 = "no deadline"; Config 0 = "use default"
+	}
 	s, err := server.New(server.Config{
 		Workers:    opts.workers,
 		QueueDepth: opts.queueDepth,
 		CacheDir:   opts.cacheDir,
+		JobTimeout: jobTimeout,
+		Faults:     inj,
 	})
 	if err != nil {
 		return err

@@ -25,7 +25,10 @@
 // fully-resolved configuration was already simulated — by an earlier
 // sweep or by the serving daemon — is answered from the cache instead
 // of re-simulated. Entries are keyed per output mode; -json sweeps
-// share entries with the server.
+// share entries with the server. Disk entries are checksummed: a
+// corrupt entry is quarantined (renamed <key>.corrupt) and transparently
+// recomputed, and a failed cache write degrades to a warning — the
+// computed result is still printed.
 //
 // Interrupting a run (Ctrl-C) cancels the sweep promptly: in-flight
 // simulation points finish, no new ones start, and the command exits
@@ -236,7 +239,9 @@ func run(ctx context.Context, w io.Writer, opts cliOptions) error {
 			return err
 		}
 		if err := cache.Put(key, buf.Bytes()); err != nil {
-			return err
+			// Degrade, don't fail: the result is computed; only the
+			// memoized copy for future runs is lost.
+			fmt.Fprintf(os.Stderr, "cascade-sim: cache write failed (result not memoized): %v\n", err)
 		}
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return err

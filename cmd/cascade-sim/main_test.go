@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/server"
 )
 
 // smallScale keeps CLI tests fast while exercising every experiment path.
@@ -246,8 +248,10 @@ func TestRunList(t *testing.T) {
 
 // TestRunCacheReuse pins the -cache flag: the first run fills the
 // content-addressed store, a repeat run with the same fully-resolved
-// configuration is answered from it byte-for-byte (proven by tampering
-// with the stored entry), and a different configuration misses.
+// configuration is answered from it byte-for-byte (proven by replacing
+// the stored entry with a validly-checksummed sentinel), a corrupted
+// entry is quarantined and transparently recomputed, and a different
+// configuration misses.
 func TestRunCacheReuse(t *testing.T) {
 	dir := t.TempDir()
 	opts := cliOptions{exp: "quickstart", scale: smallScale, chunkBytes: 64 * 1024,
@@ -265,20 +269,29 @@ func TestRunCacheReuse(t *testing.T) {
 		t.Error("cached rerun output differs from the original run")
 	}
 
-	// Overwrite the single stored entry; a third run must echo the
-	// tampered bytes — proof the output came from the cache, not a
-	// fresh simulation.
-	var entries []string
-	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() {
-			entries = append(entries, path)
-		}
-		return nil
-	})
+	// Replace the single stored entry with a sentinel, written through
+	// the cache so its checksum is valid; a third run must echo the
+	// sentinel — proof the output came from the cache, not a fresh
+	// simulation.
+	entries := cacheFiles(t, dir)
 	if len(entries) != 1 {
 		t.Fatalf("cache holds %d files, want 1", len(entries))
 	}
-	if err := os.WriteFile(entries[0], []byte("TAMPERED"), 0o644); err != nil {
+	jobKey, err := server.JobKey("quickstart", server.JobParams{
+		Scale: opts.scale, ChunkKB: opts.chunkBytes / 1024, N: opts.n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := server.RenderKey(jobKey, "json")
+	if err := os.Remove(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	tamper, err := server.NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tamper.Put(key, []byte("TAMPERED")); err != nil {
 		t.Fatal(err)
 	}
 	var third strings.Builder
@@ -287,6 +300,26 @@ func TestRunCacheReuse(t *testing.T) {
 	}
 	if third.String() != "TAMPERED" {
 		t.Errorf("third run did not come from the cache: %q", third.String())
+	}
+
+	// Corrupt the raw entry bytes: the next run must quarantine it,
+	// recompute, and produce the original (uncached) output again —
+	// tampered bytes are never served.
+	if err := os.WriteFile(entries[0], []byte("garbage, not a cache entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var healed strings.Builder
+	if err := run(context.Background(), &healed, opts); err != nil {
+		t.Fatal(err)
+	}
+	if healed.String() != first.String() {
+		t.Error("corrupt entry was not recomputed to the original bytes")
+	}
+	if _, err := os.Stat(entries[0] + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry was not quarantined: %v", err)
+	}
+	if _, err := os.Stat(entries[0]); err != nil {
+		t.Errorf("recomputed entry was not rewritten: %v", err)
 	}
 
 	// A different configuration must not hit the tampered entry.
@@ -299,6 +332,20 @@ func TestRunCacheReuse(t *testing.T) {
 	if strings.Contains(fresh.String(), "TAMPERED") {
 		t.Error("different scale was served the old cache entry")
 	}
+}
+
+// cacheFiles lists the regular files under a cache directory, skipping
+// quarantined entries.
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var entries []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && !strings.HasSuffix(path, ".corrupt") {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	return entries
 }
 
 // TestRunCancelled pins Ctrl-C behavior: a cancelled context aborts the

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -38,6 +40,13 @@ func DefaultJobWorkers() int {
 // recorded first. fn errors take precedence so that a failure racing a
 // Ctrl-C is still reported.
 //
+// A panic in fn is contained: it becomes that point's error (stack
+// included) instead of unwinding a pool goroutine and killing the
+// process. This is what lets a long-running caller — the serving
+// daemon — survive a buggy experiment: panics on the job's own
+// goroutine are recovered there, and panics on sweep workers are
+// recovered here.
+//
 // Each in-flight point holds its own simulated machine and dataset, so
 // peak memory scales with the worker count; sweeps at full PARMVR scale
 // hold tens of megabytes per worker.
@@ -51,7 +60,7 @@ func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := runPoint(i, fn); err != nil {
 				return err
 			}
 		}
@@ -95,7 +104,7 @@ func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 				if skip(i) {
 					continue
 				}
-				record(i, fn(i))
+				record(i, runPoint(i, fn))
 			}
 		}()
 	}
@@ -116,4 +125,16 @@ dispatch:
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// runPoint runs one sweep point, converting a panic into the point's
+// error so it is reported through the normal first-failing-index path
+// rather than crashing the process.
+func runPoint(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep point %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }

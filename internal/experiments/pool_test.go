@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -148,6 +149,56 @@ func TestParallelForSerialContextCancel(t *testing.T) {
 	}
 	if ran != 5 {
 		t.Errorf("ran = %d, want 5 (no index after cancel)", ran)
+	}
+}
+
+// TestParallelForContainsPanics pins the failure model the serving
+// daemon depends on: a panicking sweep point becomes that point's error
+// (lowest failing index, stack attached) instead of killing the
+// process, on both the parallel and serial paths.
+func TestParallelForContainsPanics(t *testing.T) {
+	for name, procs := range map[string]int{"parallel": 4, "serial": 1} {
+		t.Run(name, func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			err := parallelFor(context.Background(), 100, func(i int) error {
+				if i == 7 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("panic was swallowed")
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "point 7 panicked") || !strings.Contains(msg, "kaboom") {
+				t.Errorf("err = %q, want point index and panic value", msg)
+			}
+			if !strings.Contains(msg, "pool_test.go") {
+				t.Errorf("err lacks a stack trace:\n%s", msg)
+			}
+		})
+	}
+}
+
+// TestParallelForPanicBeatsLaterError pins that a panic participates in
+// the lowest-failing-index rule like any other error.
+func TestParallelForPanicBeatsLaterError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	err := parallelFor(context.Background(), 100, func(i int) error {
+		switch i {
+		case 10:
+			time.Sleep(200 * time.Microsecond)
+			panic("early panic")
+		case 11:
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "point 10 panicked") {
+		t.Errorf("err = %v, want the lower-index panic to win", err)
 	}
 }
 

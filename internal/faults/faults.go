@@ -1,0 +1,237 @@
+// Package faults is a deterministic fault-injection registry for
+// robustness testing. Call sites in production code name an injection
+// site and ask the injector whether that site fires on this call; an
+// injector armed from a test (or the cascade-server -faults dev flag)
+// answers from a seeded PRNG or a fire-on-Nth-call counter, so a
+// failing run replays exactly from its seed. A nil *Injector is the
+// disabled registry: every method is a no-op, so production call sites
+// pay one nil check and nothing else.
+//
+// Sites are plain strings owned by the package that hosts the call
+// site (internal/server declares its own, e.g. "cache.write"); the
+// injector itself imposes no naming scheme.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error injected at sites armed without an explicit
+// override; injected failures wrap it, so call sites and tests can
+// errors.Is against it.
+var ErrInjected = errors.New("injected fault")
+
+// Trigger says when an armed site fires. Exactly firing rules compose:
+// OnCall fires deterministically on one specific call, Prob fires
+// independently per call from the injector's seeded PRNG, and Times
+// bounds the total number of fires either way.
+type Trigger struct {
+	// Prob fires the site on each call with this probability (0..1].
+	Prob float64
+	// OnCall fires the site on exactly the Nth call (1-based); 0
+	// disables the rule.
+	OnCall int64
+	// Times caps how many times the site fires in total; 0 = unlimited.
+	Times int64
+	// Err is the injected error; nil means ErrInjected. Either way the
+	// returned error wraps ErrInjected and names the site.
+	Err error
+}
+
+type site struct {
+	trig  Trigger
+	calls int64
+	fired int64
+}
+
+// Injector is the registry of armed sites. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use
+// and safe on a nil receiver (disabled injection).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*site
+}
+
+// New returns an empty injector whose probabilistic triggers draw from
+// a PRNG seeded with seed, so identical call sequences replay
+// identically.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), sites: make(map[string]*site)}
+}
+
+// Arm configures (or reconfigures, resetting counters) one site.
+func (in *Injector) Arm(name string, t Trigger) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &site{trig: t}
+}
+
+// fire records one call to the site and reports whether it fires,
+// returning the site's configured error when it does.
+func (in *Injector) fire(name string) (bool, error) {
+	if in == nil {
+		return false, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[name]
+	if !ok {
+		return false, nil
+	}
+	st.calls++
+	if st.trig.Times > 0 && st.fired >= st.trig.Times {
+		return false, nil
+	}
+	hit := st.trig.OnCall > 0 && st.calls == st.trig.OnCall
+	if !hit && st.trig.Prob > 0 {
+		hit = in.rng.Float64() < st.trig.Prob
+	}
+	if !hit {
+		return false, nil
+	}
+	st.fired++
+	if st.trig.Err != nil {
+		return true, fmt.Errorf("%s: %w: %w", name, ErrInjected, st.trig.Err)
+	}
+	return true, fmt.Errorf("%s: %w", name, ErrInjected)
+}
+
+// Check reports whether the site fires on this call. Nil-safe.
+func (in *Injector) Check(name string) bool {
+	hit, _ := in.fire(name)
+	return hit
+}
+
+// Fail returns the site's injected error when it fires, nil otherwise.
+// Nil-safe.
+func (in *Injector) Fail(name string) error {
+	hit, err := in.fire(name)
+	if !hit {
+		return nil
+	}
+	return err
+}
+
+// Corrupt returns b with one byte flipped (in a copy) when the site
+// fires, and b unchanged otherwise. The flipped position is drawn from
+// the injector's seeded PRNG. Nil-safe; empty slices pass through.
+func (in *Injector) Corrupt(name string, b []byte) []byte {
+	hit, _ := in.fire(name)
+	if !hit || len(b) == 0 {
+		return b
+	}
+	in.mu.Lock()
+	pos := in.rng.Intn(len(b))
+	in.mu.Unlock()
+	out := make([]byte, len(b))
+	copy(out, b)
+	out[pos] ^= 0xff
+	return out
+}
+
+// Calls returns how many times the site has been consulted. Nil-safe.
+func (in *Injector) Calls(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[name]; ok {
+		return st.calls
+	}
+	return 0
+}
+
+// Fired returns how many times the site has fired. Nil-safe.
+func (in *Injector) Fired(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[name]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Sites returns the armed site names, sorted. Nil-safe.
+func (in *Injector) Sites() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for n := range in.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse builds an injector from a flag-style spec:
+//
+//	site:rule[,rule][;site:rule...]
+//
+// where a rule is p=<probability>, n=<call number> or times=<max
+// fires>, e.g. "exp.panic:p=0.05;cache.write:n=3,times=1". An empty
+// spec returns a nil (disabled) injector.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rules, ok := strings.Cut(entry, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faults: bad entry %q (want site:rule[,rule])", entry)
+		}
+		var t Trigger
+		for _, rule := range strings.Split(rules, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(rule), "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: bad rule %q in %q", rule, entry)
+			}
+			switch k {
+			case "p":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil || p <= 0 || p > 1 {
+					return nil, fmt.Errorf("faults: bad probability %q in %q (want 0 < p <= 1)", v, entry)
+				}
+				t.Prob = p
+			case "n":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faults: bad call number %q in %q (want >= 1)", v, entry)
+				}
+				t.OnCall = n
+			case "times":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faults: bad times %q in %q (want >= 1)", v, entry)
+				}
+				t.Times = n
+			default:
+				return nil, fmt.Errorf("faults: unknown rule %q in %q (want p=, n= or times=)", k, entry)
+			}
+		}
+		if t.Prob == 0 && t.OnCall == 0 {
+			return nil, fmt.Errorf("faults: entry %q never fires (need p= or n=)", entry)
+		}
+		in.Arm(name, t)
+	}
+	return in, nil
+}

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestNilInjectorIsDisabled pins the nil-safety contract production call
+// sites rely on: every method of a nil injector is a cheap no-op.
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if in.Check("any") {
+		t.Error("nil injector fired")
+	}
+	if err := in.Fail("any"); err != nil {
+		t.Errorf("nil Fail = %v", err)
+	}
+	b := []byte("payload")
+	if got := in.Corrupt("any", b); !bytes.Equal(got, b) {
+		t.Error("nil Corrupt changed bytes")
+	}
+	if in.Calls("any") != 0 || in.Fired("any") != 0 || in.Sites() != nil {
+		t.Error("nil injector reports state")
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Check("unarmed") {
+			t.Fatal("unarmed site fired")
+		}
+	}
+	if in.Calls("unarmed") != 0 {
+		t.Error("unarmed site counted calls")
+	}
+}
+
+func TestOnCallFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.Arm("s", Trigger{OnCall: 3})
+	var fires []int
+	for i := 1; i <= 6; i++ {
+		if err := in.Fail("s"); err != nil {
+			fires = append(fires, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("injected error %v does not wrap ErrInjected", err)
+			}
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Errorf("fired on calls %v, want [3]", fires)
+	}
+	if in.Calls("s") != 6 || in.Fired("s") != 1 {
+		t.Errorf("calls/fired = %d/%d, want 6/1", in.Calls("s"), in.Fired("s"))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1)
+	in.Arm("s", Trigger{OnCall: 1, Err: boom})
+	err := in.Fail("s")
+	if !errors.Is(err, boom) || !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want wrapping both boom and ErrInjected", err)
+	}
+}
+
+// TestProbabilityDeterminism pins replayability: two injectors with the
+// same seed fire on exactly the same calls.
+func TestProbabilityDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm("s", Trigger{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Check("s")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.3 fired %d/200 times; trigger looks broken", fired)
+	}
+}
+
+func TestTimesBound(t *testing.T) {
+	in := New(7)
+	in.Arm("s", Trigger{Prob: 1, Times: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Check("s") {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times, want 2 (Times bound)", fired)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	in := New(1)
+	in.Arm("s", Trigger{OnCall: 2})
+	orig := []byte("hello world")
+	if got := in.Corrupt("s", orig); !bytes.Equal(got, orig) {
+		t.Error("call 1 corrupted")
+	}
+	got := in.Corrupt("s", orig)
+	if bytes.Equal(got, orig) {
+		t.Error("call 2 did not corrupt")
+	}
+	if string(orig) != "hello world" {
+		t.Error("Corrupt mutated the input slice")
+	}
+	diffs := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diffs)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("exp.panic:p=0.5;cache.write:n=3,times=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cache.write", "exp.panic"}
+	got := in.Sites()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Sites() = %v, want %v", got, want)
+	}
+	for i := 1; i <= 4; i++ {
+		fired := in.Check("cache.write")
+		if fired != (i == 3) {
+			t.Errorf("cache.write call %d fired=%v", i, fired)
+		}
+	}
+
+	if in, err := Parse("", 1); err != nil || in != nil {
+		t.Errorf("Parse(\"\") = %v, %v; want nil, nil", in, err)
+	}
+	for _, bad := range []string{
+		"nosep", "site:", "site:p=2", "site:p=0", "site:n=0",
+		"site:times=1", "site:q=1", "site:p", ":p=1",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

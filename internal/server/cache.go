@@ -1,11 +1,18 @@
 package server
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -18,12 +25,90 @@ import (
 // Values are immutable once stored: a key is derived from everything
 // that determines the result bytes, so two writers racing on one key
 // are by construction writing identical content.
+//
+// Disk entries are checksummed (see entryMagic): a versioned header
+// line, the hex SHA-256 of the payload, then the payload. An entry that
+// fails to decode — truncated write, bit rot, a stale pre-checksum file
+// — is quarantined: renamed to <key>.corrupt, counted in cache.corrupt,
+// and treated as a miss, so the result is transparently recomputed and
+// rewritten. Disk I/O failures degrade rather than fail: a read error
+// (other than not-exist) is a miss (cache.read_errors), a write error
+// leaves the entry memory-only (cache.write_errors), and Healthy
+// reports whether the most recent disk operation succeeded.
 type Cache struct {
 	mu  sync.Mutex
 	mem map[string][]byte
 	dir string // "" = memory only
 
-	m *metrics.Synced // nil = unmetered (CLI use)
+	m      *metrics.Synced  // nil = unmetered (CLI use)
+	faults *faults.Injector // nil = no injection
+	diskOK atomic.Bool      // most recent disk I/O succeeded
+}
+
+// Fault-injection sites of the serving pipeline (see internal/faults).
+// Tests and the cascade-server -faults dev flag arm these to prove the
+// failure model of DESIGN.md §10.
+const (
+	// SiteCacheRead fails disk reads in Cache.Get with an injected I/O error.
+	SiteCacheRead = "cache.read"
+	// SiteCacheWrite fails disk writes in Cache.Put with an injected I/O error.
+	SiteCacheWrite = "cache.write"
+	// SiteCacheCorrupt flips one byte of a disk entry as Cache.Get reads it,
+	// exercising checksum verification and quarantine.
+	SiteCacheCorrupt = "cache.corrupt"
+	// SiteExpPanic panics inside experiment execution (internal/server.runJob).
+	SiteExpPanic = "exp.panic"
+	// SiteExpStall blocks experiment execution until the job's context is
+	// cancelled, exercising per-job deadlines and shutdown cancellation.
+	SiteExpStall = "exp.stall"
+)
+
+// FaultSites returns every injection site the serving pipeline
+// consults, for flag validation and documentation.
+func FaultSites() []string {
+	return []string{SiteCacheRead, SiteCacheWrite, SiteCacheCorrupt, SiteExpPanic, SiteExpStall}
+}
+
+// entryMagic heads every disk entry and versions the on-disk format.
+// The full layout is:
+//
+//	cascade-entry/v1\n<64 hex chars of SHA-256(payload)>\n<payload>
+//
+// Bumping the version makes every old entry decode-fail, quarantine,
+// and recompute — the disk cache self-heals across format changes.
+const entryMagic = "cascade-entry/v1\n"
+
+// checksumHexLen is the length of the hex-encoded SHA-256 in the header.
+const checksumHexLen = 2 * sha256.Size
+
+// encodeEntry frames a payload for disk: header, checksum, payload.
+func encodeEntry(val []byte) []byte {
+	sum := sha256.Sum256(val)
+	b := make([]byte, 0, len(entryMagic)+checksumHexLen+1+len(val))
+	b = append(b, entryMagic...)
+	b = append(b, hex.EncodeToString(sum[:])...)
+	b = append(b, '\n')
+	b = append(b, val...)
+	return b
+}
+
+// decodeEntry verifies a disk entry's framing and checksum and returns
+// the payload.
+func decodeEntry(b []byte) ([]byte, error) {
+	if !bytes.HasPrefix(b, []byte(entryMagic)) {
+		return nil, errors.New("missing entry header (pre-checksum or foreign file)")
+	}
+	rest := b[len(entryMagic):]
+	if len(rest) < checksumHexLen+1 || rest[checksumHexLen] != '\n' {
+		return nil, errors.New("truncated checksum header")
+	}
+	want := string(rest[:checksumHexLen])
+	payload := rest[checksumHexLen+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
 }
 
 // NewCache returns a cache rooted at dir (created if missing; "" for
@@ -34,12 +119,38 @@ func NewCache(dir string, m *metrics.Synced) (*Cache, error) {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
 	}
-	return &Cache{mem: make(map[string][]byte), dir: dir, m: m}, nil
+	c := &Cache{mem: make(map[string][]byte), dir: dir, m: m}
+	c.diskOK.Store(true)
+	return c, nil
 }
 
-// Get returns the bytes stored under key. Disk entries are promoted into
-// memory on first read. Metrics: cache.hits / cache.misses count every
-// lookup; cache.disk_hits counts the hits served from disk.
+// WithFaults attaches a fault injector to the cache's disk I/O sites
+// (nil detaches) and returns the cache for chaining.
+func (c *Cache) WithFaults(in *faults.Injector) *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = in
+	return c
+}
+
+// Healthy reports whether the disk layer is believed usable: true for
+// memory-only caches, false after a disk read/write error or corrupt
+// entry until the next disk operation succeeds. The serving daemon's
+// /healthz reports "degraded" while this is false.
+func (c *Cache) Healthy() bool {
+	if c.dir == "" {
+		return true
+	}
+	return c.diskOK.Load()
+}
+
+// Get returns the bytes stored under key. Disk entries are checksum-
+// verified and promoted into memory on first read; corrupt entries are
+// quarantined and read as misses. Metrics: cache.hits / cache.misses
+// count every lookup; cache.disk_hits counts the hits served from
+// disk; cache.read_errors counts disk reads that failed for a reason
+// other than the entry not existing; cache.corrupt counts quarantined
+// entries.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -48,7 +159,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		return v, true
 	}
 	if c.dir != "" {
-		if v, err := os.ReadFile(c.path(key)); err == nil {
+		if v, ok := c.diskGet(key); ok {
 			c.mem[key] = v
 			c.inc("cache.hits")
 			c.inc("cache.disk_hits")
@@ -59,9 +170,48 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// diskGet reads, verifies, and returns one disk entry. Callers must
+// hold c.mu. Not-exist is a plain miss; any other read error counts in
+// cache.read_errors and marks the disk layer unhealthy; a decode
+// failure quarantines the entry. All three read as misses.
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		err = c.faults.Fail(SiteCacheRead)
+	}
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false
+		}
+		c.inc("cache.read_errors")
+		c.diskOK.Store(false)
+		return nil, false
+	}
+	raw = c.faults.Corrupt(SiteCacheCorrupt, raw)
+	val, derr := decodeEntry(raw)
+	if derr != nil {
+		c.quarantine(path)
+		return nil, false
+	}
+	c.diskOK.Store(true)
+	return val, true
+}
+
+// quarantine moves a corrupt entry aside (best-effort: a failed rename
+// still reads as a miss, and the entry is rewritten on recompute) so it
+// is never served and the original bytes survive for forensics.
+func (c *Cache) quarantine(path string) {
+	c.inc("cache.corrupt")
+	os.Rename(path, path+".corrupt")
+}
+
 // Put stores val under key in memory and, when the cache has a
-// directory, on disk (written to a temp file and renamed, so readers
-// never observe a partial entry).
+// directory, on disk (checksummed, written to a temp file and renamed,
+// so readers never observe a partial entry). A disk write failure is
+// returned — and counted in cache.write_errors — but the entry is
+// still readable from memory: callers that already hold a computed
+// result should degrade (serve it) rather than fail.
 func (c *Cache) Put(key string, val []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -75,6 +225,20 @@ func (c *Cache) Put(key string, val []byte) error {
 	if c.dir == "" {
 		return nil
 	}
+	if err := c.diskPut(key, val); err != nil {
+		c.inc("cache.write_errors")
+		c.diskOK.Store(false)
+		return err
+	}
+	c.diskOK.Store(true)
+	return nil
+}
+
+// diskPut writes one checksummed entry. Callers must hold c.mu.
+func (c *Cache) diskPut(key string, val []byte) error {
+	if err := c.faults.Fail(SiteCacheWrite); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
 	path := c.path(key)
 	if _, err := os.Stat(path); err == nil {
 		return nil // identical content by construction; keep the old file
@@ -86,7 +250,7 @@ func (c *Cache) Put(key string, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
-	if _, err := tmp.Write(val); err != nil {
+	if _, err := tmp.Write(encodeEntry(val)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)

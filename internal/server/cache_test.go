@@ -2,10 +2,13 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -74,6 +77,211 @@ func TestCacheDiskPersistence(t *testing.T) {
 	if c2.Len() != 1 {
 		t.Errorf("Len() = %d, want 1", c2.Len())
 	}
+}
+
+// TestCacheEntryFraming pins the on-disk format: versioned header,
+// payload checksum, payload — and that decode round-trips.
+func TestCacheEntryFraming(t *testing.T) {
+	val := []byte("the payload")
+	enc := encodeEntry(val)
+	if !bytes.HasPrefix(enc, []byte(entryMagic)) {
+		t.Fatalf("entry does not start with %q", entryMagic)
+	}
+	dec, err := decodeEntry(enc)
+	if err != nil || !bytes.Equal(dec, val) {
+		t.Fatalf("decode = %q, %v", dec, err)
+	}
+	for name, raw := range map[string][]byte{
+		"empty":         nil,
+		"no header":     []byte("raw pre-checksum bytes"),
+		"truncated":     enc[:len(entryMagic)+10],
+		"flipped byte":  flipLast(enc),
+		"flipped hdr":   flipAt(enc, len(entryMagic)),
+		"extra payload": append(append([]byte{}, enc...), 'x'),
+	} {
+		if _, err := decodeEntry(raw); err == nil {
+			t.Errorf("%s: decodeEntry accepted", name)
+		}
+	}
+}
+
+func flipLast(b []byte) []byte { return flipAt(b, len(b)-1) }
+
+func flipAt(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0xff
+	return out
+}
+
+// TestCacheCorruptQuarantine pins the self-healing path: a corrupted
+// disk entry is renamed to <key>.corrupt, counted, read as a miss, and
+// the rewritten entry serves normally afterwards.
+func TestCacheCorruptQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("precious result bytes")
+	if err := c1.Put("cafef00d-json", val); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ca", "cafef00d-json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // bit rot in the payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := metrics.NewSynced()
+	c2, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("cafef00d-json"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if m.Value("cache.corrupt") != 1 {
+		t.Errorf("cache.corrupt = %d, want 1", m.Value("cache.corrupt"))
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("original path still present: %v", err)
+	}
+	// Recompute-and-rewrite: the same key stores and serves again.
+	if err := c2.Put("cafef00d-json", val); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c3.Get("cafef00d-json")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("rewritten entry = %q, %v", got, ok)
+	}
+}
+
+// TestCacheStaleFormatQuarantined pins migration behaviour: a
+// pre-checksum entry (raw payload, no header) is quarantined rather
+// than served, so format bumps self-heal.
+func TestCacheStaleFormatQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ab", "abcd-json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("old raw-format entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.NewSynced()
+	c, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("abcd-json"); ok {
+		t.Fatal("stale-format entry served")
+	}
+	if m.Value("cache.corrupt") != 1 {
+		t.Errorf("cache.corrupt = %d, want 1", m.Value("cache.corrupt"))
+	}
+}
+
+// TestCacheReadErrorDistinguished pins the satellite fix: a read
+// failure that is not fs.ErrNotExist is a miss that counts in
+// cache.read_errors and degrades Healthy(); a plain absent entry
+// counts in neither.
+func TestCacheReadErrorDistinguished(t *testing.T) {
+	dir := t.TempDir()
+	m := metrics.NewSynced()
+	c, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("absent-json"); ok {
+		t.Fatal("absent key hit")
+	}
+	if m.Value("cache.read_errors") != 0 {
+		t.Errorf("not-exist counted as read error")
+	}
+	if !c.Healthy() {
+		t.Error("not-exist degraded health")
+	}
+
+	// A real I/O error: the entry path is a directory, so ReadFile fails
+	// with something other than not-exist.
+	path := filepath.Join(dir, "de", "deadbeef-json")
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("deadbeef-json"); ok {
+		t.Fatal("directory entry hit")
+	}
+	if m.Value("cache.read_errors") != 1 {
+		t.Errorf("cache.read_errors = %d, want 1", m.Value("cache.read_errors"))
+	}
+	if c.Healthy() {
+		t.Error("read error did not degrade health")
+	}
+}
+
+// TestCacheInjectedIOFaults pins the fault sites the chaos suite leans
+// on: injected read errors count and degrade, injected write errors
+// leave the entry memory-readable, and health recovers on the next
+// clean disk operation.
+func TestCacheInjectedIOFaults(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewCacheMust(t, dir, nil)
+	if err := seed.Put("feedface-json", []byte("stored")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := metrics.NewSynced()
+	c := NewCacheMust(t, dir, m)
+	inj := faults.New(11)
+	inj.Arm(SiteCacheRead, faults.Trigger{OnCall: 1})
+	inj.Arm(SiteCacheWrite, faults.Trigger{OnCall: 1})
+	c.WithFaults(inj)
+
+	if _, ok := c.Get("feedface-json"); ok {
+		t.Fatal("injected read error still hit")
+	}
+	if m.Value("cache.read_errors") != 1 || c.Healthy() {
+		t.Errorf("read fault: read_errors=%d healthy=%v", m.Value("cache.read_errors"), c.Healthy())
+	}
+
+	err := c.Put("0badc0de-json", []byte("degraded"))
+	if err == nil || !errors.Is(err, faults.ErrInjected) || !strings.Contains(err.Error(), SiteCacheWrite) {
+		t.Fatalf("injected write error = %v", err)
+	}
+	if m.Value("cache.write_errors") != 1 {
+		t.Errorf("cache.write_errors = %d, want 1", m.Value("cache.write_errors"))
+	}
+	if v, ok := c.Get("0badc0de-json"); !ok || string(v) != "degraded" {
+		t.Error("failed write lost the in-memory copy")
+	}
+	// Sites fire once each: the next disk round-trip restores health.
+	if err := c.Put("00c0ffee-json", []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy() {
+		t.Error("health did not recover after a clean write")
+	}
+}
+
+// NewCacheMust is the test shorthand for NewCache.
+func NewCacheMust(t *testing.T, dir string, m *metrics.Synced) *Cache {
+	t.Helper()
+	c, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // TestCachePutIdempotent pins that re-storing a key (two processes

@@ -33,6 +33,12 @@ type JobParams struct {
 	ChunkKB int `json:"chunk_kb"`
 	// N is the synthetic-loop / kernel-gallery array length.
 	N int `json:"n"`
+	// TimeoutMS is the per-job execution deadline in milliseconds; 0
+	// means the server default (Config.JobTimeout). The deadline cannot
+	// influence a successful job's result bytes, so it is deliberately
+	// excluded from the cache key — jobs differing only in timeout
+	// share one entry and coalesce with each other.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // DefaultJobParams returns the registry's shared experiment defaults.
@@ -69,6 +75,9 @@ func (p JobParams) Validate() error {
 	}
 	if p.N <= 0 {
 		return fmt.Errorf("params: n %d (want > 0)", p.N)
+	}
+	if p.TimeoutMS < 0 {
+		return fmt.Errorf("params: timeout_ms %d (want >= 0)", p.TimeoutMS)
 	}
 	return nil
 }
@@ -119,7 +128,9 @@ func PointKey(cfg machine.Config, opts cascade.Options, workload string) (string
 // its simulated results) invalidates every cached job automatically
 // instead of serving stale numbers.
 func JobKey(experiment string, p JobParams) (string, error) {
-	pb, err := canon.JSON(p.WithDefaults())
+	p = p.WithDefaults()
+	p.TimeoutMS = 0 // execution deadline: not observable in the result bytes
+	pb, err := canon.JSON(p)
 	if err != nil {
 		return "", fmt.Errorf("job key: params: %w", err)
 	}

@@ -189,3 +189,24 @@ func TestJobParamsValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestJobKeyIgnoresTimeout pins that the execution deadline is not part
+// of a job's identity: the deadline bounds how long a run may take, not
+// what it computes, so jobs differing only in TimeoutMS share a cache
+// entry and coalesce.
+func TestJobKeyIgnoresTimeout(t *testing.T) {
+	plain, err := JobKey("fig2", JobParams{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := JobKey("fig2", JobParams{Scale: 0.5, TimeoutMS: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != timed {
+		t.Errorf("TimeoutMS changed the job key: %s vs %s", plain, timed)
+	}
+	if err := (JobParams{Scale: 1, ChunkKB: 64, N: 1024, TimeoutMS: -1}).Validate(); err == nil {
+		t.Error("Validate accepted a negative TimeoutMS")
+	}
+}

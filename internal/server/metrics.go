@@ -21,6 +21,12 @@ const (
 	mJobsCoalesced = "jobs.coalesced"  // jobs attached to an identical in-flight run
 	mJobsCacheHits = "jobs.cache_hits" // jobs answered from the cache at submit
 	mJobsRejected  = "jobs.rejected"   // jobs refused (queue full or shutting down)
+	mJobsPanics    = "jobs.panics"     // jobs failed by a recovered experiment panic
+	mJobsTimeouts  = "jobs.timeouts"   // jobs failed by their per-job deadline
+
+	// Failure-model counters (see DESIGN.md §10).
+	mWorkerRestarts    = "workers.restarts"    // worker goroutines respawned after a panic escaped a job
+	mCacheWriteRetries = "cache.write_retries" // cache.Put attempts retried after a transient failure
 
 	// Per-phase job timers (wall time, nanoseconds).
 	mTimeQueued = "jobs.time.queued_ns" // submit → worker pickup
@@ -31,7 +37,8 @@ const (
 	mQueuePeak  = "queue.depth_peak" // high-water mark of queue.depth
 
 	// Cache counters (cache.hits / cache.misses / cache.disk_hits /
-	// cache.entries / cache.bytes) are maintained by Cache itself.
+	// cache.entries / cache.bytes / cache.read_errors /
+	// cache.write_errors / cache.corrupt) are maintained by Cache itself.
 )
 
 // initMetrics pre-registers every server metric at zero.
@@ -39,9 +46,11 @@ func initMetrics(m *metrics.Synced) {
 	for _, name := range []string{
 		mJobsSubmitted, mJobsExecuted, mJobsCompleted, mJobsFailed,
 		mJobsCoalesced, mJobsCacheHits, mJobsRejected,
+		mJobsPanics, mJobsTimeouts, mWorkerRestarts, mCacheWriteRetries,
 		mTimeQueued, mTimeRun,
 		"cache.hits", "cache.misses", "cache.disk_hits",
 		"cache.entries", "cache.bytes",
+		"cache.read_errors", "cache.write_errors", "cache.corrupt",
 	} {
 		m.Add(name, 0)
 	}

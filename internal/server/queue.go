@@ -2,9 +2,12 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/experiments"
@@ -47,7 +50,9 @@ func (s *Server) Submit(experiment string, p JobParams) (JobView, error) {
 		return JobView{}, err
 	}
 	key := RenderKey(jobKey, "json")
-	s.metrics.Inc(mJobsSubmitted)
+	if p.TimeoutMS == 0 {
+		p.TimeoutMS = int(s.jobTimeout / time.Millisecond)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -55,6 +60,11 @@ func (s *Server) Submit(experiment string, p JobParams) (JobView, error) {
 		s.metrics.Inc(mJobsRejected)
 		return JobView{}, ErrShuttingDown
 	}
+	// Counted only once a submission is accepted (a job record exists),
+	// so jobs.submitted = jobs.completed + jobs.failed + in-flight jobs
+	// holds at every instant; shutdown rejections count only in
+	// jobs.rejected.
+	s.metrics.Inc(mJobsSubmitted)
 	j := &job{
 		id:         fmt.Sprintf("j%d", s.nextID),
 		experiment: e.Name,
@@ -155,18 +165,48 @@ func (s *Server) follow(j, leader *job) {
 	}
 }
 
-// worker drains the job queue until it is closed and empty.
+// worker drains the job queue until it is closed and empty. The pool
+// self-heals: a panic that escapes a job (runJob already converts
+// experiment panics into job failures, so this is the last resort for
+// bookkeeping bugs) respawns a replacement worker before this one
+// exits, and the escaped job is still moved to a terminal state.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	var cur *job
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Inc(mWorkerRestarts)
+			if cur != nil {
+				s.mu.Lock()
+				delete(s.inflight, cur.key)
+				if cur.state == StateQueued || cur.state == StateRunning {
+					s.finishLocked(cur, nil, fmt.Errorf("worker panicked: %v", r))
+				}
+				s.mu.Unlock()
+			}
+			s.wg.Add(1) // before Done (deferred later = runs first): never strands Shutdown's Wait
+			go s.worker()
+		}
+	}()
 	for j := range s.queue {
+		cur = j
 		s.metrics.Set(mQueueDepth, int64(len(s.queue)))
 		s.runJob(j)
+		cur = nil
 	}
 }
 
 // runJob executes one leader job: run the experiment under the server's
-// run context, render the result to JSON, store it in the cache, and
-// finish the job (waking any followers).
+// run context (bounded by the job's deadline), render the result to
+// JSON, store it in the cache, and finish the job (waking any
+// followers). Every failure mode is absorbed here:
+//
+//   - a panic anywhere in execution fails only this job, with the stack
+//     in its error (jobs.panics);
+//   - the per-job deadline cancels the experiment's context so a stuck
+//     sweep cannot pin the worker forever (jobs.timeouts);
+//   - a cache write failure degrades: the computed result is served and
+//     the job succeeds (cache.write_errors counts the loss).
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.state = StateRunning
@@ -175,14 +215,23 @@ func (s *Server) runJob(j *job) {
 	s.metrics.Add(mTimeQueued, j.started.Sub(j.created).Nanoseconds())
 	s.metrics.Inc(mJobsExecuted)
 
-	e := s.exps[j.experiment]
-	r, err := e.Run(s.runCtx, j.params.RunConfig())
-	var val []byte
-	if err == nil {
-		val, err = RenderJSON(r)
+	ctx := s.runCtx
+	timeout := time.Duration(j.params.TimeoutMS) * time.Millisecond
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	val, err := s.execute(ctx, j)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.runCtx.Err() == nil {
+		s.metrics.Inc(mJobsTimeouts)
+		err = fmt.Errorf("job exceeded its %v deadline: %w", timeout, err)
 	}
 	if err == nil {
-		err = s.cache.Put(j.key, val)
+		// Degrade, don't fail, when the write is lost: the result exists
+		// and followers are waiting on it; only the disk copy is missing
+		// (cache.write_errors and Healthy() record the loss).
+		_ = s.storeResult(ctx, j.key, val)
 	}
 
 	s.mu.Lock()
@@ -190,6 +239,66 @@ func (s *Server) runJob(j *job) {
 	s.finishLocked(j, val, err)
 	s.mu.Unlock()
 	s.metrics.Add(mTimeRun, j.finished.Sub(j.started).Nanoseconds())
+}
+
+// execute runs a job's experiment and renders the result, converting a
+// panic — an experiment bug, or the injected SiteExpPanic — into an
+// error carrying the stack. Panics on sweep-worker goroutines inside
+// parallelFor are converted to point errors by the experiments package,
+// so this recover plus that one cover both panic surfaces.
+func (s *Server) execute(ctx context.Context, j *job) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Inc(mJobsPanics)
+			err = fmt.Errorf("experiment panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if s.faults.Check(SiteExpPanic) {
+		panic(fmt.Sprintf("injected panic (site %s)", SiteExpPanic))
+	}
+	if s.faults.Check(SiteExpStall) {
+		<-ctx.Done() // a sweep that never dispatches another point
+		return nil, ctx.Err()
+	}
+	e := s.exps[j.experiment]
+	r, err := e.Run(ctx, j.params.RunConfig())
+	if err != nil {
+		return nil, err
+	}
+	return RenderJSON(r)
+}
+
+// Cache-write retry policy: transient disk failures (ENOSPC races,
+// network filesystems) get a few bounded, jittered, context-aware
+// retries before the server degrades to serving the result memory-only.
+const (
+	putAttempts    = 3
+	putBackoffBase = 5 * time.Millisecond
+)
+
+// storeResult writes a finished job's bytes to the cache, retrying
+// transient failures with exponential backoff and jitter. It stops
+// early when ctx is done (shutdown or the job deadline: the result is
+// already computed, so the caller still serves it). The error return is
+// advisory — every attempt already counted in cache.write_errors, and
+// callers degrade rather than fail.
+func (s *Server) storeResult(ctx context.Context, key string, val []byte) error {
+	backoff := putBackoffBase
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = s.cache.Put(key, val)
+		if err == nil || attempt == putAttempts {
+			return err
+		}
+		s.metrics.Inc(mCacheWriteRetries)
+		jitter := time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-time.After(backoff + jitter):
+		case <-ctx.Done():
+			return err
+		}
+		backoff *= 2
+	}
 }
 
 // finishLocked moves a job to its terminal state and wakes waiters.

@@ -27,12 +27,24 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
+
+// DefaultJobTimeout is the per-job execution deadline applied when
+// neither Config.JobTimeout nor the job's params set one. Generous —
+// paper-scale sweeps take minutes — but finite, so a stuck sweep can
+// never pin a worker forever.
+const DefaultJobTimeout = 15 * time.Minute
+
+// shutdownRetryAfter is the Retry-After hint on submissions rejected
+// during drain: long enough for a load balancer to route elsewhere.
+const shutdownRetryAfter = 5 * time.Second
 
 // Config configures a Server. The zero value serves the full experiment
 // registry from a memory-only cache with experiments.DefaultJobWorkers
@@ -54,15 +66,26 @@ type Config struct {
 	// Metrics receives the server's counters and gauges. Default: a
 	// fresh registry.
 	Metrics *metrics.Synced
+	// JobTimeout is the execution deadline applied to jobs whose params
+	// leave TimeoutMS zero. 0 means DefaultJobTimeout; negative
+	// disables the server default (jobs may still set their own).
+	JobTimeout time.Duration
+	// Faults wires a fault injector through the serving pipeline's
+	// injection sites (see FaultSites). Nil — the default — disables
+	// injection at no cost. Tests and the cascade-server -faults dev
+	// flag are the only intended users.
+	Faults *faults.Injector
 }
 
 // Server is the serving daemon. Create with New, expose Handler over
 // HTTP, stop with Shutdown.
 type Server struct {
-	metrics *metrics.Synced
-	cache   *Cache
-	exps    map[string]experiments.Experiment
-	infos   []experiments.Info
+	metrics    *metrics.Synced
+	cache      *Cache
+	exps       map[string]experiments.Experiment
+	infos      []experiments.Info
+	jobTimeout time.Duration
+	faults     *faults.Injector
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -92,22 +115,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewSynced()
 	}
+	switch {
+	case cfg.JobTimeout == 0:
+		cfg.JobTimeout = DefaultJobTimeout
+	case cfg.JobTimeout < 0:
+		cfg.JobTimeout = 0 // no server default
+	}
 	initMetrics(cfg.Metrics)
 	cache, err := NewCache(cfg.CacheDir, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
+	cache.WithFaults(cfg.Faults)
 	runCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		metrics:   cfg.Metrics,
-		cache:     cache,
-		exps:      make(map[string]experiments.Experiment, len(cfg.Experiments)),
-		runCtx:    runCtx,
-		cancelRun: cancel,
-		queue:     make(chan *job, cfg.QueueDepth),
-		jobs:      make(map[string]*job),
-		inflight:  make(map[string]*job),
-		nextID:    1,
+		metrics:    cfg.Metrics,
+		cache:      cache,
+		exps:       make(map[string]experiments.Experiment, len(cfg.Experiments)),
+		jobTimeout: cfg.JobTimeout,
+		faults:     cfg.Faults,
+		runCtx:     runCtx,
+		cancelRun:  cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		nextID:     1,
 	}
 	for _, e := range cfg.Experiments {
 		if _, dup := s.exps[e.Name]; dup {
@@ -175,10 +207,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// Draining reports whether Shutdown has begun (submissions are being
+// rejected while queued and running jobs finish).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// QueueDepth returns how many accepted jobs are waiting for a worker.
+func (s *Server) QueueDepth() int {
+	return len(s.queue)
+}
+
+// handleHealthz is the liveness/readiness probe. One word of body:
+//
+//	ok        200  serving normally
+//	degraded  200  serving, but the disk cache is erroring (results
+//	               are still computed and served memory-only)
+//	draining  503  shutdown begun: stop routing new traffic here
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.Draining():
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.cache.Healthy():
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintln(w, status)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -203,7 +265,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrUnknownExperiment):
 		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding, not a bare error: Retry-After tells well-behaved
+		// clients to back off, and the queue depth in the body tells them
+		// how bad it is.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error":       err.Error(),
+			"queue_depth": s.QueueDepth(),
+		})
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", strconv.Itoa(int(shutdownRetryAfter/time.Second)))
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 // fakeResult is a minimal Renderable for injected test experiments.
@@ -422,5 +423,356 @@ func TestServerHTTPSurface(t *testing.T) {
 		if resp.StatusCode != wantCode {
 			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, wantCode)
 		}
+	}
+}
+
+// echoExperiment completes immediately with a deterministic value.
+func echoExperiment(name string) experiments.Experiment {
+	return experiments.Experiment{
+		Name:        name,
+		Description: "test echo",
+		Run: func(ctx context.Context, rc experiments.RunConfig) (experiments.Renderable, error) {
+			return fakeResult{Value: fmt.Sprintf("%s n=%d", name, rc.N)}, nil
+		},
+	}
+}
+
+// panickyExperiment signals running, waits for gate, then panics.
+func panickyExperiment(name string, gate <-chan struct{}, running chan struct{}) experiments.Experiment {
+	return experiments.Experiment{
+		Name:        name,
+		Description: "test panic",
+		Run: func(ctx context.Context, rc experiments.RunConfig) (experiments.Renderable, error) {
+			running <- struct{}{}
+			<-gate
+			panic("deliberate test panic")
+		},
+	}
+}
+
+// assertConservation pins the counter invariant after a full drain:
+// every accepted submission is terminal, so
+// jobs.submitted = jobs.completed + jobs.failed.
+func assertConservation(t *testing.T, s *Server) {
+	t.Helper()
+	snap := s.Metrics()
+	sub, comp, fail := snap.Get(mJobsSubmitted), snap.Get(mJobsCompleted), snap.Get(mJobsFailed)
+	if sub != comp+fail {
+		t.Errorf("counter conservation violated: submitted %d != completed %d + failed %d", sub, comp, fail)
+	}
+}
+
+// TestServerFollowerAdoptsLeaderPanic pins the coalesced-follower error
+// path for a panicking leader: the follower fails with the leader's
+// error (stack included), the panic is counted, and the worker pool
+// keeps serving afterwards.
+func TestServerFollowerAdoptsLeaderPanic(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	s, err := New(Config{
+		Workers: 1,
+		Experiments: []experiments.Experiment{
+			panickyExperiment("bad", gate, running),
+			echoExperiment("good"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	v1, err := s.Submit("bad", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	v2, err := s.Submit("bad", JobParams{})
+	if err != nil || !v2.Coalesced {
+		t.Fatalf("follower = %+v, %v, want coalesced", v2, err)
+	}
+	close(gate)
+
+	r1, _ := s.Await(v1.ID, 5*time.Second, nil)
+	r2, _ := s.Await(v2.ID, 5*time.Second, nil)
+	for _, r := range []JobView{r1, r2} {
+		if r.State != StateFailed {
+			t.Fatalf("job %s = %s, want failed", r.ID, r.State)
+		}
+		if !strings.Contains(r.Error, "experiment panicked") || !strings.Contains(r.Error, "deliberate test panic") {
+			t.Errorf("job %s error = %q, want panic value", r.ID, r.Error)
+		}
+	}
+	if !strings.Contains(r1.Error, "server_test.go") {
+		t.Errorf("leader error lacks a stack trace:\n%s", r1.Error)
+	}
+	if got := s.Metrics().Get(mJobsPanics); got != 1 {
+		t.Errorf("jobs.panics = %d, want 1", got)
+	}
+	// The worker survived the recovered panic.
+	v3, err := s.Submit("good", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3, _ := s.Await(v3.ID, 5*time.Second, nil); r3.State != StateDone {
+		t.Errorf("job after panic = %s (error %q), want done", r3.State, r3.Error)
+	}
+	assertConservation(t, s)
+}
+
+// TestServerFollowerAdoptsLeaderTimeout pins the per-job deadline and
+// its interaction with coalescing: the key excludes TimeoutMS, so a
+// follower with a different timeout still coalesces and adopts the
+// leader's deadline failure.
+func TestServerFollowerAdoptsLeaderTimeout(t *testing.T) {
+	gate := make(chan struct{}) // never closed: only the deadline can end the run
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	v1, err := s.Submit("fake", JobParams{TimeoutMS: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	v2, err := s.Submit("fake", JobParams{TimeoutMS: 60_000})
+	if err != nil || !v2.Coalesced {
+		t.Fatalf("follower = %+v, %v, want coalesced despite differing timeout", v2, err)
+	}
+
+	r1, _ := s.Await(v1.ID, 5*time.Second, nil)
+	r2, _ := s.Await(v2.ID, 5*time.Second, nil)
+	for _, r := range []JobView{r1, r2} {
+		if r.State != StateFailed || !strings.Contains(r.Error, "deadline") {
+			t.Errorf("job %s = %s %q, want failed with deadline error", r.ID, r.State, r.Error)
+		}
+	}
+	if got := s.Metrics().Get(mJobsTimeouts); got != 1 {
+		t.Errorf("jobs.timeouts = %d, want 1", got)
+	}
+	assertConservation(t, s)
+}
+
+// TestServerFollowerAtShutdownCancel pins the third follower error
+// path: a leader cancelled by forced shutdown takes its followers to
+// terminal failed states, and Shutdown's wait covers the follower
+// goroutines — it does not return while any are pending.
+func TestServerFollowerAtShutdownCancel(t *testing.T) {
+	gate := make(chan struct{}) // never closed
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.Submit("fake", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	v2, err := s.Submit("fake", JobParams{})
+	if err != nil || !v2.Coalesced {
+		t.Fatalf("follower = %+v, %v, want coalesced", v2, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Shutdown = %v, want DeadlineExceeded", err)
+	}
+	// Shutdown has returned: every job, follower included, must be terminal.
+	for _, id := range []string{v1.ID, v2.ID} {
+		r, ok := s.Job(id)
+		if !ok || r.State != StateFailed || !strings.Contains(r.Error, context.Canceled.Error()) {
+			t.Errorf("job %s = %+v, want failed with context.Canceled", id, r)
+		}
+	}
+	assertConservation(t, s)
+}
+
+// TestServerCounterConservation pins the satellite fix directly: a
+// shutdown-time rejection counts in jobs.rejected only, never in
+// jobs.submitted, so the conservation identity survives shutdown.
+func TestServerCounterConservation(t *testing.T) {
+	s, err := New(Config{Workers: 2, Experiments: []experiments.Experiment{echoExperiment("good")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit("good", JobParams{N: 1000 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics()
+	if _, err := s.Submit("good", JobParams{}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrShuttingDown", err)
+	}
+	after := s.Metrics()
+	if after.Get(mJobsSubmitted) != before.Get(mJobsSubmitted) {
+		t.Error("shutdown rejection counted in jobs.submitted")
+	}
+	if after.Get(mJobsRejected) != before.Get(mJobsRejected)+1 {
+		t.Error("shutdown rejection not counted in jobs.rejected")
+	}
+	if got := after.Get(mJobsSubmitted); got != 5 {
+		t.Errorf("jobs.submitted = %d, want 5", got)
+	}
+	assertConservation(t, s)
+}
+
+// TestServerHealthzDraining pins the readiness half of /healthz: while
+// Shutdown drains, the probe answers 503 "draining" so a load balancer
+// stops routing here before the listener goes away.
+func TestServerHealthzDraining(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if body, code := healthz(t, ts.URL); code != http.StatusOK || body != "ok" {
+		t.Fatalf("healthz = %d %q, want 200 ok", code, body)
+	}
+
+	if _, err := s.Submit("fake", JobParams{}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if body, code := healthz(t, ts.URL); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Errorf("healthz during drain = %d %q, want 503 draining", code, body)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+// TestServerHealthzDegradedWriteFailure pins graceful degradation end
+// to end: with the disk cache failing every write, jobs still complete
+// and serve their results (memory-only), the losses are counted, and
+// /healthz reports "degraded" while staying 200 — alive, not ready to
+// be trusted with durability.
+func TestServerHealthzDegradedWriteFailure(t *testing.T) {
+	inj := faults.New(1)
+	inj.Arm(SiteCacheWrite, faults.Trigger{Prob: 1}) // every write fails
+	s, err := New(Config{
+		Workers:     1,
+		CacheDir:    t.TempDir(),
+		Experiments: []experiments.Experiment{echoExperiment("good")},
+		Faults:      inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, err := s.Submit("good", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Await(v.ID, 5*time.Second, nil)
+	if r.State != StateDone || len(r.Result) == 0 {
+		t.Fatalf("job under write failure = %s (error %q), want done with result", r.State, r.Error)
+	}
+	snap := s.Metrics()
+	if snap.Get("cache.write_errors") != int64(putAttempts) {
+		t.Errorf("cache.write_errors = %d, want %d (every attempt counted)", snap.Get("cache.write_errors"), putAttempts)
+	}
+	if snap.Get(mCacheWriteRetries) != putAttempts-1 {
+		t.Errorf("cache.write_retries = %d, want %d", snap.Get(mCacheWriteRetries), putAttempts-1)
+	}
+	if body, code := healthz(t, ts.URL); code != http.StatusOK || body != "degraded" {
+		t.Errorf("healthz = %d %q, want 200 degraded", code, body)
+	}
+}
+
+// healthz fetches /healthz and returns the trimmed body and status.
+func healthz(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return strings.TrimSpace(string(b)), resp.StatusCode
+}
+
+// TestServerLoadShedHTTP pins the shedding contract: a queue-full
+// rejection is a 503 with a Retry-After hint and the current queue
+// depth in the body, not a bare error.
+func TestServerLoadShedHTTP(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:     1,
+		QueueDepth:  1,
+		Experiments: []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(gate)
+		s.Shutdown(context.Background())
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, code := submitHTTP(t, ts.URL, `{"experiment": "fake", "params": {"n": 100}}`); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	<-running
+	if _, code := submitHTTP(t, ts.URL, `{"experiment": "fake", "params": {"n": 200}}`); code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment": "fake", "params": {"n": 300}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed submit: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response lacks Retry-After")
+	}
+	var shed struct {
+		Error      string `json:"error"`
+		QueueDepth *int   `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shed.Error, ErrQueueFull.Error()) || shed.QueueDepth == nil {
+		t.Errorf("shed body = %+v, want queue-full error and queue_depth", shed)
 	}
 }
