@@ -4,13 +4,16 @@
 # set CHAOS_SEED to explore other schedules); `serve` boots the
 # experiment-serving daemon; `bench` regenerates the paper's headline
 # benchmarks; `bench-hotpath` compares the compiled fast engine against
-# the reference interpreter (see BENCH_hotpath.json for recorded runs).
+# the reference interpreter (see BENCH_hotpath.json and
+# BENCH_coalesce.json for recorded runs); `bench-smoke` is the CI
+# keep-the-benchmarks-compiling pass: one iteration of the hot-path
+# benchmarks at short-mode scale, a smoke test rather than a measurement.
 
 GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos serve bench bench-hotpath fmt
+.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -34,6 +37,9 @@ bench:
 
 bench-hotpath:
 	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 2x -count 3 .
+
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkHotPathSequential|BenchmarkHotPathCascade' -benchtime 1x -short .
 
 fmt:
 	gofmt -w .

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cascade"
+	"repro/internal/gallery"
 	"repro/internal/machine"
 	"repro/internal/wave5"
 )
@@ -14,13 +15,23 @@ import (
 // benchmarks is pure simulator wall-clock speedup. BENCH_hotpath.json
 // records representative numbers.
 
-// hotPathEngines names the two engines for sub-benchmarks.
+// hotPathEngines names the engine variants for sub-benchmarks: the fast
+// engine as configured by default (run coalescing on), the fast engine
+// with coalescing disabled (isolating the coalescing gain), and the
+// reference interpreter.
 var hotPathEngines = []struct {
-	name   string
-	engine machine.Engine
+	name string
+	cfg  func(machine.Config) machine.Config
 }{
-	{"fast", machine.EngineFast},
-	{"reference", machine.EngineReference},
+	{"fast", func(c machine.Config) machine.Config {
+		return c.WithEngine(machine.EngineFast)
+	}},
+	{"fast-nocoalesce", func(c machine.Config) machine.Config {
+		return c.WithEngine(machine.EngineFast).WithCoalesce(machine.CoalesceOff)
+	}},
+	{"reference", func(c machine.Config) machine.Config {
+		return c.WithEngine(machine.EngineReference)
+	}},
 }
 
 // BenchmarkHotPathSequential runs the full PARMVR mover sequentially on a
@@ -29,7 +40,7 @@ var hotPathEngines = []struct {
 func BenchmarkHotPathSequential(b *testing.B) {
 	for _, e := range hotPathEngines {
 		b.Run(e.name, func(b *testing.B) {
-			cfg := machine.PentiumPro(1).WithEngine(e.engine)
+			cfg := e.cfg(machine.PentiumPro(1))
 			w := wave5.MustBuild(benchParams())
 			iters := 0
 			for _, l := range w.Loops {
@@ -50,13 +61,48 @@ func BenchmarkHotPathSequential(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathDense runs the gallery triad — three unit-stride
+// streams placed to avoid set conflicts — the best case for run
+// coalescing: nearly every iteration is line-resident, so fast vs
+// fast-nocoalesce isolates the coalescing mechanism's headroom on a
+// workload that actually has runs (PARMVR mostly does not; see
+// BENCH_coalesce.json).
+func BenchmarkHotPathDense(b *testing.B) {
+	const n = 1 << 16
+	var triad gallery.Kernel
+	for _, k := range gallery.Kernels() {
+		if k.Name == "triad" {
+			triad = k
+		}
+	}
+	for _, e := range hotPathEngines {
+		b.Run(e.name, func(b *testing.B) {
+			cfg := e.cfg(machine.PentiumPro(1))
+			space, l, err := triad.Build(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = space
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cascade.RunSequential(m, l, true)
+			}
+			b.ReportMetric(float64(n), "sim-iters/op")
+		})
+	}
+}
+
 // BenchmarkHotPathCascade runs the PARMVR mover under cascaded execution
 // with the restructuring helper on a 4-processor PentiumPro — the
 // configuration the figure sweeps spend most of their time in.
 func BenchmarkHotPathCascade(b *testing.B) {
 	for _, e := range hotPathEngines {
 		b.Run(e.name, func(b *testing.B) {
-			cfg := machine.PentiumPro(4).WithEngine(e.engine)
+			cfg := e.cfg(machine.PentiumPro(4))
 			w := wave5.MustBuild(benchParams())
 			opts, err := cascade.NewOptions(
 				cascade.WithHelper(cascade.HelperRestructure),

@@ -22,10 +22,19 @@ import (
 	"repro/internal/wave5"
 )
 
-// benchScale is the PARMVR shrink factor for benchmarks.
-const benchScale = 0.05
+// benchScale is the PARMVR shrink factor for benchmarks. Short mode
+// (the CI bench-smoke job) shrinks further: the point there is catching
+// compile errors and gross regressions in the benchmark paths on every
+// push, not producing publishable numbers.
+const (
+	benchScale      = 0.05
+	benchScaleShort = 0.01
+)
 
 func benchParams() wave5.Params {
+	if testing.Short() {
+		return wave5.DefaultParams().Scaled(benchScaleShort)
+	}
 	return wave5.DefaultParams().Scaled(benchScale)
 }
 

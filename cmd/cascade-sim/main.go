@@ -33,6 +33,12 @@
 // Interrupting a run (Ctrl-C) cancels the sweep promptly: in-flight
 // simulation points finish, no new ones start, and the command exits
 // with the cancellation error.
+//
+// The -cpuprofile and -memprofile flags write standard pprof profiles
+// of whatever the invocation runs — the supported way to attribute
+// simulator time to engine functions (`go tool pprof cascade-sim
+// cpu.out`). The CPU profile covers the whole run; the heap profile is
+// snapshotted after a forced GC at exit.
 package main
 
 import (
@@ -44,6 +50,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -77,6 +85,8 @@ func main() {
 		metrics = flag.String("metrics", "", "emit per-processor metric snapshots: json or table (defaults -exp to quickstart)")
 		cache   = flag.String("cache", "", "content-addressed result cache directory, shared with cascade-server")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	opts := cliOptions{
@@ -91,10 +101,60 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, opts); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-sim:", err)
 		os.Exit(1)
 	}
+	err = run(ctx, os.Stdout, opts)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cascade-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles turns on the requested pprof outputs and returns the
+// function that finalizes them: stopping the CPU profile and, after the
+// measured work has finished, snapshotting the heap. Profiling the
+// simulator binary directly (rather than through go test -bench) is how
+// the hot-path benchmarks in BENCH_hotpath.json were attributed to
+// individual engine functions.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // outputMode folds the formatting flags into one selector.

@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// coalesceHier builds a small hierarchy with a TLB and coalescing
+// enabled, alongside a twin with coalescing disabled, both over their own
+// memory sources.
+func coalesceHier() *Hierarchy {
+	h := NewHierarchy(
+		Config{Name: "L1", Size: 512, Assoc: 2, LineSize: 32, HitLatency: 3},
+		Config{Name: "L2", Size: 4096, Assoc: 4, LineSize: 32, HitLatency: 7},
+		&MemorySource{Latency: 50},
+	)
+	h.TLB = NewTLB(TLBConfig{Entries: 8, Assoc: 2, PageSize: 4096, MissLatency: 25})
+	h.FastPath = true
+	h.Coalesce = true
+	return h
+}
+
+// statsEqual asserts two hierarchies are in bit-identical statistical
+// states: every L1/L2/TLB counter and the memory fetch count.
+func statsEqual(t *testing.T, a, b *Hierarchy, label string) {
+	t.Helper()
+	if a.L1.Stats() != b.L1.Stats() {
+		t.Errorf("%s: L1 stats diverge:\ncoalesced %+v\nreference %+v", label, a.L1.Stats(), b.L1.Stats())
+	}
+	if a.L2.Stats() != b.L2.Stats() {
+		t.Errorf("%s: L2 stats diverge:\ncoalesced %+v\nreference %+v", label, a.L2.Stats(), b.L2.Stats())
+	}
+	if a.TLB.Stats() != b.TLB.Stats() {
+		t.Errorf("%s: TLB stats diverge:\ncoalesced %+v\nreference %+v", label, a.TLB.Stats(), b.TLB.Stats())
+	}
+	if a.Source.(*MemorySource).Fetches != b.Source.(*MemorySource).Fetches {
+		t.Errorf("%s: memory fetches diverge: coalesced %d, reference %d",
+			label, a.Source.(*MemorySource).Fetches, b.Source.(*MemorySource).Fetches)
+	}
+}
+
+// TestAccessRunMatchesPerAccess drives AccessRun and an equivalent
+// per-access loop over twin hierarchies and demands identical aggregate
+// Results and identical statistics, across strides, sizes, write modes,
+// and run lengths that cross lines and pages.
+func TestAccessRunMatchesPerAccess(t *testing.T) {
+	cases := []struct {
+		name        string
+		base        memsim.Addr
+		size        int
+		count       int
+		strideBytes int
+		write       bool
+	}{
+		{"unit-read", 0x1000, 8, 64, 8, false},
+		{"unit-write", 0x2000, 8, 64, 8, true},
+		{"int-stream", 0x3004, 4, 100, 4, false},
+		{"strided", 0x4000, 8, 40, 16, false},
+		{"negative", 0x5100, 8, 30, -8, true},
+		{"zero-stride", 0x6010, 8, 50, 0, false},
+		{"cross-page", 0xFE0, 8, 16, 8, false},
+		{"single", 0x7000, 8, 1, 8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hc, hr := coalesceHier(), coalesceHier()
+			hr.Coalesce = false
+
+			got := hc.AccessRun(tc.base, tc.size, tc.count, tc.strideBytes, tc.write)
+			var want Result
+			for k := 0; k < tc.count; k++ {
+				r := hr.Access(tc.base+memsim.Addr(k*tc.strideBytes), tc.size, tc.write)
+				want.Cycles += r.Cycles
+				want.MissPenalty += r.MissPenalty
+				if r.Level > want.Level {
+					want.Level = r.Level
+				}
+			}
+			if got != want {
+				t.Errorf("aggregate result diverges: coalesced %+v, per-access %+v", got, want)
+			}
+			statsEqual(t, hc, hr, tc.name)
+		})
+	}
+}
+
+// TestAccessRunPreservesLRU checks that retirement leaves the same
+// eviction order behind as per-access execution: after interleaving runs
+// on two arrays and overflowing the set, both twins must evict the same
+// victim (observable as identical miss counts on a revisit).
+func TestAccessRunPreservesLRU(t *testing.T) {
+	hc, hr := coalesceHier(), coalesceHier()
+	hr.Coalesce = false
+
+	// Three line-sized streams through the 2-way L1: a, b touched via
+	// runs on the coalescing twin, then c forces an eviction; revisiting
+	// a and b shows which one survived.
+	const lineA, lineB, lineC = 0x10000, 0x10200, 0x10400 // same L1 set (Size 512, 2-way: sets stride 256)
+	for _, h := range []*Hierarchy{hc, hr} {
+		h.Access(lineA, 8, false)
+		h.Access(lineB, 8, false)
+	}
+	hc.AccessRun(lineA+8, 8, 3, 8, false) // re-touches a: now MRU
+	for k := 0; k < 3; k++ {
+		hr.Access(lineA+memsim.Addr(8+8*k), 8, false)
+	}
+	for _, h := range []*Hierarchy{hc, hr} {
+		h.Access(lineC, 8, false) // evicts the LRU of {a, b} = b
+		h.Access(lineA, 8, false) // must still hit
+		h.Access(lineB, 8, false) // must miss
+	}
+	statsEqual(t, hc, hr, "lru")
+}
+
+// TestBeginRunLegality exercises the legality predicate's refusal cases
+// one by one.
+func TestBeginRunLegality(t *testing.T) {
+	h := coalesceHier()
+	const addr = 0x1000
+
+	if _, ok := h.BeginRun(addr, 8, false); ok {
+		t.Error("BeginRun verified a non-resident line")
+	}
+	h.Access(addr, 8, false) // fill Shared
+	if _, ok := h.BeginRun(addr+8, 8, false); !ok {
+		t.Error("BeginRun refused a resident read hit")
+	}
+	if _, ok := h.BeginRun(addr+8, 8, true); ok {
+		t.Error("BeginRun verified a write on a Shared line")
+	}
+	h.Access(addr, 8, true) // upgrade to Modified
+	if _, ok := h.BeginRun(addr+8, 8, true); !ok {
+		t.Error("BeginRun refused a write hit on a Modified line")
+	}
+	if _, ok := h.BeginRun(addr+28, 8, false); ok {
+		t.Error("BeginRun verified a line-spanning access")
+	}
+	if _, ok := h.BeginRun(addr, 0, false); ok {
+		t.Error("BeginRun verified a zero-size access")
+	}
+	h.Coalesce = false
+	if _, ok := h.BeginRun(addr+8, 8, false); ok {
+		t.Error("BeginRun verified with coalescing disabled")
+	}
+	h.Coalesce = true
+	h.L1.EnableClassification()
+	if _, ok := h.BeginRun(addr+8, 8, false); ok {
+		t.Error("BeginRun verified with a miss-classification shadow attached")
+	}
+	if h.CoalesceActive() {
+		t.Error("CoalesceActive with a classification shadow attached")
+	}
+}
+
+// TestRetireTokenMatchesPerAccess retires hit batches through a token and
+// demands the exact statistics of the equivalent per-access hit walks.
+func TestRetireTokenMatchesPerAccess(t *testing.T) {
+	hc, hr := coalesceHier(), coalesceHier()
+	hr.Coalesce = false
+	const addr = 0x2000
+	hc.Access(addr, 8, true)
+	hr.Access(addr, 8, true)
+
+	tok, ok := hc.BeginRun(addr+8, 8, true)
+	if !ok {
+		t.Fatal("BeginRun failed on a just-written line")
+	}
+	hc.RetireToken(tok, 3)
+	for k := 1; k <= 3; k++ {
+		hr.Access(addr+memsim.Addr(8*k), 8, true)
+	}
+	statsEqual(t, hc, hr, "retire")
+}
+
+// TestCoherenceInvalidateBreaksRun proves the fallback trigger: a
+// verified run is no longer verifiable after a remote invalidation of
+// the line, and becomes verifiable again only after a fresh demand fill.
+func TestCoherenceInvalidateBreaksRun(t *testing.T) {
+	h := coalesceHier()
+	const addr = 0x3000
+	h.Access(addr, 8, false)
+	if !h.VerifyRun(addr+8, 8, false) {
+		t.Fatal("run not verifiable after fill")
+	}
+	h.CoherenceInvalidate(memsim.Addr(addr).Line(h.L2.cfg.LineSize))
+	if h.VerifyRun(addr+8, 8, false) {
+		t.Error("run still verifiable after coherence invalidation")
+	}
+	h.Access(addr, 8, false)
+	if !h.VerifyRun(addr+8, 8, false) {
+		t.Error("run not verifiable after re-fill")
+	}
+}
+
+// TestCoherenceDowngradeBreaksWriteRun: a downgrade demotes Modified to
+// Shared, which must revoke write-run legality but keep read runs legal.
+func TestCoherenceDowngradeBreaksWriteRun(t *testing.T) {
+	h := coalesceHier()
+	const addr = 0x4000
+	h.Access(addr, 8, true)
+	if !h.VerifyRun(addr+8, 8, true) {
+		t.Fatal("write run not verifiable on a Modified line")
+	}
+	h.CoherenceDowngrade(memsim.Addr(addr).Line(h.L2.cfg.LineSize))
+	if h.VerifyRun(addr+8, 8, true) {
+		t.Error("write run still verifiable after downgrade to Shared")
+	}
+	if !h.VerifyRun(addr+8, 8, false) {
+		t.Error("read run not verifiable on the downgraded (Shared) line")
+	}
+}
+
+// TestRetireRunPanicsUnverified pins the checked retirement form's
+// contract: retiring an unverifiable run is a programming error, not a
+// silent divergence.
+func TestRetireRunPanicsUnverified(t *testing.T) {
+	h := coalesceHier()
+	defer func() {
+		if recover() == nil {
+			t.Error("RetireRun did not panic on an unverified run")
+		}
+	}()
+	h.RetireRun(0x5000, 8, 4, false) // line never filled
+}

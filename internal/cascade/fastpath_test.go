@@ -13,11 +13,36 @@ import (
 	"repro/internal/wave5"
 )
 
+// fastpathVariant is one configuration point of the differential matrix:
+// the base machine plus a transform applied to the fast-engine twin only
+// (the reference twin never coalesces, so knobs that exist only on the
+// fast side — like CoalesceOff — go through the transform).
+type fastpathVariant struct {
+	name string
+	cfg  machine.Config
+	fast func(machine.Config) machine.Config
+}
+
 // fastpathConfigs returns both paper machines at reduced processor counts
 // (enough to exercise coherence and the cascade timeline without making
-// the differential sweep slow).
-func fastpathConfigs() []machine.Config {
-	return []machine.Config{machine.PentiumPro(4), machine.R10000(4)}
+// the differential sweep slow), plus a victim-buffer variant (runs must
+// stay legal while a victim buffer shuffles lines below the L1) and a
+// coalescing-off variant (the compiled fast path alone, run batching
+// disabled, must still match the interpreter).
+func fastpathConfigs() []fastpathVariant {
+	fast := func(cfg machine.Config) machine.Config { return cfg.WithEngine(machine.EngineFast) }
+	victim := machine.PentiumPro(4)
+	victim.VictimEntries = 16
+	victim.VictimLatency = 2
+	return []fastpathVariant{
+		{machine.PentiumPro(4).Name, machine.PentiumPro(4), fast},
+		{machine.R10000(4).Name, machine.R10000(4), fast},
+		{victim.Name + "-victim", victim, fast},
+		{machine.PentiumPro(4).Name + "-nocoalesce", machine.PentiumPro(4),
+			func(cfg machine.Config) machine.Config {
+				return cfg.WithEngine(machine.EngineFast).WithCoalesce(machine.CoalesceOff)
+			}},
+	}
 }
 
 // runMode is one execution mode of the differential matrix.
@@ -111,23 +136,27 @@ func diffResults(t *testing.T, fast, ref cascade.Result) {
 }
 
 // TestFastPathEquivalence is the tentpole's differential test: the
-// compiled-plan engine plus the hierarchy's same-line fast path must be
-// observably identical to the reference interpreter with full lookups —
-// bit-identical metric snapshots and cycle counts — on the PARMVR loops
-// and every gallery kernel, under all run modes, on both machines.
+// compiled-plan engine plus the hierarchy's same-line fast path and run
+// coalescing must be observably identical to the reference interpreter
+// with full lookups — bit-identical metric snapshots and cycle counts —
+// on the PARMVR loops and every gallery kernel, under all run modes
+// (including coherence-active multi-processor cascades), on both
+// machines, with the victim buffer on and off, and with coalescing
+// force-disabled.
 func TestFastPathEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping in -short: the equivalence matrix covers every kernel, mode, and machine")
 	}
 	const chunkBytes = 8 * 1024
-	for _, cfg := range fastpathConfigs() {
+	for _, v := range fastpathConfigs() {
+		cfg := v.cfg
 		for _, mode := range runModes(chunkBytes) {
-			t.Run(fmt.Sprintf("%s/%s/parmvr", cfg.Name, mode.name), func(t *testing.T) {
+			t.Run(fmt.Sprintf("%s/%s/parmvr", v.name, mode.name), func(t *testing.T) {
 				p := wave5.DefaultParams().Scaled(0.02)
 				wFast := wave5.MustBuild(p)
 				wRef := wave5.MustBuild(p)
 				for li := range wFast.Loops {
-					fast, err := mode.run(cfg.WithEngine(machine.EngineFast), wFast.Space, wFast.Loops[li])
+					fast, err := mode.run(v.fast(cfg), wFast.Space, wFast.Loops[li])
 					if err != nil {
 						t.Fatalf("fast engine, loop %d: %v", li, err)
 					}
@@ -145,7 +174,7 @@ func TestFastPathEquivalence(t *testing.T) {
 					}
 				}
 			})
-			t.Run(fmt.Sprintf("%s/%s/gallery", cfg.Name, mode.name), func(t *testing.T) {
+			t.Run(fmt.Sprintf("%s/%s/gallery", v.name, mode.name), func(t *testing.T) {
 				const n = 1 << 12
 				for _, k := range gallery.Kernels() {
 					spaceFast, loopFast, err := k.Build(n)
@@ -156,7 +185,7 @@ func TestFastPathEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: %v", k.Name, err)
 					}
-					fast, err := mode.run(cfg.WithEngine(machine.EngineFast), spaceFast, loopFast)
+					fast, err := mode.run(v.fast(cfg), spaceFast, loopFast)
 					if err != nil {
 						t.Fatalf("%s fast engine: %v", k.Name, err)
 					}

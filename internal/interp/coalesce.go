@@ -1,0 +1,589 @@
+// Run-coalesced execution: windowed variants of the compiled run modes.
+//
+// The fast engine's remaining per-access cost is the cache/TLB state
+// machine itself, and on the paper's stream-dominated workloads almost
+// every access is a same-line hit. The windowed variants exploit that:
+// each iteration executed on the ordinary per-access path (the probe —
+// it performs every fill, upgrade, prefetch, and TLB refill faithfully)
+// is followed by one verification pass over the plan's reference streams
+// that simultaneously measures how many further iterations every stream
+// spends on its current L1 line (computable because coalescible plans
+// are all-affine) and proves each stream's next access a pure L1+TLB hit
+// (cache.Hierarchy.BeginRun — the legality predicate). If every stream
+// verifies, every access of those tail iterations is necessarily a pure
+// hit: hits fill nothing and evict nothing, so the residency proof holds
+// inductively across the whole tail. The tail's value semantics run
+// normally (loads, Pre/Final, stores, buffer pushes and pops), while its
+// memory timing collapses to an exact closed form (every access costs
+// the L1 hit latency; an all-hit group's overlap cost is its serial sum
+// for any MaxOutstanding) and its statistics retire analytically against
+// the verified tokens (cache.Hierarchy.RetireToken). Whenever the
+// predicate fails — a conflict eviction by the probe itself, a coherence
+// invalidation between chunks, a missing translation — the engine simply
+// probes the next iteration too; per-access execution is the default and
+// coalescing the proven exception. DESIGN.md §4.2 spells out the
+// invariants.
+package interp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// coalesceMinTail is the smallest tail count worth verifying: a window's
+// verification pass costs roughly one fast-path access per stream, so a
+// single-tail window would spend about what it saves. Below this bound
+// the engine stays on the per-access path (which is always equivalent —
+// the threshold is a pure wall-clock heuristic).
+const coalesceMinTail = 2
+
+// coalesceGiveUp and coalesceRetryMask implement the verification
+// backoff. A plan can be geometrically coalescible yet never hold a run:
+// wave5's class-0 loops stream three or more arrays through one 2-way L1
+// set, so every access is a genuine conflict miss and BeginRun always
+// fails. After coalesceGiveUp consecutive verification failures the
+// runner stops paying for cache lookups and only re-probes coalescibility
+// on iterations aligned to coalesceRetryMask+1, in case the loop's
+// residency behaviour changes mid-range.
+const (
+	coalesceGiveUp    = 8
+	coalesceRetryMask = 63
+)
+
+// coalesceOK reports whether windowed execution may be used for plan p
+// on this runner right now. Beyond the machine knob (Coalesce resolved
+// at construction) and the plan's static classification (all-affine,
+// with a window geometry that can ever reach coalesceMinTail), coalescing
+// stays off when an access observer wants to see every access, when the
+// hierarchy attached a miss-classification shadow, and when compiler
+// prefetching meets a negative-stride reference (whose line-entry
+// accesses sit at high offsets, where lineBound's entry rejection —
+// written for the walk direction — must also suppress the prefetch fire
+// of a partially covered line).
+func (r *Runner) coalesceOK(p *plan) bool {
+	if p == nil || !p.runOK || p.maxTail < coalesceMinTail || !r.coalesce || r.proc.Observed() {
+		return false
+	}
+	if r.pfOn && p.hasNeg {
+		return false
+	}
+	return r.proc.Hierarchy().CoalesceActive()
+}
+
+// seqRunOK reports whether an iteration's consecutive SeqBuf accesses
+// may be batched through one AccessRun call. The aggregate Result merges
+// the batch's miss penalties, which is exact only when demand misses
+// retire serially (MaxOutstanding 1, true of both paper machines), and
+// AccessRun issues no compiler prefetches, so the batch is also off when
+// prefetching is on (SeqBuf walks are unit-stride and would prefetch).
+func (r *Runner) seqRunOK() bool {
+	return r.maxOut == 1 && !r.pfOn
+}
+
+// lineBound is the arithmetic half of stream verification: for an access
+// at byte offset off within its L1 line (size bytes, advancing stepBytes
+// per iteration), it returns how many consecutive iterations, the
+// current one included and capped at avail, stay on that line. It
+// returns 0 — the caller must fall back to per-access execution — for a
+// line-crossing access and for a line-entry access (one whose previous
+// iteration sat on a different line): entering a line is exactly when a
+// stream can miss and when the compiler-prefetch model fires, so entry
+// accesses always belong to the per-access probe. The rejection makes
+// the subsequent BeginRun worth attempting at all — a line the stream
+// just entered was never touched by the probe, so verifying it would
+// almost always fail after paying a full lookup. Zero-stride streams
+// repeat the probe's own address and pass unconditionally.
+func lineBound(off, size, stepBytes, line, avail int) int {
+	if off+size > line {
+		return 0
+	}
+	n := avail
+	switch {
+	case stepBytes > 0:
+		if off < stepBytes {
+			return 0
+		}
+		if m := (line-off-size)/stepBytes + 1; m < n {
+			n = m
+		}
+	case stepBytes < 0:
+		if off-stepBytes+size > line {
+			return 0
+		}
+		if m := off/-stepBytes + 1; m < n {
+			n = m
+		}
+	}
+	return n
+}
+
+// groupBound applies lineBound to one reference group at iteration i,
+// returning the group's window bound (the minimum stream bound, at most
+// avail) or 0 when any stream rejects. Pure arithmetic — no cache state
+// is consulted, so a rejected window costs a few integer operations.
+func (r *Runner) groupBound(refs []planRef, i, avail int) int {
+	w := avail
+	for j := range refs {
+		ref := &refs[j]
+		size := ref.arr.ElemSize()
+		n := lineBound(ref.arr.Addr(ref.scale*i+ref.off).Offset(r.line), size, ref.scale*size, r.line, avail)
+		if n == 0 {
+			return 0
+		}
+		if n < w {
+			w = n
+		}
+	}
+	return w
+}
+
+// bufBound is groupBound for the perIter sequential-buffer slot streams
+// of the iteration whose first slot is start (slot k advances perIter
+// elements per iteration).
+func (r *Runner) bufBound(buf *SeqBuf, start, perIter, avail int) int {
+	w := avail
+	step := perIter * seqBufElemSize
+	for k := 0; k < perIter; k++ {
+		n := lineBound(buf.arr.Addr(start+k).Offset(r.line), seqBufElemSize, step, r.line, avail)
+		if n == 0 {
+			return 0
+		}
+		if n < w {
+			w = n
+		}
+	}
+	return w
+}
+
+// groupVerify proves every stream of one reference group a pure L1+TLB
+// hit at iteration i (cache.Hierarchy.BeginRun — the legality
+// predicate), appending the verified hit tokens to r.toks. It runs only
+// after the arithmetic bounds have already justified the window.
+func (r *Runner) groupVerify(h *cache.Hierarchy, refs []planRef, i int, write bool) bool {
+	for j := range refs {
+		ref := &refs[j]
+		tok, ok := h.BeginRun(ref.arr.Addr(ref.scale*i+ref.off), ref.arr.ElemSize(), write)
+		if !ok {
+			return false
+		}
+		r.toks = append(r.toks, tok)
+	}
+	return true
+}
+
+// bufVerify is groupVerify for perIter buffer slot streams starting at
+// slot start.
+func (r *Runner) bufVerify(h *cache.Hierarchy, buf *SeqBuf, start, perIter int, write bool) bool {
+	for k := 0; k < perIter; k++ {
+		tok, ok := h.BeginRun(buf.arr.Addr(start+k), seqBufElemSize, write)
+		if !ok {
+			return false
+		}
+		r.toks = append(r.toks, tok)
+	}
+	return true
+}
+
+// homeRuns verifies every home-location reference of p at iteration i
+// and returns the all-streams window bound (0 on any failure). withRO
+// excludes the read-only group (buffered execution never touches RO
+// homes); shadow treats write references as reads (the shadow and
+// restructure helpers load write targets instead of storing them).
+//
+// Verification is two-phase: the arithmetic bounds run first, and only a
+// window of at least coalesceMinTail tails pays for the cache lookups.
+// Tokens accumulate in r.toks in intra-iteration reference order, which
+// is also the retirement order: the final relative LRU order of the
+// touched lines — the only observable residue of hit ordering — then
+// matches the interleaved per-access order exactly.
+func (r *Runner) homeRuns(p *plan, i, avail int, withRO, shadow bool) int {
+	if avail < coalesceMinTail {
+		return 0
+	}
+	w := avail
+	if withRO {
+		if w = r.groupBound(p.ro, i, w); w == 0 {
+			return 0
+		}
+	}
+	if w = r.groupBound(p.rw, i, w); w == 0 {
+		return 0
+	}
+	if w = r.groupBound(p.wr, i, w); w < coalesceMinTail {
+		return 0
+	}
+	if r.vfails >= coalesceGiveUp && i&coalesceRetryMask != 0 {
+		return 0
+	}
+	h := r.proc.Hierarchy()
+	r.toks = r.toks[:0]
+	if withRO && !r.groupVerify(h, p.ro, i, false) {
+		r.vfails++
+		return 0
+	}
+	if !r.groupVerify(h, p.rw, i, false) {
+		r.vfails++
+		return 0
+	}
+	if !r.groupVerify(h, p.wr, i, !shadow) {
+		r.vfails++
+		return 0
+	}
+	r.vfails = 0
+	return w
+}
+
+// retireToks retires n iterations' worth of hits against every verified
+// token, in order.
+func (r *Runner) retireToks(n int64) {
+	h := r.proc.Hierarchy()
+	for _, t := range r.toks {
+		h.RetireToken(t, n)
+	}
+}
+
+// planIterValues executes one iteration's value semantics — loads, Pre,
+// Final, stores — without timing, for window tails whose memory cost is
+// retired analytically. The load/compute/store order matches planIter.
+func (r *Runner) planIterValues(p *plan, l *loopir.Loop, i int) {
+	r.ro = r.ro[:0]
+	for j := range p.ro {
+		ref := &p.ro[j]
+		r.ro = append(r.ro, ref.arr.Load(ref.scale*i+ref.off))
+	}
+	pre := r.ro
+	if l.Pre != nil {
+		pre = l.Pre(i, r.ro)
+	}
+	r.rw = r.rw[:0]
+	for j := range p.rw {
+		ref := &p.rw[j]
+		r.rw = append(r.rw, ref.arr.Load(ref.scale*i+ref.off))
+	}
+	out := l.Final(i, pre, r.rw)
+	for j := range p.wr {
+		ref := &p.wr[j]
+		ref.arr.Store(ref.scale*i+ref.off, out[j])
+	}
+}
+
+// execPlanRuns is execPlan with window coalescing.
+func (r *Runner) execPlanRuns(p *plan, l *loopir.Loop, lo, hi int) int64 {
+	r.vfails = 0
+	var cycles int64
+	tail := int64(p.nRefs)*r.hitLat + l.PreCycles + l.FinalCycles
+	for i := lo; i < hi; {
+		cycles += r.planIter(p, l, i) + l.PreCycles + l.FinalCycles
+		i++
+		t := r.homeRuns(p, i, hi-i, true, false)
+		if t == 0 {
+			continue
+		}
+		for k := 0; k < t; k++ {
+			r.planIterValues(p, l, i+k)
+		}
+		r.retireToks(int64(t))
+		cycles += int64(t) * tail
+		i += t
+	}
+	return cycles
+}
+
+// shadowPlanRuns is shadowPlan with window coalescing. The budget check
+// keeps the original loop-top semantics: a tail iteration is only
+// charged (and counted done) if the budget was not already exhausted
+// when it would have started.
+func (r *Runner) shadowPlanRuns(p *plan, lo, hi int, budget int64) (done int, cycles int64) {
+	r.vfails = 0
+	tail := int64(p.nRefs) * r.hitLat
+	i := lo
+	for i < hi {
+		if budget != Unlimited && cycles >= budget {
+			return i - lo, cycles
+		}
+		r.results = r.results[:0]
+		for j := range p.ro {
+			ref := &p.ro[j]
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+		}
+		for j := range p.rw {
+			ref := &p.rw[j]
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+		}
+		for j := range p.wr {
+			ref := &p.wr[j]
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+		}
+		cycles += machine.OverlapCost(r.results, r.maxOut)
+		i++
+		w := r.homeRuns(p, i, hi-i, true, true)
+		t := 0
+		for t < w {
+			if budget != Unlimited && cycles >= budget {
+				break
+			}
+			cycles += tail
+			t++
+		}
+		if t > 0 {
+			r.retireToks(int64(t))
+			i += t
+		}
+	}
+	return hi - lo, cycles
+}
+
+// restructurePlanRuns is restructurePlan with window coalescing: each
+// probe iteration streams values into the buffer on the timed path
+// (batching its consecutive pushes through AccessRun when exact), tail
+// iterations push real values untimed and retire their access runs —
+// RO streams, the iteration's buffer slots, then the shadow-loaded
+// RW/Write homes, in reference order.
+func (r *Runner) restructurePlanRuns(p *plan, l *loopir.Loop, lo, hi int, buf *SeqBuf, budget int64, precompute bool) (done int, cycles int64) {
+	r.vfails = 0
+	h := r.proc.Hierarchy()
+	nVals := len(p.ro)
+	var preCycles int64
+	if precompute {
+		nVals = l.NPre
+		preCycles = l.PreCycles
+	}
+	seqOK := r.seqRunOK()
+	tail := int64(p.nRefs+nVals)*r.hitLat + preCycles
+	i := lo
+	for i < hi {
+		if budget != Unlimited && cycles >= budget {
+			return i - lo, cycles
+		}
+		r.results = r.results[:0]
+		r.ro = r.ro[:0]
+		for j := range p.ro {
+			r.ro = append(r.ro, r.planRead(&p.ro[j], i))
+		}
+		vals := r.ro
+		var computeCycles int64
+		if precompute {
+			if l.Pre != nil {
+				vals = l.Pre(i, r.ro)
+			}
+			computeCycles = l.PreCycles
+		}
+		if seqOK && len(vals) > 0 {
+			start := buf.Len()
+			for _, v := range vals {
+				buf.Push(v)
+			}
+			r.results = append(r.results, h.AccessRun(buf.arr.Addr(start), seqBufElemSize, len(vals), seqBufElemSize, true))
+		} else {
+			for _, v := range vals {
+				idx := buf.Push(v)
+				r.timed(buf.arr, idx, true, 1, true)
+			}
+		}
+		for s := 0; s < len(p.rw)+len(p.wr); s++ {
+			ref := p.rwwr(s)
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+		}
+		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
+		i++
+		w := r.restructureRuns(p, i, hi-i, buf, nVals)
+		t := 0
+		for t < w {
+			if budget != Unlimited && cycles >= budget {
+				break
+			}
+			r.ro = r.ro[:0]
+			for j := range p.ro {
+				ref := &p.ro[j]
+				r.ro = append(r.ro, ref.arr.Load(ref.scale*(i+t)+ref.off))
+			}
+			vals := r.ro
+			if precompute && l.Pre != nil {
+				vals = l.Pre(i+t, r.ro)
+			}
+			for _, v := range vals {
+				buf.Push(v)
+			}
+			cycles += tail
+			t++
+		}
+		if t > 0 {
+			r.retireToks(int64(t))
+			i += t
+		}
+	}
+	return hi - lo, cycles
+}
+
+// restructureRuns is the restructure helper's verification pass at
+// iteration i: RO streams (reads), the iteration's nVals buffer push
+// slots (writes; the probe just pushed the preceding slots, so the
+// current line is Modified whenever the slots stay on it), then the
+// RW/Write homes as shadow reads.
+func (r *Runner) restructureRuns(p *plan, i, avail int, buf *SeqBuf, nVals int) int {
+	if avail < coalesceMinTail {
+		return 0
+	}
+	w := r.groupBound(p.ro, i, avail)
+	if w == 0 {
+		return 0
+	}
+	start := buf.Len()
+	if nVals > 0 {
+		if w = r.bufBound(buf, start, nVals, w); w == 0 {
+			return 0
+		}
+	}
+	if w = r.groupBound(p.rw, i, w); w == 0 {
+		return 0
+	}
+	if w = r.groupBound(p.wr, i, w); w < coalesceMinTail {
+		return 0
+	}
+	if r.vfails >= coalesceGiveUp && i&coalesceRetryMask != 0 {
+		return 0
+	}
+	h := r.proc.Hierarchy()
+	r.toks = r.toks[:0]
+	if !r.groupVerify(h, p.ro, i, false) ||
+		(nVals > 0 && !r.bufVerify(h, buf, start, nVals, true)) ||
+		!r.groupVerify(h, p.rw, i, false) ||
+		!r.groupVerify(h, p.wr, i, false) {
+		r.vfails++
+		return 0
+	}
+	r.vfails = 0
+	return w
+}
+
+// execBufferPlanRuns is execBufferPlan with window coalescing; the
+// buffer pops — the restructured execution phase's pure unit-stride scan
+// — are the flagship AccessRun consumer.
+func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered int, buf *SeqBuf, precompute bool) int64 {
+	r.vfails = 0
+	h := r.proc.Hierarchy()
+	if buffered > hi-lo {
+		buffered = hi - lo
+	}
+	nVals := l.NPre
+	if !precompute {
+		nVals = len(p.ro)
+	}
+	if cap(r.scratch) < nVals {
+		r.scratch = make([]float64, nVals)
+	}
+	vals := r.scratch[:nVals]
+	seqOK := r.seqRunOK()
+	tailCompute := l.FinalCycles
+	if !precompute {
+		tailCompute += l.PreCycles
+	}
+	tail := int64(nVals+len(p.rw)+len(p.wr))*r.hitLat + tailCompute
+	var cycles int64
+	pos := 0
+	for i := lo; i < lo+buffered; {
+		r.results = r.results[:0]
+		if seqOK && nVals > 0 {
+			r.results = append(r.results, h.AccessRun(buf.arr.Addr(pos), seqBufElemSize, nVals, seqBufElemSize, false))
+			for k := 0; k < nVals; k++ {
+				vals[k] = buf.At(pos)
+				pos++
+			}
+		} else {
+			for k := 0; k < nVals; k++ {
+				vals[k] = buf.At(pos)
+				r.timed(buf.arr, pos, false, 1, true)
+				pos++
+			}
+		}
+		pre := vals
+		computeCycles := l.FinalCycles
+		if !precompute {
+			if l.Pre != nil {
+				pre = l.Pre(i, vals)
+			}
+			computeCycles += l.PreCycles
+		}
+		r.rw = r.rw[:0]
+		for j := range p.rw {
+			ref := &p.rw[j]
+			idx := ref.scale*i + ref.off
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.rw = append(r.rw, ref.arr.Load(idx))
+		}
+		out := l.Final(i, pre, r.rw)
+		for j := range p.wr {
+			ref := &p.wr[j]
+			idx := ref.scale*i + ref.off
+			ref.arr.Store(idx, out[j])
+			r.timed(ref.arr, idx, true, ref.stride, ref.strideOK)
+		}
+		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
+		i++
+		w := r.bufferRuns(p, i, lo+buffered-i, buf, pos, nVals)
+		for t := 0; t < w; t++ {
+			j := i + t
+			for k := 0; k < nVals; k++ {
+				vals[k] = buf.At(pos)
+				pos++
+			}
+			pre := vals
+			if !precompute && l.Pre != nil {
+				pre = l.Pre(j, vals)
+			}
+			r.rw = r.rw[:0]
+			for jj := range p.rw {
+				ref := &p.rw[jj]
+				r.rw = append(r.rw, ref.arr.Load(ref.scale*j+ref.off))
+			}
+			out := l.Final(j, pre, r.rw)
+			for jj := range p.wr {
+				ref := &p.wr[jj]
+				ref.arr.Store(ref.scale*j+ref.off, out[jj])
+			}
+		}
+		if w > 0 {
+			r.retireToks(int64(w))
+			cycles += int64(w) * tail
+			i += w
+		}
+	}
+	cycles += r.execPlan(p, l, lo+buffered, hi)
+	return cycles
+}
+
+// bufferRuns is buffered execution's verification pass at iteration i:
+// the iteration's nVals buffer pop slots (reads, starting at cursor
+// pos), then the RW homes (reads) and Write homes (writes); RO homes are
+// never touched during buffered execution.
+func (r *Runner) bufferRuns(p *plan, i, avail int, buf *SeqBuf, pos, nVals int) int {
+	if avail < coalesceMinTail {
+		return 0
+	}
+	w := avail
+	if nVals > 0 {
+		if w = r.bufBound(buf, pos, nVals, avail); w == 0 {
+			return 0
+		}
+	}
+	if w = r.groupBound(p.rw, i, w); w == 0 {
+		return 0
+	}
+	if w = r.groupBound(p.wr, i, w); w < coalesceMinTail {
+		return 0
+	}
+	if r.vfails >= coalesceGiveUp && i&coalesceRetryMask != 0 {
+		return 0
+	}
+	h := r.proc.Hierarchy()
+	r.toks = r.toks[:0]
+	if (nVals > 0 && !r.bufVerify(h, buf, pos, nVals, false)) ||
+		!r.groupVerify(h, p.rw, i, false) ||
+		!r.groupVerify(h, p.wr, i, true) {
+		r.vfails++
+		return 0
+	}
+	r.vfails = 0
+	return w
+}

@@ -36,6 +36,22 @@ type Runner struct {
 	compiled bool
 	plan     *plan
 	planLoop *loopir.Loop
+
+	// Run-coalescing state: coalesce resolves the machine's Coalesce
+	// knob, hitLat caches the L1 hit latency (the per-access cost of a
+	// retired tail access — every coalesced access is an L1 hit, and an
+	// all-hit group's overlap cost is its serial sum for any
+	// MaxOutstanding).
+	coalesce bool
+	hitLat   int64
+	// toks holds the verified stream tokens of the window currently being
+	// coalesced, in intra-iteration reference order (scratch, reused).
+	toks []cache.RunToken
+	// vfails counts consecutive window-verification failures of the run
+	// currently executing (reset at the start of every windowed run-mode
+	// call and on every verified window); past coalesceGiveUp the runner
+	// backs off to periodic retries.
+	vfails int
 }
 
 // tblRead records an index-table element already loaded this iteration, so
@@ -56,6 +72,8 @@ func New(proc *machine.Processor) *Runner {
 		pf:       cfg.CompilerPrefetch,
 		line:     cfg.L1.LineSize,
 		compiled: cfg.Engine == machine.EngineFast,
+		coalesce: cfg.CoalesceEnabled(),
+		hitLat:   cfg.L1.HitLatency,
 	}
 }
 

@@ -1,6 +1,10 @@
 package machine
 
-import "repro/internal/canon"
+import (
+	"encoding/json"
+
+	"repro/internal/canon"
+)
 
 // CanonicalBytes returns the configuration's canonical serialization, the
 // machine half of a simulation point's content-addressed cache key (see
@@ -13,7 +17,25 @@ import "repro/internal/canon"
 // reference engines produce bit-identical simulated results (the
 // differential tests in internal/cascade assert this), so a result
 // computed on either engine may satisfy a request for the other.
+//
+// The Coalesce knob is normalized the same way unless it is CoalesceOff:
+// Auto and On both mean "the engine may coalesce", and coalescing — like
+// the engine choice — cannot change simulated results. Off is kept
+// distinct because the knob exists to diagnose suspected coalescing bugs,
+// and a diagnostic no-coalescing run must never be answered from a cache
+// entry computed with coalescing on. Eliding the normalized value (rather
+// than encoding it) also keeps every pre-knob cache key valid: a config
+// that does not exercise the knob serializes to exactly the bytes it did
+// before the knob existed, which the golden-key tests in internal/server
+// pin down.
 func (c Config) CanonicalBytes() ([]byte, error) {
 	c.Engine = EngineFast
-	return canon.JSON(c)
+	m, err := canon.Map(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.Coalesce != CoalesceOff {
+		delete(m, "Coalesce")
+	}
+	return json.Marshal(m)
 }
