@@ -5,7 +5,9 @@
 # experiment-serving daemon; `bench` regenerates the paper's headline
 # benchmarks; `bench-hotpath` compares the compiled fast engine against
 # the reference interpreter (see BENCH_hotpath.json and
-# BENCH_coalesce.json for recorded runs); `bench-smoke` is the CI
+# BENCH_coalesce.json for recorded runs); `bench-parallel` measures the
+# host-parallel engine against the serial driver on the same workloads
+# (recorded in BENCH_parallel.json); `bench-smoke` is the CI
 # keep-the-benchmarks-compiling pass: one iteration of the hot-path
 # benchmarks at short-mode scale, a smoke test rather than a measurement.
 
@@ -13,7 +15,7 @@ GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-smoke fmt
+.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-parallel bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -37,6 +39,9 @@ bench:
 
 bench-hotpath:
 	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 2x -count 3 .
+
+bench-parallel:
+	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 3x -count 5 .
 
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkHotPathSequential|BenchmarkHotPathCascade' -benchtime 1x -short .

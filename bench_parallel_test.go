@@ -1,0 +1,118 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gallery"
+	"repro/internal/machine"
+	"repro/internal/wave5"
+)
+
+// Parallel-engine benchmarks measure what the machine.Parallel knob buys
+// in host wall-clock time. The knob is semantically inert — parallel and
+// serial runs are bit-identical (TestParallelEngineEngagesAndMatchesSerial,
+// the parallel fastpath modes, and the randomized twins) — so the ratio
+// of these benchmarks is pure simulator speedup from running the
+// simulated processors on host goroutines. BENCH_parallel.json records
+// representative numbers and spells out where the engine cannot engage.
+
+// parallelBenchModes names the knob settings for sub-benchmarks.
+var parallelBenchModes = []struct {
+	name string
+	par  machine.Parallel
+}{
+	{"serial", machine.ParallelOff},
+	{"parallel", machine.ParallelOn},
+}
+
+// BenchmarkParallelDense is the engine's intended case, shaped like the
+// paper's Figure 6 sweep point at its best chunk size: a dense streaming
+// cascade over 8 simulated PentiumPro processors. 24 bytes per iteration
+// on 32-byte lines means a chunk size that is a multiple of 96 bytes
+// keeps every chunk boundary line-aligned, so the footprint predicate
+// admits every chunk and all 8 simulated processors run concurrently.
+func BenchmarkParallelDense(b *testing.B) {
+	const (
+		n          = 1 << 19
+		chunkBytes = 96 * 256 // 24 KB, line-aligned boundaries
+	)
+	triad, err := gallery.Lookup("triad")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range parallelBenchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := machine.PentiumPro(8)
+			cfg.Parallel = mode.par
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				space, l, err := triad.Build(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts, err := cascade.NewOptions(
+					cascade.WithHelper(cascade.HelperPrefetch),
+					cascade.WithSpace(space),
+					cascade.WithChunkBytes(chunkBytes),
+					cascade.WithPriorParallel(false),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := cascade.Run(m, l, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles/op")
+		})
+	}
+}
+
+// BenchmarkParallelPARMVR runs the full PARMVR mover cascade under both
+// knob settings — the honest companion to the dense case. Most of the
+// mover cannot be host-parallelized: the six indirect loops get
+// whole-array write footprints (every chunk conflicts, so chunks run
+// solo), and the affine loops' boundaries are not line-aligned at this
+// chunk size. Expect a ratio near 1.0; the point of the row is that the
+// knob never makes a workload slower than noise even when it cannot
+// help, because non-admissible chunks run through the identical serial
+// body.
+func BenchmarkParallelPARMVR(b *testing.B) {
+	for _, mode := range parallelBenchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := machine.PentiumPro(8)
+			cfg.Parallel = mode.par
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := wave5.MustBuild(benchParams())
+				m, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts, err := cascade.NewOptions(
+					cascade.WithHelper(cascade.HelperRestructure),
+					cascade.WithSpace(w.Space),
+					cascade.WithPriorParallel(false),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, l := range w.Loops {
+					if _, err := cascade.Run(m, l, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,12 @@
 // simulation points finish, no new ones start, and the command exits
 // with the cancellation error.
 //
+// The -parallel flag runs each simulated processor on its own host
+// goroutine inside the fast engine's conservative lookahead window.
+// Results are bit-identical to serial simulation — the flag only trades
+// host cores for wall-clock time — but parallel runs are cached under
+// their own keys, so a -cache directory never mixes the two engines.
+//
 // The -cpuprofile and -memprofile flags write standard pprof profiles
 // of whatever the invocation runs — the supported way to attribute
 // simulator time to engine functions (`go tool pprof cascade-sim
@@ -85,10 +91,12 @@ func main() {
 		metrics = flag.String("metrics", "", "emit per-processor metric snapshots: json or table (defaults -exp to quickstart)")
 		cache   = flag.String("cache", "", "content-addressed result cache directory, shared with cascade-server")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
+		par     = flag.Bool("parallel", false, "simulate the processors on parallel host goroutines (bit-identical results)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	experiments.SetParallel(*par)
 	opts := cliOptions{
 		exp:        *exp,
 		scale:      *scale,
@@ -147,10 +155,13 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 			if err != nil {
 				return fmt.Errorf("memprofile: %w", err)
 			}
-			defer f.Close()
 			runtime.GC() // settle the heap so the snapshot shows live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("memprofile: %w", err)
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr // a short write surfaces here, not silently
+			}
+			if werr != nil {
+				return fmt.Errorf("memprofile: %w", werr)
 			}
 		}
 		return nil

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/experiments"
 	"repro/internal/server"
 )
 
@@ -357,5 +358,60 @@ func TestRunCancelled(t *testing.T) {
 	err := run(ctx, &b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true})
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProfilesValidAfterCancelledRun pins the profile shutdown path: when
+// the measured run is aborted by Ctrl-C, stopProf still finalizes both
+// pprof outputs, and the files on disk are complete gzip-framed profiles
+// rather than truncated stubs.
+func TestProfilesValidAfterCancelledRun(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
+	stopProf, err := startProfiles(cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	if err := run(ctx, &b, cliOptions{exp: "fig2", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 14, mode: "table", quiet: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("run err = %v, want context.Canceled", err)
+	}
+	if err := stopProf(); err != nil {
+		t.Fatalf("stopProf after cancelled run: %v", err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		// runtime/pprof writes gzip-compressed protobuf; a valid file is
+		// non-empty and starts with the gzip magic.
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("profile %s is not a gzip-framed pprof file (%d bytes)", p, len(data))
+		}
+	}
+}
+
+// TestRunParallelFlagMatchesSerial pins the -parallel wiring end to end:
+// the host-parallel engine must render byte-identical experiment output.
+// fig7's synthetic loops run with PriorParallel disabled, so the engine
+// actually engages there rather than falling back to the serial driver.
+func TestRunParallelFlagMatchesSerial(t *testing.T) {
+	runOnce := func(par bool) string {
+		experiments.SetParallel(par)
+		t.Cleanup(func() { experiments.SetParallel(false) })
+		var b strings.Builder
+		if err := run(context.Background(), &b, cliOptions{exp: "fig7", scale: smallScale, chunkBytes: 64 * 1024, n: 1 << 13, mode: "table", quiet: true}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := runOnce(false)
+	parallel := runOnce(true)
+	if serial != parallel {
+		t.Errorf("-parallel output diverges from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }

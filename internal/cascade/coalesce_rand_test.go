@@ -86,6 +86,32 @@ func TestRandomLoopCoalesceDifferential(t *testing.T) {
 		if eq, idx := lFast.Writes[0].Array.Equal(lRef.Writes[0].Array.Snapshot()); !eq {
 			t.Errorf("seed %d: output values diverge at element %d", seed, idx)
 		}
+
+		// Parallel-engine twin: the same cascaded point with the Parallel
+		// knob on must be bit-identical to the knob off. PriorParallel is
+		// disabled on both sides so the engine can actually engage (its
+		// distributed dirty lines force the serial fallback).
+		if mode != 0 && cfg.Procs > 1 {
+			runPar := func(cfg machine.Config, space *memsim.Space, l *loopir.Loop) Result {
+				m := machine.MustNew(cfg)
+				opts := DefaultOptions(Helper(mode-1), space)
+				opts.ChunkBytes = chunk
+				opts.PriorParallel = false
+				res, err := Run(m, l, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				return res
+			}
+			sOff, lOff := randomLoop(int64(seed))
+			sOn, lOn := randomLoop(int64(seed))
+			off := runPar(cfg.WithEngine(machine.EngineFast), sOff, lOff)
+			on := runPar(cfg.WithEngine(machine.EngineFast).WithParallel(machine.ParallelOn), sOn, lOn)
+			coalesceDiff(t, lOn.Name+"/parallel", on, off)
+			if eq, idx := lOn.Writes[0].Array.Equal(lOff.Writes[0].Array.Snapshot()); !eq {
+				t.Errorf("seed %d: parallel output values diverge at element %d", seed, idx)
+			}
+		}
 		if t.Failed() {
 			t.Fatalf("first divergence at seed %d (machine %s/%d, mode %d, chunk %d)",
 				seed, cfg.Name, cfg.Procs, mode, chunk)

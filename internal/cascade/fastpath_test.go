@@ -69,6 +69,29 @@ func runModes(chunkBytes int) []runMode {
 			return cascade.Run(m, l, opts)
 		}
 	}
+	// The parallel-engine modes turn the machine's Parallel knob on and
+	// disable PriorParallel so the engine engages; on the reference twin
+	// the knob is inert (ParallelEnabled requires the fast engine), so
+	// these modes diff the parallel scheduler against the serial reference
+	// interpreter in one step.
+	parCascaded := func(h cascade.Helper) func(machine.Config, *memsim.Space, *loopir.Loop) (cascade.Result, error) {
+		return func(cfg machine.Config, space *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
+			m, err := machine.New(cfg.WithParallel(machine.ParallelOn))
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			opts, err := cascade.NewOptions(
+				cascade.WithHelper(h),
+				cascade.WithSpace(space),
+				cascade.WithChunkBytes(chunkBytes),
+				cascade.WithPriorParallel(false),
+			)
+			if err != nil {
+				return cascade.Result{}, err
+			}
+			return cascade.Run(m, l, opts)
+		}
+	}
 	return []runMode{
 		{"sequential", func(cfg machine.Config, _ *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
 			m, err := machine.New(cfg)
@@ -79,6 +102,8 @@ func runModes(chunkBytes int) []runMode {
 		}},
 		{"cascade-prefetch", cascaded(cascade.HelperPrefetch)},
 		{"cascade-restructure", cascaded(cascade.HelperRestructure)},
+		{"cascade-prefetch-parallel", parCascaded(cascade.HelperPrefetch)},
+		{"cascade-restructure-parallel", parCascaded(cascade.HelperRestructure)},
 		{"parallel", func(cfg machine.Config, _ *memsim.Space, l *loopir.Loop) (cascade.Result, error) {
 			m, err := machine.New(cfg)
 			if err != nil {

@@ -81,19 +81,25 @@ func randomLoop(seed int64) (*memsim.Space, *loopir.Loop) {
 		PreCycles:   int64(rng.Intn(6)),
 		FinalCycles: int64(1 + rng.Intn(6)),
 		NPre:        1,
-		Pre: func(_ int, rov []float64) []float64 {
-			sum := 0.0
-			for j, v := range rov {
-				sum += float64(j+1) * v
+		// Factory form, so the loop is reentrant and the parallel engine
+		// can engage in the randomized differentials.
+		NewPre: func() func(int, []float64) []float64 {
+			return func(_ int, rov []float64) []float64 {
+				sum := 0.0
+				for j, v := range rov {
+					sum += float64(j+1) * v
+				}
+				return []float64{sum}
 			}
-			return []float64{sum}
 		},
-		Final: func(_ int, pre, rwv []float64) []float64 {
-			v := pre[0]
-			if len(rwv) > 0 {
-				v += rwv[0]
+		NewFinal: func() func(int, []float64, []float64) []float64 {
+			return func(_ int, pre, rwv []float64) []float64 {
+				v := pre[0]
+				if len(rwv) > 0 {
+					v += rwv[0]
+				}
+				return []float64{v}
 			}
-			return []float64{v}
 		},
 	}
 	if err := l.Validate(); err != nil {

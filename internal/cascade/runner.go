@@ -17,6 +17,85 @@ func phaseTimer(m *machine.Machine) *metrics.PhaseTimer {
 	return m.Metrics().PhaseTimer(TimerName, PhaseHelper, PhaseExec, PhaseTransfer, PhaseWait)
 }
 
+// chunkState is the mutable per-run state the cascade timeline is built
+// from. The serial driver mutates it chunk by chunk; the parallel engine
+// shares the exact same code for its inline (solo) chunks and replays its
+// concurrently simulated chunks through the same accounting, which is how
+// both drivers produce bit-identical Results.
+type chunkState struct {
+	m       *machine.Machine
+	l       *loopir.Loop
+	opts    Options
+	timer   *metrics.PhaseTimer
+	runners []*interp.Runner
+	bufs    []*interp.SeqBuf
+
+	transfer int64
+	lastEnd  []int64 // end of each processor's previous execution phase
+	t        int64   // cascade time: when control is handed off
+	res      *Result
+}
+
+// runChunk simulates chunk k serially: transfer, helper phase bounded by
+// the processor's idle window, then the execution phase, advancing the
+// cascade timeline. This is the one and only serial per-chunk body.
+func (s *chunkState) runChunk(k int, ch Chunk) {
+	p := k % len(s.runners)
+	start := s.t
+	if k > 0 {
+		start += s.transfer
+		s.res.TransferCycles += s.transfer
+		s.timer.Add(p, PhaseTransfer, s.transfer)
+	}
+
+	// Helper phase for this chunk, bounded by the processor's idle
+	// window (signal arrives at t).
+	budget := s.t - s.lastEnd[p]
+	if budget < 0 {
+		budget = 0
+	}
+	if !s.opts.JumpOut {
+		budget = interp.Unlimited
+	}
+	var done int
+	var helperCycles int64
+	switch s.opts.Helper {
+	case HelperPrefetch:
+		done, helperCycles = s.runners[p].ShadowIters(s.l, ch.Lo, ch.Hi, budget)
+	case HelperRestructure:
+		s.bufs[p].Reset()
+		done, helperCycles = s.runners[p].RestructureIters(s.l, ch.Lo, ch.Hi, s.bufs[p], budget, s.opts.Precompute)
+	}
+	s.res.HelperCycles += helperCycles
+	s.res.HelperIters += done
+	s.timer.Add(p, PhaseHelper, helperCycles)
+	if !s.opts.JumpOut {
+		// The execution phase waits for helper completion.
+		if ready := s.lastEnd[p] + helperCycles; ready > start {
+			s.timer.Add(p, PhaseWait, ready-start)
+			start = ready
+		}
+	}
+
+	// Execution phase, with stats bracketed so ExecL1/ExecL2 report
+	// only what the running loop observes.
+	l1Before, l2Before := s.m.L1Stats(), s.m.L2Stats()
+	var execCycles int64
+	switch s.opts.Helper {
+	case HelperPrefetch:
+		execCycles = s.runners[p].ExecIters(s.l, ch.Lo, ch.Hi)
+	case HelperRestructure:
+		execCycles = s.runners[p].ExecFromBuffer(s.l, ch.Lo, ch.Hi, done, s.bufs[p], s.opts.Precompute)
+	}
+	s.res.ExecL1.Add(s.m.L1Stats().Sub(l1Before))
+	s.res.ExecL2.Add(s.m.L2Stats().Sub(l2Before))
+	s.res.ExecCycles += execCycles
+	s.timer.Add(p, PhaseExec, execCycles)
+	end := start + execCycles
+	s.lastEnd[p] = end
+	s.t = end
+}
+
 // Run executes the loop under cascaded execution on m (Figure 1b).
 //
 // Chunks are assigned to processors round-robin. The timeline is modelled
@@ -37,6 +116,11 @@ func phaseTimer(m *machine.Machine) *metrics.PhaseTimer {
 // execution phase rather than interleaved with chunks k-P+1..k-1; see
 // DESIGN.md §4 for why this approximation is benign (chunks touch almost
 // entirely disjoint data, and coherence invalidations still apply).
+//
+// When the machine's Parallel knob is on and the run qualifies (see
+// newParEngine), the chunks are simulated concurrently on host goroutines
+// by the parallel engine in internal/cascade/parengine.go; the Result is
+// bit-identical either way, so the knob is purely a host-time optimization.
 func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
@@ -80,68 +164,23 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 		Chunks:     len(chunks),
 		TotalIters: l.Iters,
 	}
-	transfer := m.Config().TransferCycles
-	lastEnd := make([]int64, P) // end of each processor's previous execution phase
-	var t int64                 // cascade time: when control is handed off
-
-	for k, ch := range chunks {
-		p := k % P
-		start := t
-		if k > 0 {
-			start += transfer
-			res.TransferCycles += transfer
-			timer.Add(p, PhaseTransfer, transfer)
-		}
-
-		// Helper phase for this chunk, bounded by the processor's idle
-		// window (signal arrives at t).
-		budget := t - lastEnd[p]
-		if budget < 0 {
-			budget = 0
-		}
-		if !opts.JumpOut {
-			budget = interp.Unlimited
-		}
-		var done int
-		var helperCycles int64
-		switch opts.Helper {
-		case HelperPrefetch:
-			done, helperCycles = runners[p].ShadowIters(l, ch.Lo, ch.Hi, budget)
-		case HelperRestructure:
-			bufs[p].Reset()
-			done, helperCycles = runners[p].RestructureIters(l, ch.Lo, ch.Hi, bufs[p], budget, opts.Precompute)
-		}
-		res.HelperCycles += helperCycles
-		res.HelperIters += done
-		timer.Add(p, PhaseHelper, helperCycles)
-		if !opts.JumpOut {
-			// The execution phase waits for helper completion.
-			if ready := lastEnd[p] + helperCycles; ready > start {
-				timer.Add(p, PhaseWait, ready-start)
-				start = ready
-			}
-		}
-
-		// Execution phase, with stats bracketed so ExecL1/ExecL2 report
-		// only what the running loop observes.
-		l1Before, l2Before := m.L1Stats(), m.L2Stats()
-		var execCycles int64
-		switch opts.Helper {
-		case HelperPrefetch:
-			execCycles = runners[p].ExecIters(l, ch.Lo, ch.Hi)
-		case HelperRestructure:
-			execCycles = runners[p].ExecFromBuffer(l, ch.Lo, ch.Hi, done, bufs[p], opts.Precompute)
-		}
-		res.ExecL1.Add(m.L1Stats().Sub(l1Before))
-		res.ExecL2.Add(m.L2Stats().Sub(l2Before))
-		res.ExecCycles += execCycles
-		timer.Add(p, PhaseExec, execCycles)
-		end := start + execCycles
-		lastEnd[p] = end
-		t = end
+	st := &chunkState{
+		m: m, l: l, opts: opts, timer: timer,
+		runners: runners, bufs: bufs,
+		transfer: m.Config().TransferCycles,
+		lastEnd:  make([]int64, P),
+		res:      &res,
 	}
 
-	res.Cycles = t
+	if eng := newParEngine(st, chunks); eng != nil {
+		eng.run()
+	} else {
+		for k, ch := range chunks {
+			st.runChunk(k, ch)
+		}
+	}
+
+	res.Cycles = st.t
 	res.L1 = m.L1Stats()
 	res.L2 = m.L2Stats()
 	res.Bus = m.Bus().Stats()

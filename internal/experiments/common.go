@@ -177,10 +177,32 @@ func TotalCycles(results []cascade.Result) int64 {
 	return total
 }
 
+// hostParallel is the machine-level Parallel knob Machines applies to
+// every configuration it hands out. The CLI sets it once, before any
+// experiment runs, so no synchronization is needed.
+var hostParallel machine.Parallel
+
+// SetParallel selects the host-parallel simulation engine for every
+// machine the experiments build. The knob is semantically transparent —
+// parallel runs are bit-identical to serial ones — but it stays in the
+// canonical cache key when on, so parallel sweeps never share disk-cache
+// entries with serial golden runs. Call before running experiments.
+func SetParallel(on bool) {
+	if on {
+		hostParallel = machine.ParallelOn
+	} else {
+		hostParallel = machine.ParallelOff
+	}
+}
+
 // Machines returns the evaluation's two machines at their full processor
 // counts (Table 1).
 func Machines() []machine.Config {
-	return machine.Presets()
+	cfgs := machine.Presets()
+	for i := range cfgs {
+		cfgs[i].Parallel = hostParallel
+	}
+	return cfgs
 }
 
 // procSweep returns the processor counts the paper's Figure 2 plots for a

@@ -82,6 +82,18 @@ func (g *lcg) next() uint64 {
 
 func (g *lcg) intn(n int) int { return int(g.next() % uint64(n)) }
 
+// Shared closure factories. The kernels' value semantics are stateless,
+// so the factories just mint fresh instances of the same pure functions;
+// declaring them in factory form marks every kernel reentrant, which
+// lets the host-parallel engine execute gallery cascades concurrently.
+func triadPre() func(int, []float64) []float64 {
+	return func(_ int, ro []float64) []float64 { return []float64{ro[0] + 3.0*ro[1]} }
+}
+
+func passPre() func(int, []float64, []float64) []float64 {
+	return func(_ int, pre, _ []float64) []float64 { return pre }
+}
+
 func validate(l *loopir.Loop) error {
 	if err := l.Validate(); err != nil {
 		return err
@@ -108,11 +120,9 @@ func buildTriad(n int) (*memsim.Space, *loopir.Loop, error) {
 		},
 		Writes:    []loopir.Ref{{Array: a, Index: loopir.Ident}},
 		PreCycles: 2, FinalCycles: 1,
-		NPre: 1,
-		Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] + 3.0*ro[1]} },
-		Final: func(_ int, pre, _ []float64) []float64 {
-			return pre
-		},
+		NPre:     1,
+		NewPre:   triadPre,
+		NewFinal: passPre,
 	}
 	return s, l, validate(l)
 }
@@ -133,11 +143,9 @@ func buildTriadConflict(n int) (*memsim.Space, *loopir.Loop, error) {
 		},
 		Writes:    []loopir.Ref{{Array: a, Index: loopir.Ident}},
 		PreCycles: 2, FinalCycles: 1,
-		NPre: 1,
-		Pre:  func(_ int, ro []float64) []float64 { return []float64{ro[0] + 3.0*ro[1]} },
-		Final: func(_ int, pre, _ []float64) []float64 {
-			return pre
-		},
+		NPre:     1,
+		NewPre:   triadPre,
+		NewFinal: passPre,
 	}
 	return s, l, validate(l)
 }
@@ -159,10 +167,12 @@ func buildStencil3(n int) (*memsim.Space, *loopir.Loop, error) {
 		},
 		PreCycles: 4, FinalCycles: 1,
 		NPre: 1,
-		Pre: func(_ int, ro []float64) []float64 {
-			return []float64{0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2]}
+		NewPre: func() func(int, []float64) []float64 {
+			return func(_ int, ro []float64) []float64 {
+				return []float64{0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2]}
+			}
 		},
-		Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		NewFinal: passPre,
 	}
 	return s, l, validate(l)
 }
@@ -183,7 +193,7 @@ func buildGather(n int) (*memsim.Space, *loopir.Loop, error) {
 		},
 		Writes:    []loopir.Ref{{Array: a, Index: loopir.Ident}},
 		PreCycles: 1, FinalCycles: 1,
-		Final: func(_ int, pre, _ []float64) []float64 { return pre },
+		NewFinal: passPre,
 		// The gather defeats static prefetch analysis.
 		NoCompilerPrefetch: true,
 	}
@@ -210,8 +220,10 @@ func buildHistogram(n int) (*memsim.Space, *loopir.Loop, error) {
 		RW:        []loopir.Ref{href},
 		Writes:    []loopir.Ref{href},
 		PreCycles: 0, FinalCycles: 2,
-		Final: func(_ int, pre, rw []float64) []float64 {
-			return []float64{rw[0] + pre[0]}
+		NewFinal: func() func(int, []float64, []float64) []float64 {
+			return func(_ int, pre, rw []float64) []float64 {
+				return []float64{rw[0] + pre[0]}
+			}
 		},
 		NoCompilerPrefetch: true,
 	}
@@ -246,7 +258,7 @@ func buildTranspose(n int) (*memsim.Space, *loopir.Loop, error) {
 		},
 		Writes:    []loopir.Ref{{Array: out, Index: loopir.Ident}},
 		PreCycles: 0, FinalCycles: 1,
-		Final:              func(_ int, pre, _ []float64) []float64 { return pre },
+		NewFinal:           passPre,
 		NoCompilerPrefetch: true,
 	}
 	return s, l, validate(l)

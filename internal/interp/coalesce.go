@@ -253,15 +253,15 @@ func (r *Runner) planIterValues(p *plan, l *loopir.Loop, i int) {
 		r.ro = append(r.ro, ref.arr.Load(ref.scale*i+ref.off))
 	}
 	pre := r.ro
-	if l.Pre != nil {
-		pre = l.Pre(i, r.ro)
+	if r.pre != nil {
+		pre = r.pre(i, r.ro)
 	}
 	r.rw = r.rw[:0]
 	for j := range p.rw {
 		ref := &p.rw[j]
 		r.rw = append(r.rw, ref.arr.Load(ref.scale*i+ref.off))
 	}
-	out := l.Final(i, pre, r.rw)
+	out := r.final(i, pre, r.rw)
 	for j := range p.wr {
 		ref := &p.wr[j]
 		ref.arr.Store(ref.scale*i+ref.off, out[j])
@@ -364,8 +364,8 @@ func (r *Runner) restructurePlanRuns(p *plan, l *loopir.Loop, lo, hi int, buf *S
 		vals := r.ro
 		var computeCycles int64
 		if precompute {
-			if l.Pre != nil {
-				vals = l.Pre(i, r.ro)
+			if r.pre != nil {
+				vals = r.pre(i, r.ro)
 			}
 			computeCycles = l.PreCycles
 		}
@@ -399,8 +399,8 @@ func (r *Runner) restructurePlanRuns(p *plan, l *loopir.Loop, lo, hi int, buf *S
 				r.ro = append(r.ro, ref.arr.Load(ref.scale*(i+t)+ref.off))
 			}
 			vals := r.ro
-			if precompute && l.Pre != nil {
-				vals = l.Pre(i+t, r.ro)
+			if precompute && r.pre != nil {
+				vals = r.pre(i+t, r.ro)
 			}
 			for _, v := range vals {
 				buf.Push(v)
@@ -500,8 +500,8 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 		pre := vals
 		computeCycles := l.FinalCycles
 		if !precompute {
-			if l.Pre != nil {
-				pre = l.Pre(i, vals)
+			if r.pre != nil {
+				pre = r.pre(i, vals)
 			}
 			computeCycles += l.PreCycles
 		}
@@ -512,7 +512,7 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
 			r.rw = append(r.rw, ref.arr.Load(idx))
 		}
-		out := l.Final(i, pre, r.rw)
+		out := r.final(i, pre, r.rw)
 		for j := range p.wr {
 			ref := &p.wr[j]
 			idx := ref.scale*i + ref.off
@@ -529,15 +529,15 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 				pos++
 			}
 			pre := vals
-			if !precompute && l.Pre != nil {
-				pre = l.Pre(j, vals)
+			if !precompute && r.pre != nil {
+				pre = r.pre(j, vals)
 			}
 			r.rw = r.rw[:0]
 			for jj := range p.rw {
 				ref := &p.rw[jj]
 				r.rw = append(r.rw, ref.arr.Load(ref.scale*j+ref.off))
 			}
-			out := l.Final(j, pre, r.rw)
+			out := r.final(j, pre, r.rw)
 			for jj := range p.wr {
 				ref := &p.wr[jj]
 				ref.arr.Store(ref.scale*j+ref.off, out[jj])

@@ -43,14 +43,14 @@ func (r *Runner) planIter(p *plan, l *loopir.Loop, i int) int64 {
 		r.ro = append(r.ro, r.planRead(&p.ro[j], i))
 	}
 	pre := r.ro
-	if l.Pre != nil {
-		pre = l.Pre(i, r.ro)
+	if r.pre != nil {
+		pre = r.pre(i, r.ro)
 	}
 	r.rw = r.rw[:0]
 	for j := range p.rw {
 		r.rw = append(r.rw, r.planRead(&p.rw[j], i))
 	}
-	out := l.Final(i, pre, r.rw)
+	out := r.final(i, pre, r.rw)
 	for j := range p.wr {
 		ref := &p.wr[j]
 		idx := r.planIndex(ref, i)
@@ -119,8 +119,8 @@ func (r *Runner) restructurePlan(p *plan, l *loopir.Loop, lo, hi int, buf *SeqBu
 		vals := r.ro
 		var computeCycles int64
 		if precompute {
-			if l.Pre != nil {
-				vals = l.Pre(i, r.ro)
+			if r.pre != nil {
+				vals = r.pre(i, r.ro)
 			}
 			computeCycles = l.PreCycles
 		}
@@ -194,8 +194,8 @@ func (r *Runner) execBufferPlan(p *plan, l *loopir.Loop, lo, hi, buffered int, b
 		pre := vals
 		computeCycles := l.FinalCycles
 		if !precompute {
-			if l.Pre != nil {
-				pre = l.Pre(i, vals)
+			if r.pre != nil {
+				pre = r.pre(i, vals)
 			}
 			computeCycles += l.PreCycles
 		}
@@ -206,7 +206,7 @@ func (r *Runner) execBufferPlan(p *plan, l *loopir.Loop, lo, hi, buffered int, b
 			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
 			r.rw = append(r.rw, ref.arr.Load(idx))
 		}
-		out := l.Final(i, pre, r.rw)
+		out := r.final(i, pre, r.rw)
 		for j := range p.wr {
 			ref := &p.wr[j]
 			idx := r.resolveBuffered(p, len(p.rw)+j, i, buf, &pos)

@@ -52,6 +52,35 @@ type Runner struct {
 	// call and on every verified window); past coalesceGiveUp the runner
 	// backs off to periodic retries.
 	vfails int
+
+	// Per-runner instances of the bound loop's value closures. A loop's
+	// shared Pre/Final instances may reuse internal scratch (see
+	// loopir.Loop.NewPre), so a runner that may execute concurrently with
+	// others instantiates private closures from the loop's factories;
+	// loops without factories fall back to the shared instances, which is
+	// exactly the serial behaviour. Cached per loop like the access plan.
+	bodyLoop *loopir.Loop
+	pre      func(i int, ro []float64) []float64
+	final    func(i int, pre, rw []float64) []float64
+}
+
+// bind caches the runner-private Pre/Final closures for l, preferring the
+// loop's factories (reentrant instances) over its shared closures.
+func (r *Runner) bind(l *loopir.Loop) {
+	if r.bodyLoop == l {
+		return
+	}
+	r.bodyLoop = l
+	if l.NewPre != nil {
+		r.pre = l.NewPre()
+	} else {
+		r.pre = l.Pre
+	}
+	if l.NewFinal != nil {
+		r.final = l.NewFinal()
+	} else {
+		r.final = l.Final
+	}
 }
 
 // tblRead records an index-table element already loaded this iteration, so
@@ -181,8 +210,8 @@ func (r *Runner) preValues(l *loopir.Loop, i int) []float64 {
 	for _, ref := range l.RO {
 		r.ro = append(r.ro, r.readRef(ref, i))
 	}
-	if l.Pre != nil {
-		return l.Pre(i, r.ro)
+	if r.pre != nil {
+		return r.pre(i, r.ro)
 	}
 	return r.ro
 }
@@ -196,7 +225,7 @@ func (r *Runner) finishIter(l *loopir.Loop, i int, pre []float64) int64 {
 	for _, ref := range l.RW {
 		r.rw = append(r.rw, r.readRef(ref, i))
 	}
-	out := l.Final(i, pre, r.rw)
+	out := r.final(i, pre, r.rw)
 	for j, ref := range l.Writes {
 		r.writeRef(ref, i, out[j])
 	}
@@ -208,6 +237,7 @@ func (r *Runner) finishIter(l *loopir.Loop, i int, pre []float64) int64 {
 // baseline (on one processor) and the execution phase of prefetch-mode
 // cascaded execution.
 func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
+	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
 	if p := r.planFor(l); p != nil {
 		return r.execPlan(p, l, lo, hi)
@@ -229,6 +259,7 @@ func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
 // to completion. It returns the number of iterations fully shadowed and
 // the cycles spent.
 func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int, cycles int64) {
+	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
 	if p := r.planFor(l); p != nil {
 		return r.shadowPlan(p, lo, hi, budget)
@@ -277,6 +308,7 @@ func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int
 // The budget semantics match ShadowIters. The buffer must be freshly
 // Reset and hold at least (hi-lo)*l.BufSlotsPerIter() values.
 func (r *Runner) RestructureIters(l *loopir.Loop, lo, hi int, buf *SeqBuf, budget int64, precompute bool) (done int, cycles int64) {
+	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
 	if p := r.planFor(l); p != nil {
 		return r.restructurePlan(p, l, lo, hi, buf, budget, precompute)
@@ -351,6 +383,7 @@ func (r *Runner) markPacked(tbl *memsim.Array, pos int) {
 // execution phase applies Pre itself. The remainder falls back to the
 // full home-location path (the helper jumped out early).
 func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBuf, precompute bool) int64 {
+	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
 	if p := r.planFor(l); p != nil {
 		return r.execBufferPlan(p, l, lo, hi, buffered, buf, precompute)
@@ -378,8 +411,8 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 		pre := vals
 		var computeCycles int64 = l.FinalCycles
 		if !precompute {
-			if l.Pre != nil {
-				pre = l.Pre(i, vals)
+			if r.pre != nil {
+				pre = r.pre(i, vals)
 			}
 			computeCycles += l.PreCycles
 		}
@@ -411,7 +444,7 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 			r.timed(ref.Array, idx, false, stride, known)
 			r.rw = append(r.rw, ref.Array.Load(idx))
 		}
-		out := l.Final(i, pre, r.rw)
+		out := r.final(i, pre, r.rw)
 		for j, ref := range l.Writes {
 			idx := resolve(ref)
 			ref.Array.Store(idx, out[j])

@@ -67,6 +67,28 @@ type Loop struct {
 	NPre  int
 	Pre   func(i int, ro []float64) []float64
 	Final func(i int, pre, rw []float64) []float64
+
+	// NewPre and NewFinal, when set, construct fresh instances of the
+	// Pre/Final closures. The hot-loop closure idiom reuses one result
+	// slot across iterations (see internal/wave5), which is safe on a
+	// single goroutine but races when several simulated processors
+	// execute the loop concurrently. A loop that provides factories lets
+	// each execution context (interp.Runner) instantiate private
+	// closures, making the loop body reentrant; the parallel engine only
+	// admits loops for which Reentrant reports true. Validate
+	// materializes Pre/Final from the factories when unset, so purely
+	// serial consumers may provide only the factories.
+	NewPre   func() func(i int, ro []float64) []float64
+	NewFinal func() func(i int, pre, rw []float64) []float64
+}
+
+// Reentrant reports whether independent per-goroutine instances of the
+// loop's value closures can be built: Final must come from a factory, and
+// Pre must either be absent (identity) or come from one too. Loops whose
+// closures were provided only as shared instances are conservatively
+// treated as non-reentrant even if they happen to be stateless.
+func (l *Loop) Reentrant() bool {
+	return l.NewFinal != nil && (l.Pre == nil || l.NewPre != nil)
 }
 
 // Validate checks structural invariants cheaply (O(refs)). Use CheckBounds
@@ -77,6 +99,15 @@ func (l *Loop) Validate() error {
 	}
 	if l.Iters <= 0 {
 		return fmt.Errorf("loopir: loop %s: Iters = %d", l.Name, l.Iters)
+	}
+	// Materialize the shared closure instances from the factories when a
+	// loop provides only the latter (the instance the serial paths use is
+	// then simply the first one built).
+	if l.Pre == nil && l.NewPre != nil {
+		l.Pre = l.NewPre()
+	}
+	if l.Final == nil && l.NewFinal != nil {
+		l.Final = l.NewFinal()
 	}
 	if l.Final == nil {
 		return fmt.Errorf("loopir: loop %s: Final is nil", l.Name)

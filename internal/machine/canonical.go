@@ -28,6 +28,13 @@ import (
 // that does not exercise the knob serializes to exactly the bytes it did
 // before the knob existed, which the golden-key tests in internal/server
 // pin down.
+//
+// The Parallel knob is elided when off for the same reason, but with the
+// opposite polarity to Coalesce: ParallelOff is the default serial
+// behaviour every existing key was computed under, so off disappears
+// (keeping pre-knob golden keys valid) while ParallelOn is kept distinct
+// so a diagnostic serial run is never answered from a parallel-computed
+// entry, nor vice versa.
 func (c Config) CanonicalBytes() ([]byte, error) {
 	c.Engine = EngineFast
 	m, err := canon.Map(c)
@@ -36,6 +43,9 @@ func (c Config) CanonicalBytes() ([]byte, error) {
 	}
 	if c.Coalesce != CoalesceOff {
 		delete(m, "Coalesce")
+	}
+	if c.Parallel == ParallelOff {
+		delete(m, "Parallel")
 	}
 	return json.Marshal(m)
 }

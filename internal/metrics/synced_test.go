@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"math/rand"
+	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -50,5 +53,97 @@ func TestSyncedWithAndReset(t *testing.T) {
 	s.ResetStats()
 	if !s.Snapshot().AllZero() {
 		t.Errorf("after ResetStats, snapshot not all zero: %v", s.Snapshot().NonZero())
+	}
+}
+
+// TestSyncedShardedDifferential is the sharding refactor's contract: a
+// single-goroutine operation sequence applied to both the sharded Synced
+// and a plain Registry must yield identical snapshots at every probe
+// point — shard striping may spread a counter across registries, but it
+// must never be observable.
+func TestSyncedShardedDifferential(t *testing.T) {
+	s := NewSynced()
+	r := NewRegistry()
+	check := func(step string) {
+		t.Helper()
+		got, want := s.Snapshot(), r.Snapshot()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("after %s: sharded snapshot diverges\nsharded %v\nplain   %v", step, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	counters := []string{"jobs.submitted", "jobs.completed", "cache.hits", "cache.bytes"}
+	gauges := []string{"queue.depth", "queue.depth_peak"}
+	for i := 0; i < 400; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			n := counters[rng.Intn(len(counters))]
+			s.Inc(n)
+			r.Counter(n).Inc()
+		case 1:
+			n, d := counters[rng.Intn(len(counters))], int64(rng.Intn(100))
+			s.Add(n, d)
+			r.Counter(n).Add(d)
+		case 2:
+			n, v := gauges[rng.Intn(len(gauges))], int64(rng.Intn(50))
+			s.Set(n, v)
+			r.Gauge(n).Set(v)
+		case 3:
+			n, v := gauges[rng.Intn(len(gauges))], int64(rng.Intn(200))
+			s.Max(n, v)
+			r.Gauge(n).Max(v)
+		case 4:
+			if rng.Intn(8) == 0 {
+				s.ResetStats()
+				r.ResetStats()
+			}
+		}
+		if i%37 == 0 {
+			check("op " + strconv.Itoa(i))
+		}
+	}
+	check("final")
+	for _, n := range counters {
+		if s.Value(n) != r.Snapshot().Get(n) {
+			t.Errorf("Value(%s) = %d, plain %d", n, s.Value(n), r.Snapshot().Get(n))
+		}
+	}
+}
+
+// TestSyncedSnapshotAtomicCut: Snapshot holds every shard at once, so a
+// scrape taken while writers bump two counters back-to-back under their
+// own coordination still sees the registry as a consistent whole — the
+// sum over all shards never double-counts or drops an increment that the
+// probe's own lock acquisition ordered before it.
+func TestSyncedSnapshotAtomicCut(t *testing.T) {
+	s := NewSynced()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Inc("a")
+				}
+			}
+		}()
+	}
+	last := int64(-1)
+	for i := 0; i < 200; i++ {
+		v := s.Snapshot().Get("a")
+		if v < last {
+			t.Fatalf("counter went backwards across snapshots: %d then %d", last, v)
+		}
+		last = v
+	}
+	close(stop)
+	wg.Wait()
+	if final := s.Value("a"); final < last {
+		t.Errorf("final value %d below last observed snapshot %d", final, last)
 	}
 }

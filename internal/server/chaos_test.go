@@ -37,11 +37,39 @@ func chaosSeed(t *testing.T) int64 {
 	return defaultChaosSeed
 }
 
+// chaosBudget derives the wall-clock budget for one wait in the chaos
+// suite. The budgets used to be fixed 5s constants, which flake under
+// -race: the instrumented scheduler runs the workload several times
+// slower, so a wait that is generous on a plain build can expire while
+// the server is still making progress. The base therefore scales up on
+// race builds, can be overridden with CHAOS_WAIT_BUDGET (a Go duration,
+// for slow CI hosts), and is always capped just short of the test
+// binary's own -timeout deadline so a genuinely stuck wait fails with
+// this suite's diagnostics instead of the runtime's panic dump.
+func chaosBudget(t *testing.T, base time.Duration) time.Duration {
+	t.Helper()
+	if v := os.Getenv("CHAOS_WAIT_BUDGET"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad CHAOS_WAIT_BUDGET %q: %v", v, err)
+		}
+		base = d
+	} else if raceEnabled {
+		base *= 4
+	}
+	if dl, ok := t.Deadline(); ok {
+		if room := time.Until(dl) - time.Second; room < base {
+			base = max(room, 100*time.Millisecond)
+		}
+	}
+	return base
+}
+
 // waitNoGoroutineLeaks polls until the goroutine count returns to the
 // baseline (small slack for runtime helpers) or fails with a full dump.
 func waitNoGoroutineLeaks(t *testing.T, baseline int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(chaosBudget(t, 5*time.Second))
 	for {
 		runtime.GC()
 		n := runtime.NumGoroutine()
@@ -283,7 +311,7 @@ func TestChaosCorruptionRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, _ := s1.Await(v.ID, 5*time.Second, nil)
+	r1, _ := s1.Await(v.ID, chaosBudget(t, 5*time.Second), nil)
 	if r1.State != StateDone {
 		t.Fatalf("seed job = %s (%s)", r1.State, r1.Error)
 	}
@@ -313,7 +341,7 @@ func TestChaosCorruptionRecovery(t *testing.T) {
 	if v2.Cached {
 		t.Error("corrupt entry answered at submit time")
 	}
-	r2, _ := s2.Await(v2.ID, 5*time.Second, nil)
+	r2, _ := s2.Await(v2.ID, chaosBudget(t, 5*time.Second), nil)
 	if r2.State != StateDone {
 		t.Fatalf("recomputed job = %s (%s)", r2.State, r2.Error)
 	}

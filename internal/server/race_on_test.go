@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether this test binary was built with -race,
+// whose instrumentation slows the chaos workloads several-fold; timing
+// budgets scale accordingly (see chaosBudget).
+const raceEnabled = true

@@ -21,24 +21,37 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 	ciAt := func() loopir.IndexExpr { return loopir.Indirect{Tbl: d.ci, Entry: loopir.Ident} }
 	id := loopir.Ident
 
-	// pre1/fin1 wrap a one-value iteration function in the Pre/Final
-	// closure shape, reusing a single result slot across iterations.
-	// Every execution strategy consumes a returned slice before its
-	// iteration ends (values are stored or buffered immediately), so the
-	// reuse is safe and keeps the simulator's hot loop allocation-free.
-	pre1 := func(f func(ro []float64) float64) func(int, []float64) []float64 {
-		out := make([]float64, 1)
-		return func(_ int, ro []float64) []float64 {
-			out[0] = f(ro)
-			return out
+	// pre1/fin1 wrap a one-value iteration function in the loopir
+	// NewPre/NewFinal factory shape. Each factory call builds a closure
+	// with a private result slot reused across iterations: every
+	// execution strategy consumes a returned slice before its iteration
+	// ends (values are stored or buffered immediately), so the per-
+	// closure reuse is safe and keeps the simulator's hot loop
+	// allocation-free, while distinct execution contexts — the parallel
+	// engine's per-processor runners — each get their own slot.
+	pre1 := func(f func(ro []float64) float64) func() func(int, []float64) []float64 {
+		return func() func(int, []float64) []float64 {
+			out := make([]float64, 1)
+			return func(_ int, ro []float64) []float64 {
+				out[0] = f(ro)
+				return out
+			}
 		}
 	}
-	fin1 := func(f func(pre, rw []float64) float64) func(int, []float64, []float64) []float64 {
-		out := make([]float64, 1)
-		return func(_ int, pre, rw []float64) []float64 {
-			out[0] = f(pre, rw)
-			return out
+	fin1 := func(f func(pre, rw []float64) float64) func() func(int, []float64, []float64) []float64 {
+		return func() func(int, []float64, []float64) []float64 {
+			out := make([]float64, 1)
+			return func(_ int, pre, rw []float64) []float64 {
+				out[0] = f(pre, rw)
+				return out
+			}
 		}
+	}
+	// identity is the NewFinal factory for loops whose Final just passes
+	// the precomputed values through (stateless, but the parallel
+	// engine's reentrancy gate wants the factory form).
+	identity := func() func(int, []float64, []float64) []float64 {
+		return func(_ int, pre, _ []float64) []float64 { return pre }
 	}
 
 	loops := []*loopir.Loop{
@@ -56,11 +69,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ax, Index: id}},
 			PreCycles: 10, FinalCycles: 4,
-			NPre: 1,
-			Pre:  pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
-			Final: func(_ int, pre, _ []float64) []float64 {
-				return pre
-			},
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
+			NewFinal: identity,
 		},
 		{
 			Name:  "gather_ey",
@@ -71,11 +82,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ay, Index: id}},
 			PreCycles: 10, FinalCycles: 4,
-			NPre: 1,
-			Pre:  pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
-			Final: func(_ int, pre, _ []float64) []float64 {
-				return pre
-			},
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return qm * ro[0] * ro[1] }),
+			NewFinal: identity,
 		},
 		{
 			Name:  "gather_bz",
@@ -85,7 +94,7 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.t1, Index: id}},
 			PreCycles: 0, FinalCycles: 8,
-			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+			NewFinal: identity,
 		},
 
 		// 4-7: velocity and position pushes. Lockstep strided streams;
@@ -102,9 +111,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.vx, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.vx, Index: id}},
 			PreCycles: 8, FinalCycles: 5,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return dt * (ro[0] + qm*ro[1]) }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return dt * (ro[0] + qm*ro[1]) }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_vy",
@@ -116,9 +125,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.vy, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.vy, Index: id}},
 			PreCycles: 8, FinalCycles: 5,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return dt * (ro[0] - qm*ro[1]) }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return dt * (ro[0] - qm*ro[1]) }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_px",
@@ -129,9 +138,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.px, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.px, Index: id}},
 			PreCycles: 8, FinalCycles: 6,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "push_py",
@@ -142,9 +151,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.py, Index: id}},
 			Writes:    []loopir.Ref{{Array: d.py, Index: id}},
 			PreCycles: 8, FinalCycles: 6,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return dt * ro[0] }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 
 		// 8-10: grid deposits. Indirect read-modify-write scatters onto
@@ -160,7 +169,7 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.rho, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.rho, Index: ciAt()}},
 			PreCycles: 0, FinalCycles: 6,
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "deposit_jx",
@@ -172,9 +181,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.jx, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.jx, Index: ciAt()}},
 			PreCycles: 5, FinalCycles: 5,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 		{
 			Name:  "deposit_jy",
@@ -186,9 +195,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.jy, Index: ciAt()}},
 			Writes:    []loopir.Ref{{Array: d.jy, Index: ciAt()}},
 			PreCycles: 5, FinalCycles: 5,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return ro[0] * ro[1] }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 
 		// 11-13: grid-sized stencil/differentiation sweeps. Small
@@ -204,9 +213,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.sm, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 4, FinalCycles: 2,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return 0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2] }),
-			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return 0.25*ro[0] + 0.5*ro[1] + 0.25*ro[2] }),
+			NewFinal: identity,
 		},
 		{
 			Name:  "field_ex",
@@ -217,9 +226,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ex, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 3, FinalCycles: 2,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
-			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
+			NewFinal: identity,
 		},
 		{
 			Name:  "field_ey",
@@ -230,9 +239,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.ey, Index: loopir.Affine{Scale: 1, Offset: 1}}},
 			PreCycles: 3, FinalCycles: 2,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
-			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return 0.5 * (ro[0] - ro[1]) }),
+			NewFinal: identity,
 		},
 
 		// 14: four lockstep streams all in congruence class 0 (plus one in
@@ -250,9 +259,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			},
 			Writes:    []loopir.Ref{{Array: d.t2, Index: id}},
 			PreCycles: 14, FinalCycles: 6,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return 0.3*ro[0] + 0.5*ro[1] + 0.2*ro[2] }),
-			Final: func(_ int, pre, _ []float64) []float64 { return pre },
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return 0.3*ro[0] + 0.5*ro[1] + 0.2*ro[2] }),
+			NewFinal: identity,
 		},
 
 		// 15: energy reduction. Three read-only streams into a register-
@@ -268,9 +277,9 @@ func buildLoops(d *dataset, p Params) []*loopir.Loop {
 			RW:        []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
 			Writes:    []loopir.Ref{{Array: d.acc, Index: loopir.Affine{}}},
 			PreCycles: 10, FinalCycles: 4,
-			NPre:  1,
-			Pre:   pre1(func(ro []float64) float64 { return ro[2] * (ro[0]*ro[0] + ro[1]*ro[1]) }),
-			Final: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
+			NPre:     1,
+			NewPre:   pre1(func(ro []float64) float64 { return ro[2] * (ro[0]*ro[0] + ro[1]*ro[1]) }),
+			NewFinal: fin1(func(pre, rw []float64) float64 { return rw[0] + pre[0] }),
 		},
 	}
 	return loops
