@@ -7,7 +7,9 @@
 # the reference interpreter (see BENCH_hotpath.json and
 # BENCH_coalesce.json for recorded runs); `bench-parallel` measures the
 # host-parallel engine against the serial driver on the same workloads
-# (recorded in BENCH_parallel.json); `bench-smoke` is the CI
+# (recorded in BENCH_parallel.json); `bench-snapshot` measures
+# copy-on-write warm-started sweeps against fresh per-point prefixes
+# (recorded in BENCH_snapshot.json); `bench-smoke` is the CI
 # keep-the-benchmarks-compiling pass: one iteration of the hot-path
 # benchmarks at short-mode scale, a smoke test rather than a measurement.
 
@@ -15,7 +17,7 @@ GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-parallel bench-smoke fmt
+.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -43,8 +45,12 @@ bench-hotpath:
 bench-parallel:
 	$(GO) test -run NONE -bench BenchmarkParallel -benchtime 3x -count 5 .
 
+bench-snapshot:
+	$(GO) test -run NONE -bench BenchmarkSnapshot -benchtime 3x -count 5 ./internal/experiments/
+
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkHotPathSequential|BenchmarkHotPathCascade' -benchtime 1x -short .
+	$(GO) test -run NONE -bench BenchmarkSnapshotChunkSweep -benchtime 1x -short ./internal/experiments/
 
 fmt:
 	gofmt -w .

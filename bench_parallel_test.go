@@ -43,8 +43,7 @@ func BenchmarkParallelDense(b *testing.B) {
 	}
 	for _, mode := range parallelBenchModes {
 		b.Run(mode.name, func(b *testing.B) {
-			cfg := machine.PentiumPro(8)
-			cfg.Parallel = mode.par
+			cfg := machine.PentiumPro(8).WithParallel(mode.par)
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -89,8 +88,7 @@ func BenchmarkParallelDense(b *testing.B) {
 func BenchmarkParallelPARMVR(b *testing.B) {
 	for _, mode := range parallelBenchModes {
 		b.Run(mode.name, func(b *testing.B) {
-			cfg := machine.PentiumPro(8)
-			cfg.Parallel = mode.par
+			cfg := machine.PentiumPro(8).WithParallel(mode.par)
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				w := wave5.MustBuild(benchParams())

@@ -65,28 +65,32 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var submitted struct {
-		ID string `json:"id"`
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 
-	resp, err = http.Get(base + "/v1/jobs/" + submitted.ID + "?wait=10s")
+	resp, err = http.Get(base + "/v1/jobs/" + submitted.Job.ID + "?wait=10s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var job struct {
-		State  string          `json:"state"`
-		Error  string          `json:"error"`
+	var env struct {
+		Job struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		} `json:"job"`
 		Result json.RawMessage `json:"result"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if job.State != "done" || len(job.Result) == 0 {
-		t.Fatalf("job = %s (error %q), want done with result", job.State, job.Error)
+	if env.Job.State != "done" || len(env.Result) == 0 {
+		t.Fatalf("job = %s (error %q), want done with result", env.Job.State, env.Job.Error)
 	}
 
 	resp, err = http.Get(base + "/metrics")

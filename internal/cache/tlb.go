@@ -80,6 +80,10 @@ type TLB struct {
 	// optimization, observably identical, and worth a lot on the
 	// R10000's fully-associative TLB where the scan is all 64 entries.
 	hints [tlbHintSlots]*tlbEntry
+
+	// cow marks sets as sealed to a snapshot: the next access copies it
+	// into private storage first (see snapshot.go).
+	cow bool
 }
 
 // tlbHintSlots is the translation hint table size (power of two).
@@ -121,8 +125,15 @@ func (t *TLB) Stats() TLBStats { return t.stats }
 
 // Reset empties the TLB and zeroes its statistics.
 func (t *TLB) Reset() {
-	for i := range t.sets {
-		t.sets[i] = tlbEntry{}
+	if t.cow {
+		// Borrowed snapshot storage: allocate fresh zeroed entries
+		// rather than copy-then-zero; the seal stays untouched.
+		t.sets = make([]tlbEntry, len(t.sets))
+		t.cow = false
+	} else {
+		for i := range t.sets {
+			t.sets[i] = tlbEntry{}
+		}
 	}
 	t.tick = 0
 	t.stats = TLBStats{}
@@ -142,6 +153,7 @@ func (t *TLB) EmitMetrics(emit func(name string, value int64)) {
 // Access translates addr, returning the cycle cost (0 on a hit, the miss
 // latency on a refill). Misses install the page, LRU within the set.
 func (t *TLB) Access(addr memsim.Addr) int64 {
+	t.own()
 	t.stats.Accesses++
 	page := addr >> t.setShift
 	t.tick++
@@ -184,6 +196,7 @@ func (t *TLB) Access(addr memsim.Addr) int64 {
 // same-page access can re-touch one — after re-verifying its page and
 // validity — without the set scan.
 func (t *TLB) entryPtr(addr memsim.Addr) *tlbEntry {
+	t.own()
 	page := addr >> t.setShift
 	setIdx := int(page & t.setMask)
 	set := t.sets[setIdx*t.cfg.Assoc : (setIdx+1)*t.cfg.Assoc]
@@ -200,6 +213,9 @@ func (t *TLB) entryPtr(addr memsim.Addr) *tlbEntry {
 // none of the set scan. The caller guarantees the entry is still the valid
 // translation of the accessed page by checking it immediately beforehand.
 func (t *TLB) touchFast(e *tlbEntry) {
+	if t.cow {
+		panic("cache: TLB touchFast through a pointer into sealed storage")
+	}
 	t.stats.Accesses++
 	t.tick++
 	e.lru = t.tick
@@ -210,6 +226,9 @@ func (t *TLB) touchFast(e *tlbEntry) {
 // ticks, entry left at the newest tick). As with Cache.touchRun, the
 // intermediate LRU positions are unobservable between coalesced hits.
 func (t *TLB) touchRun(e *tlbEntry, n int64) {
+	if t.cow {
+		panic("cache: TLB touchRun through a pointer into sealed storage")
+	}
 	t.stats.Accesses += n
 	t.tick += uint64(n)
 	e.lru = t.tick

@@ -31,9 +31,7 @@ type fastpathVariant struct {
 // disabled, must still match the interpreter).
 func fastpathConfigs() []fastpathVariant {
 	fast := func(cfg machine.Config) machine.Config { return cfg.WithEngine(machine.EngineFast) }
-	victim := machine.PentiumPro(4)
-	victim.VictimEntries = 16
-	victim.VictimLatency = 2
+	victim := machine.PentiumPro(4).WithVictim(16, 2)
 	return []fastpathVariant{
 		{machine.PentiumPro(4).Name, machine.PentiumPro(4), fast},
 		{machine.R10000(4).Name, machine.R10000(4), fast},

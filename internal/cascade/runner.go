@@ -14,7 +14,12 @@ import (
 // timer, so a machine's registry always reports simulated time under the
 // same names.
 func phaseTimer(m *machine.Machine) *metrics.PhaseTimer {
-	return m.Metrics().PhaseTimer(TimerName, PhaseHelper, PhaseExec, PhaseTransfer, PhaseWait)
+	t := m.Metrics().PhaseTimer(TimerName, PhaseHelper, PhaseExec, PhaseTransfer, PhaseWait)
+	// Pre-size to the machine: the snapshot key shape must not depend on
+	// which processors have been charged, or a forked machine's metrics
+	// would differ in shape from the machine it was forked from.
+	t.Grow(m.Procs())
+	return t
 }
 
 // chunkState is the mutable per-run state the cascade timeline is built
@@ -173,11 +178,19 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 	}
 
 	if eng := newParEngine(st, chunks); eng != nil {
-		eng.run()
-	} else {
-		for k, ch := range chunks {
-			st.runChunk(k, ch)
+		// Concurrent workers write the loop's arrays (and buffers)
+		// directly. Materialize any checkpoint-sealed storage up front:
+		// two goroutines racing the lazy copy-on-write would each copy
+		// independently and one copy's writes would be lost.
+		for _, a := range l.Arrays() {
+			a.Materialize()
 		}
+		for _, b := range bufs {
+			b.Array().Materialize()
+		}
+		eng.run()
+	} else if err := st.runSerial(chunks, 0); err != nil {
+		return Result{}, err
 	}
 
 	res.Cycles = st.t

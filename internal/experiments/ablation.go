@@ -307,9 +307,7 @@ func AblationVictimCache(ctx context.Context, p wave5.Params) (*AblationResult, 
 			Cycles: base, Speedup: 1,
 		})
 
-		vcfg := cfg
-		vcfg.VictimEntries = 16
-		vcfg.VictimLatency = 2
+		vcfg := cfg.WithVictim(16, 2)
 		vseq, err := RunPARMVR(vcfg, p, Sequential, cascade.DefaultChunkBytes)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// QuickstartCheckpointRun is a checkpointed run of the quickstart
+// scatter-add loop under the prefetch helper: the completed Result plus
+// the checkpoint stream captured at the requested iteration cadence. The
+// run keeps its loop and address space alive so any checkpoint can be
+// resumed later — checkpoints hold copy-on-write references into that
+// space.
+type QuickstartCheckpointRun struct {
+	N           int
+	ChunkBytes  int
+	Every       int
+	Result      cascade.Result
+	Checkpoints []*cascade.Checkpoint
+
+	loop *loopir.Loop
+	opts cascade.Options
+}
+
+// QuickstartCheckpoints runs the quickstart scatter-add loop under the
+// prefetch helper on the 4-way Pentium Pro, capturing a checkpoint every
+// `every` iterations (every chunk boundary when zero). The checkpointed
+// run's Result is bit-identical to an un-checkpointed run's — the sink
+// observes without perturbing.
+func QuickstartCheckpoints(ctx context.Context, n, chunkBytes, every int) (*QuickstartCheckpointRun, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if every < 0 {
+		return nil, fmt.Errorf("quickstart checkpoints: every = %d", every)
+	}
+	space, loop, err := quickstartLoop(n)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(machine.PentiumPro(4), machine.WithCheckpointEvery(every))
+	if err != nil {
+		return nil, err
+	}
+	run := &QuickstartCheckpointRun{N: n, ChunkBytes: chunkBytes, Every: every, loop: loop}
+	opts, err := cascade.NewOptions(
+		cascade.WithHelper(cascade.HelperPrefetch),
+		cascade.WithSpace(space),
+		cascade.WithChunkBytes(chunkBytes),
+		cascade.WithCheckpointSink(func(ck *cascade.Checkpoint) {
+			run.Checkpoints = append(run.Checkpoints, ck)
+		}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	run.Result, err = cascade.Run(m, loop, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The stored options describe the plain run: Resume replays it, it
+	// does not re-checkpoint.
+	opts.CheckpointSink = nil
+	run.opts = opts
+	return run, nil
+}
+
+// Resume re-executes the run from checkpoint k and returns the completed
+// Result — bit-identical to the original run's. Resumes may be repeated
+// and in any order: each rewinds the run's address space to the
+// checkpoint instant before continuing.
+func (qr *QuickstartCheckpointRun) Resume(k int) (cascade.Result, error) {
+	if k < 0 || k >= len(qr.Checkpoints) {
+		return cascade.Result{}, fmt.Errorf("quickstart checkpoints: no checkpoint %d (have %d)", k, len(qr.Checkpoints))
+	}
+	return cascade.Resume(qr.loop, qr.opts, qr.Checkpoints[k])
+}

@@ -200,7 +200,7 @@ func SetParallel(on bool) {
 func Machines() []machine.Config {
 	cfgs := machine.Presets()
 	for i := range cfgs {
-		cfgs[i].Parallel = hostParallel
+		cfgs[i] = cfgs[i].WithParallel(hostParallel)
 	}
 	return cfgs
 }

@@ -16,6 +16,18 @@ import (
 // the simulated caches.
 const QuickstartN = 1 << 20
 
+// QuickstartScaledN is the quickstart loop length at a dataset scale,
+// clamped so even tiny scales exercise several chunks. The registry and
+// the serving daemon's checkpoint capture resolve n through this one
+// function, so a job and its checkpoint stream agree on the workload.
+func QuickstartScaledN(scale float64) int {
+	n := int(float64(QuickstartN) * scale)
+	if n < 1<<10 {
+		n = 1 << 10
+	}
+	return n
+}
+
 // QuickstartRow is one strategy's run of the quickstart scatter-add
 // loop, with the full registry snapshot for that measured region.
 type QuickstartRow struct {

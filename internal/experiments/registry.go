@@ -143,10 +143,7 @@ func registry() []Experiment {
 			Name:        "quickstart",
 			Description: "scatter-add demo of cascaded execution and the metrics layer",
 			Run: func(ctx context.Context, rc RunConfig) (Renderable, error) {
-				n := int(float64(QuickstartN) * rc.Scale)
-				if n < 1<<10 {
-					n = 1 << 10
-				}
+				n := QuickstartScaledN(rc.Scale)
 				rc.progress("quickstart: scatter-add metrics demo (n=%d)...", n)
 				return Quickstart(ctx, n, rc.ChunkBytes)
 			},
@@ -195,6 +192,17 @@ func registry() []Experiment {
 			Run: func(ctx context.Context, rc RunConfig) (Renderable, error) {
 				rc.progress("fig7: synthetic future-machine sweep (n=%d)...", rc.N)
 				return Fig7(ctx, rc.N)
+			},
+		},
+		{
+			Name:        "warmsweep",
+			Description: "warm-start sweep: every point forked from one shared warm prefix",
+			Run: func(ctx context.Context, rc RunConfig) (Renderable, error) {
+				rc.progress("warmsweep: fork-from-prefix strategy/chunk sweep (scale %.2f)...", rc.Scale)
+				return perMachine(func(i int) (Renderable, error) {
+					return WarmSweep(ctx, Machines()[i], rc.Params(),
+						DefaultWarmupCalls, DefaultWarmPoints(rc.ChunkBytes))
+				})
 			},
 		},
 		{

@@ -11,7 +11,8 @@ import (
 // come back sorted, and Lookup agrees with Names.
 func TestRegistryNamesAndLookup(t *testing.T) {
 	want := []string{"ablations", "amdahl", "conflicts", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "gallery", "quickstart", "table1"}
+		"fig4", "fig5", "fig6", "fig7", "gallery", "quickstart", "table1",
+		"warmsweep"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/canon"
+	"repro/internal/cascade"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/wave5"
+)
+
+// WarmPoint is one point of a warm-started sweep: a strategy and (for the
+// cascaded strategies) a chunk budget, measured from the sweep's shared
+// warm prefix. Sequential points ignore ChunkBytes.
+type WarmPoint struct {
+	Strat      Strategy `json:"strategy"`
+	ChunkBytes int      `json:"chunk_bytes,omitempty"`
+}
+
+// DefaultWarmupCalls is the number of sequential full-PARMVR warm-up
+// calls the warm sweep's shared prefix runs: enough for the grid arrays
+// to reach their steady L2 residency, cheap enough to amortize.
+const DefaultWarmupCalls = 2
+
+// DefaultWarmPoints returns the default warm-sweep point set: every
+// strategy at the configured chunk budget, plus a quarter-budget variant
+// of each cascaded strategy so the sweep exercises chunk-size divergence
+// off one prefix.
+func DefaultWarmPoints(chunkBytes int) []WarmPoint {
+	small := chunkBytes / 4
+	if small < 4096 {
+		small = 4096
+	}
+	return []WarmPoint{
+		{Strat: Sequential},
+		{Strat: Prefetched, ChunkBytes: chunkBytes},
+		{Strat: Prefetched, ChunkBytes: small},
+		{Strat: Restructured, ChunkBytes: chunkBytes},
+		{Strat: Restructured, ChunkBytes: small},
+	}
+}
+
+// WarmRow is one measured point of a warm-started sweep.
+type WarmRow struct {
+	Point WarmPoint `json:"point"`
+	// Cycles is the simulated cost of the measured steady-state call.
+	Cycles int64 `json:"cycles"`
+	// Speedup is relative to the sweep's Sequential point (0 when the
+	// point set has none).
+	Speedup float64 `json:"speedup,omitempty"`
+	// Shared counts the machine components the fork still shared with the
+	// snapshot after the measured call — state the warm start never had
+	// to copy.
+	Shared int `json:"shared_components"`
+	// Metrics is the registry snapshot of the measured call (a tail
+	// delta: statistics reset when the measured call starts).
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// WarmSweepResult is a warm-started strategy/chunk sweep on one machine:
+// every row was forked from the same copy-on-write snapshot taken after
+// the shared sequential warm-up prefix, so the prefix simulated once no
+// matter how many points the sweep has.
+type WarmSweepResult struct {
+	Machine     string    `json:"machine"`
+	Procs       int       `json:"procs"`
+	WarmupCalls int       `json:"warmup_calls"`
+	PrefixKey   string    `json:"prefix_key"`
+	Rows        []WarmRow `json:"rows"`
+}
+
+// prefixKeySchema versions the warm-prefix content address; bump it when
+// the prefix construction (warm-up strategy, distribution) changes
+// meaning.
+const prefixKeySchema = "cascade-prefix/v1"
+
+// PrefixKey content-addresses a warm prefix: the machine configuration's
+// canonical bytes, the dataset parameters, and the warm-up call count.
+// Two sweeps with equal prefix keys may share one snapshot — the prefix
+// is strategy-independent (sequential calls), so every tail is reachable
+// from it.
+func PrefixKey(cfg machine.Config, p wave5.Params, warmupCalls int) (string, error) {
+	cb, err := cfg.CanonicalBytes()
+	if err != nil {
+		return "", fmt.Errorf("prefix key: machine config: %w", err)
+	}
+	pb, err := canon.JSON(p)
+	if err != nil {
+		return "", fmt.Errorf("prefix key: params: %w", err)
+	}
+	h := sha256.New()
+	io.WriteString(h, prefixKeySchema+"\x00")
+	h.Write(cb)
+	h.Write([]byte{0})
+	h.Write(pb)
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "seqcalls=%d", warmupCalls)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WarmSweep measures every point against one shared warm prefix. The
+// prefix — data distribution plus warmupCalls sequential full-PARMVR
+// calls — is simulated once; the machine is then snapshotted
+// (copy-on-write) and every point runs on a fork with the address space
+// rewound to the snapshot instant. Each point's measured call is a
+// steady-state call (KeepState), exactly what a fresh machine running
+// the same prefix under that point's knobs would have measured — the
+// differential tests assert bit-identity.
+//
+// The prefix uses sequential calls deliberately: they touch the same
+// arrays every strategy's call does, so one prefix serves strategy AND
+// chunk-size divergence, which is what makes the fork amortization pay.
+func WarmSweep(ctx context.Context, cfg machine.Config, p wave5.Params, warmupCalls int, points []WarmPoint) (*WarmSweepResult, error) {
+	if warmupCalls < 0 {
+		return nil, fmt.Errorf("warmsweep: warmupCalls = %d", warmupCalls)
+	}
+	w, err := wave5.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key, err := PrefixKey(cfg, p, warmupCalls)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := runWarmPrefix(ctx, m, w, warmupCalls); err != nil {
+		return nil, err
+	}
+
+	snap, err := m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	spaceCk := w.Space.Checkpoint()
+
+	res := &WarmSweepResult{
+		Machine:     cfg.Name,
+		Procs:       cfg.Procs,
+		WarmupCalls: warmupCalls,
+		PrefixKey:   key,
+	}
+	var base int64
+	for _, pt := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fork, err := snap.Fork()
+		if err != nil {
+			return nil, err
+		}
+		w.Space.RestoreState(spaceCk)
+		results, err := runWarmPoint(fork, w, pt)
+		if err != nil {
+			return nil, err
+		}
+		cycles := TotalCycles(results)
+		if pt.Strat == Sequential && base == 0 {
+			base = cycles
+		}
+		res.Rows = append(res.Rows, WarmRow{
+			Point:   pt,
+			Cycles:  cycles,
+			Shared:  len(fork.SharedComponents()),
+			Metrics: MergeMetrics(results),
+		})
+	}
+	if base > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = float64(base) / float64(res.Rows[i].Cycles)
+		}
+	}
+	return res, nil
+}
+
+// runWarmPrefix simulates a sweep's shared prefix on m: the parallel
+// phases around the calls distribute the data dirty across caches, then
+// the warm-up calls run sequentially.
+func runWarmPrefix(ctx context.Context, m *machine.Machine, w *wave5.PARMVR, warmupCalls int) error {
+	var ranges []machine.AddrRange
+	for _, l := range w.Loops {
+		for _, ar := range l.AddrRanges() {
+			ranges = append(ranges, machine.AddrRange{Base: ar.Base, Bytes: ar.Bytes})
+		}
+	}
+	m.DistributeLines(ranges)
+	for c := 0; c < warmupCalls; c++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, l := range w.Loops {
+			cascade.RunSequentialWarm(m, l)
+		}
+	}
+	return nil
+}
+
+// runWarmPoint runs one steady-state full-PARMVR call on a warm fork.
+func runWarmPoint(m *machine.Machine, w *wave5.PARMVR, pt WarmPoint) ([]cascade.Result, error) {
+	results := make([]cascade.Result, 0, len(w.Loops))
+	for _, l := range w.Loops {
+		if pt.Strat == Sequential {
+			results = append(results, cascade.RunSequentialWarm(m, l))
+			continue
+		}
+		opts, err := cascade.NewOptions(
+			cascade.WithHelper(pt.Strat.helper()),
+			cascade.WithSpace(w.Space),
+			cascade.WithChunkBytes(pt.ChunkBytes),
+			cascade.WithKeepState(true), // the warm prefix is the state
+		)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cascade.Run(m, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Render writes the sweep as an aligned table.
+func (r *WarmSweepResult) Render(w io.Writer) {
+	t := report.NewTable(
+		fmt.Sprintf("Warm-start sweep — %s, %d procs. %d sequential warm-up calls simulated once, every point forked (prefix %s...)",
+			r.Machine, r.Procs, r.WarmupCalls, r.PrefixKey[:12]),
+		"Strategy", "Chunk", "Cycles", "Speedup", "Shared comps")
+	for _, row := range r.Rows {
+		chunk := "-"
+		if row.Point.ChunkBytes > 0 {
+			chunk = report.KB(row.Point.ChunkBytes)
+		}
+		t.Addf(row.Point.Strat.String(), chunk, report.Int(row.Cycles), row.Speedup, row.Shared)
+	}
+	t.Render(w)
+}

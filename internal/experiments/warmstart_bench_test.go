@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/wave5"
+)
+
+// Snapshot benchmarks measure what copy-on-write warm starts buy in host
+// wall-clock time. A warm-started sweep simulates its shared prefix
+// (data distribution + sequential warm-up calls) once and forks every
+// point from the snapshot; the fresh baseline re-simulates the whole
+// prefix for every point. The forked rows are bit-identical to the
+// fresh ones (TestWarmSweepBitIdentical and the snapshot differentials
+// in internal/cascade), so the ratio is pure simulator speedup from
+// prefix amortization. BENCH_snapshot.json records representative runs.
+
+// benchWarmPoints is a prefix-heavy chunk-size sweep: nine points — one
+// sequential anchor plus both cascaded strategies at four chunk budgets
+// — all reachable from one strategy-independent warm prefix.
+func benchWarmPoints() []WarmPoint {
+	pts := []WarmPoint{{Strat: Sequential}}
+	for _, chunk := range []int{8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		pts = append(pts,
+			WarmPoint{Strat: Prefetched, ChunkBytes: chunk},
+			WarmPoint{Strat: Restructured, ChunkBytes: chunk})
+	}
+	return pts
+}
+
+// benchWarmParams follows the repo bench convention: short mode (the CI
+// bench-smoke job) shrinks the dataset — there the point is keeping the
+// benchmark paths compiling and running, not producing numbers.
+func benchWarmParams() wave5.Params {
+	if testing.Short() {
+		return wave5.DefaultParams().Scaled(0.01)
+	}
+	return wave5.DefaultParams().Scaled(0.05)
+}
+
+// freshSweepPoint measures one point the expensive way: a fresh machine
+// runs the whole prefix itself, then the point's steady-state call.
+func freshSweepPoint(b *testing.B, cfg machine.Config, p wave5.Params, warmupCalls int, pt WarmPoint) int64 {
+	b.Helper()
+	w, err := wave5.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := runWarmPrefix(context.Background(), m, w, warmupCalls); err != nil {
+		b.Fatal(err)
+	}
+	results, err := runWarmPoint(m, w, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return TotalCycles(results)
+}
+
+// BenchmarkSnapshotChunkSweep compares a nine-point chunk-size sweep
+// under the two drivers: "fresh" re-simulates the shared prefix for
+// every point, "warm" simulates it once and forks. One prefix group, so
+// the warm variant's prefix cost is amortized across all nine points.
+func BenchmarkSnapshotChunkSweep(b *testing.B) {
+	cfg := machine.PentiumPro(4)
+	p := benchWarmParams()
+	points := benchWarmPoints()
+
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				freshSweepPoint(b, cfg, p, DefaultWarmupCalls, pt)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := WarmSweep(context.Background(), cfg, p, DefaultWarmupCalls, points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotProcSweep is the grouped-prefix shape of a Figure
+// 2-style sweep: three processor counts, each its own prefix group of
+// three strategy points. The warm variant amortizes within each group
+// only (a fork cannot change the processor count), so its ceiling is
+// lower than the chunk sweep's — this benchmark records that honestly.
+func BenchmarkSnapshotProcSweep(b *testing.B) {
+	p := benchWarmParams()
+	procs := []int{2, 3, 4}
+	points := []WarmPoint{
+		{Strat: Sequential},
+		{Strat: Prefetched, ChunkBytes: 16 << 10},
+		{Strat: Restructured, ChunkBytes: 16 << 10},
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, np := range procs {
+				for _, pt := range points {
+					freshSweepPoint(b, machine.PentiumPro(np), p, DefaultWarmupCalls, pt)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, np := range procs {
+				if _, err := WarmSweep(context.Background(), machine.PentiumPro(np), p, DefaultWarmupCalls, points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

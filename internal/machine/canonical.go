@@ -47,5 +47,9 @@ func (c Config) CanonicalBytes() ([]byte, error) {
 	if c.Parallel == ParallelOff {
 		delete(m, "Parallel")
 	}
+	// CheckpointEvery only adds observation points; the simulated results
+	// are identical at any cadence, so it never splits the cache key (and
+	// eliding it keeps every pre-knob golden key valid).
+	delete(m, "CheckpointEvery")
 	return json.Marshal(m)
 }

@@ -192,6 +192,14 @@ type Config struct {
 	// Pentium Pro, 500 on the R10000.
 	TransferCycles int64
 
+	// CheckpointEvery, when positive, asks checkpoint-aware run drivers
+	// (cascade.Run with a checkpoint sink installed) to capture a
+	// machine-state checkpoint each time this many iterations complete.
+	// Zero means no cadence (a sink still gets per-chunk checkpoints).
+	// Pure observability: it cannot change simulated results, and it is
+	// excluded from canonical cache keys (see CanonicalBytes).
+	CheckpointEvery int
+
 	CompilerPrefetch PrefetchConfig
 }
 
@@ -235,6 +243,9 @@ func (c Config) Validate() error {
 	if c.Parallel != ParallelOff && c.Parallel != ParallelOn {
 		return fmt.Errorf("machine %s: unknown parallel mode %d", c.Name, int(c.Parallel))
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("machine %s: negative checkpoint cadence %d", c.Name, c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -277,6 +288,14 @@ func (c Config) WithEngine(e Engine) Config {
 // count (used by the Figure 2 processor sweep).
 func (c Config) WithProcs(p int) Config {
 	c.Procs = p
+	return c
+}
+
+// WithVictim returns a copy of the configuration with a victim buffer of
+// the given capacity and hit latency (entries 0 disables it).
+func (c Config) WithVictim(entries int, latency int64) Config {
+	c.VictimEntries = entries
+	c.VictimLatency = latency
 	return c
 }
 

@@ -25,7 +25,10 @@ type Machine struct {
 // "p<i>.<component>" (l1, l2, tlb, victim) and the bus under "bus". All
 // statistics resets route through that one registry, so a component's
 // counters cannot survive a reset the rest of the machine observed.
-func New(cfg Config) (*Machine, error) {
+func New(cfg Config, opts ...Option) (*Machine, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,8 +54,8 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // MustNew is New for known-good configurations (the presets).
-func MustNew(cfg Config) *Machine {
-	m, err := New(cfg)
+func MustNew(cfg Config, opts ...Option) *Machine {
+	m, err := New(cfg, opts...)
 	if err != nil {
 		panic("machine: " + err.Error())
 	}

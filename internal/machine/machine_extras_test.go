@@ -44,9 +44,7 @@ func TestTLBStatsAggregate(t *testing.T) {
 }
 
 func TestVictimStatsAggregate(t *testing.T) {
-	cfg := PentiumPro(1)
-	cfg.VictimEntries = 4
-	cfg.VictimLatency = 2
+	cfg := PentiumPro(1).WithVictim(4, 2)
 	m := MustNew(cfg)
 	// Thrash one L1 set so evictions land in the buffer and return.
 	for i := 0; i < 10; i++ {

@@ -11,9 +11,7 @@ import (
 // stat-bearing component enabled (TLB and victim buffer).
 func metricsMachine(t *testing.T) *Machine {
 	t.Helper()
-	cfg := PentiumPro(2)
-	cfg.VictimEntries = 4
-	cfg.VictimLatency = 2
+	cfg := PentiumPro(2).WithVictim(4, 2)
 	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

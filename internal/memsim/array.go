@@ -15,6 +15,9 @@ type Array struct {
 	base Addr
 	elem int
 	data []float64
+	// cow marks the backing slice as sealed to a checkpoint: the next
+	// mutation copies it into private storage first (see checkpoint.go).
+	cow bool
 }
 
 // Name returns the array's name (used in diagnostics and reports).
@@ -44,6 +47,7 @@ func (a *Array) Load(i int) float64 {
 
 // Store sets the value of element i.
 func (a *Array) Store(i int, v float64) {
+	a.own()
 	a.data[i] = v
 }
 
@@ -60,6 +64,7 @@ func (a *Array) LoadInt(i int) int {
 
 // Fill sets every element to f(i).
 func (a *Array) Fill(f func(i int) float64) {
+	a.own()
 	for i := range a.data {
 		a.data[i] = f(i)
 	}
@@ -67,6 +72,7 @@ func (a *Array) Fill(f func(i int) float64) {
 
 // FillConst sets every element to v.
 func (a *Array) FillConst(v float64) {
+	a.own()
 	for i := range a.data {
 		a.data[i] = v
 	}
@@ -86,6 +92,7 @@ func (a *Array) Restore(snap []float64) {
 	if len(snap) != len(a.data) {
 		panic(fmt.Sprintf("memsim: Restore(%q): snapshot length %d != array length %d", a.name, len(snap), len(a.data)))
 	}
+	a.own()
 	copy(a.data, snap)
 }
 

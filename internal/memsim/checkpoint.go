@@ -1,0 +1,99 @@
+package memsim
+
+import "fmt"
+
+// Copy-on-write checkpointing for array values.
+//
+// A checkpoint seals every array: the SpaceState aliases each array's
+// live backing slice and the array is marked copy-on-write, so the first
+// subsequent mutation (Store, Fill, Restore, ...) copies the values into
+// fresh private storage and leaves the sealed slice immutable. Taking a
+// checkpoint is therefore O(arrays), not O(values), and a workload that
+// writes only a few of its arrays between checkpoints pays the copy for
+// only those arrays.
+//
+// RestoreState re-aliases the sealed slices (again copy-on-write), so
+// repeatedly rewinding a space to the same checkpoint — one rewind per
+// sweep point — is also O(arrays) per rewind for every array the
+// previous point did not write.
+
+// own gives the array private backing storage. Every mutating method
+// calls it first, so sealed checkpoint values are never written through.
+func (a *Array) own() {
+	if !a.cow {
+		return
+	}
+	fresh := make([]float64, len(a.data))
+	copy(fresh, a.data)
+	a.data = fresh
+	a.cow = false
+}
+
+// Materialize forces the array to private backing storage now, as if it
+// had been written. Callers that hand the array to concurrent writers
+// (the cascade package's host-parallel engine) must materialize first:
+// two goroutines racing to lazily copy-on-write the same sealed slice
+// would each copy independently and one copy's writes would be lost.
+func (a *Array) Materialize() { a.own() }
+
+// Shared reports whether the array's backing storage is still sealed to
+// a checkpoint (no write has occurred since the last Checkpoint or
+// RestoreState covering it).
+func (a *Array) Shared() bool { return a.cow }
+
+// seal marks the array copy-on-write and returns its current backing
+// slice, which must never be written again.
+func (a *Array) seal() []float64 {
+	a.cow = true
+	return a.data
+}
+
+// SpaceState is a checkpoint of a Space: the allocation cursor, the
+// identity of the allocated arrays, and their sealed values. It is
+// immutable once taken and may be restored any number of times.
+type SpaceState struct {
+	next   Addr
+	arrays []*Array
+	sealed [][]float64
+}
+
+// Arrays returns how many allocations the checkpoint covers.
+func (st *SpaceState) Arrays() int { return len(st.arrays) }
+
+// Checkpoint seals the space's current values and allocation state.
+func (s *Space) Checkpoint() *SpaceState {
+	st := &SpaceState{
+		next:   s.next,
+		arrays: make([]*Array, len(s.arrays)),
+		sealed: make([][]float64, len(s.arrays)),
+	}
+	copy(st.arrays, s.arrays)
+	for i, a := range s.arrays {
+		st.sealed[i] = a.seal()
+	}
+	return st
+}
+
+// RestoreState rewinds the space to a checkpoint taken on this same
+// space: values of the checkpointed arrays are restored (copy-on-write),
+// arrays allocated after the checkpoint are released, and the allocation
+// cursor rewinds so subsequent allocations land at the same addresses
+// they received after the checkpoint — which is what keeps warm-started
+// runs address-identical to fresh ones. It panics if the checkpoint does
+// not describe a prefix of this space's allocations.
+func (s *Space) RestoreState(st *SpaceState) {
+	if len(s.arrays) < len(st.arrays) {
+		panic(fmt.Sprintf("memsim: RestoreState: space has %d arrays, checkpoint covers %d", len(s.arrays), len(st.arrays)))
+	}
+	for i, a := range st.arrays {
+		if s.arrays[i] != a {
+			panic(fmt.Sprintf("memsim: RestoreState: array %d (%s) is not the checkpointed allocation", i, s.arrays[i].name))
+		}
+	}
+	s.arrays = s.arrays[:len(st.arrays)]
+	s.next = st.next
+	for i, a := range st.arrays {
+		a.data = st.sealed[i]
+		a.cow = true
+	}
+}

@@ -239,6 +239,29 @@ func (t *PhaseTimer) Add(proc int, phase string, cycles int64) {
 	t.cells[proc][t.phaseIndex(phase)] += cycles
 }
 
+// Grow ensures the timer covers at least procs processors (zero-charged),
+// so a snapshot's key set reflects the machine's shape rather than which
+// processors happen to have been charged — forked and fresh machines
+// emit identical shapes from the start.
+func (t *PhaseTimer) Grow(procs int) {
+	for len(t.cells) < procs {
+		t.cells = append(t.cells, make([]int64, len(t.phases)))
+	}
+}
+
+// Set overwrites proc's phase to exactly cycles, growing the processor
+// set like Add. Resuming a run from a checkpoint seeds timers with the
+// prefix's accumulated cycles through this.
+func (t *PhaseTimer) Set(proc int, phase string, cycles int64) {
+	if proc < 0 {
+		panic(fmt.Sprintf("metrics: PhaseTimer.Set proc %d", proc))
+	}
+	for proc >= len(t.cells) {
+		t.cells = append(t.cells, make([]int64, len(t.phases)))
+	}
+	t.cells[proc][t.phaseIndex(phase)] = cycles
+}
+
 // Cycles returns the accumulated cycles for proc's phase (0 for a
 // processor never charged).
 func (t *PhaseTimer) Cycles(proc int, phase string) int64 {

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/experiments"
+)
+
+// APIVersion is the current wire format: every response is one Envelope,
+// and errors are typed objects instead of bare strings.
+const APIVersion = "2025-06"
+
+// LegacyAPIVersion selects the original wire format — unwrapped JobView
+// bodies, {"jobs": ...} listings, and {"error": "<message>"} errors — for
+// clients that predate the envelope. Request it with the Accept-Version
+// header; the golden tests in envelope_test.go pin its exact shapes.
+const LegacyAPIVersion = "2024-01"
+
+// VersionHeader is the request header that selects the wire format.
+const VersionHeader = "Accept-Version"
+
+// Typed error codes carried in Envelope.Error.Code. Terminal codes
+// (cancelled, timeout, panic, experiment_failed) describe why a job
+// failed; the rest describe why a request was refused.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeQueueFull        = "queue_full"
+	CodeShuttingDown     = "shutting_down"
+	CodeCancelled        = "cancelled"
+	CodeTimeout          = "timeout"
+	CodePanic            = "panic"
+	CodeExperimentFailed = "experiment_failed"
+)
+
+// APIError is the envelope's typed error object.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the one response shape of the current API: every endpoint
+// fills the fields it has and omits the rest, so clients decode a single
+// type. A job's result rides beside the job, not inside it.
+type Envelope struct {
+	Version     string                `json:"api_version"`
+	Job         *JobView              `json:"job,omitempty"`
+	Jobs        []JobView             `json:"jobs,omitempty"`
+	Experiments []experiments.Info    `json:"experiments,omitempty"`
+	Result      json.RawMessage       `json:"result,omitempty"`
+	Checkpoints *CheckpointStreamView `json:"checkpoints,omitempty"`
+	Checkpoint  *CheckpointView       `json:"checkpoint,omitempty"`
+	QueueDepth  *int                  `json:"queue_depth,omitempty"`
+	Error       *APIError             `json:"error,omitempty"`
+}
+
+// requestVersion resolves a request's wire format. An absent header means
+// the current version; an unknown one is a client error.
+func requestVersion(r *http.Request) (string, error) {
+	switch v := r.Header.Get(VersionHeader); v {
+	case "", APIVersion:
+		return APIVersion, nil
+	case LegacyAPIVersion:
+		return LegacyAPIVersion, nil
+	default:
+		return "", fmt.Errorf("unknown %s %q (known: %s, %s)", VersionHeader, v, APIVersion, LegacyAPIVersion)
+	}
+}
+
+// writeEnvelope stamps the version and writes the envelope.
+func writeEnvelope(w http.ResponseWriter, status int, env Envelope) {
+	env.Version = APIVersion
+	writeJSON(w, status, env)
+}
+
+// writeEnvelopeError writes a bare typed error in an envelope.
+func writeEnvelopeError(w http.ResponseWriter, status int, code, message string) {
+	writeEnvelope(w, status, Envelope{Error: &APIError{Code: code, Message: message}})
+}
+
+// jobEnvelope renders a job in the current format: the result is hoisted
+// out of the job, and a failed job carries its typed error.
+func jobEnvelope(v JobView) Envelope {
+	env := Envelope{Result: v.Result}
+	v.Result = nil
+	env.Job = &v
+	if v.State == StateFailed {
+		code := v.ErrorCode
+		if code == "" {
+			code = CodeExperimentFailed
+		}
+		env.Error = &APIError{Code: code, Message: v.Error}
+	}
+	return env
+}
+
+// legacyView strips the fields the legacy format never had.
+func legacyView(v JobView) JobView {
+	v.ErrorCode = ""
+	v.From = nil
+	return v
+}
+
+// codedError attaches a typed API code to an error. errorCode unwraps it
+// with errors.As, so wrapping with %w anywhere above preserves the code.
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// errorCode classifies a job or submission error into its typed code.
+// Explicit codes win; the context sentinels distinguish a cancelled job
+// from one that exceeded its deadline; everything else is the
+// experiment's own failure.
+func errorCode(err error) string {
+	var ce *codedError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &ce):
+		return ce.code
+	case errors.Is(err, context.Canceled):
+		return CodeCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, ErrQueueFull):
+		return CodeQueueFull
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrUnknownExperiment):
+		return CodeNotFound
+	default:
+		return CodeExperimentFailed
+	}
+}

@@ -33,7 +33,9 @@ type job struct {
 	cached    bool // result served from the cache, no simulation ran
 	coalesced bool // attached to an identical in-flight job
 	errMsg    string
-	result    []byte // rendered JSON result bytes
+	errCode   string         // typed code classifying errMsg (see errorCode)
+	from      *CheckpointRef // set on jobs resumed from a checkpoint
+	result    []byte         // rendered JSON result bytes
 
 	created  time.Time
 	started  time.Time
@@ -42,7 +44,9 @@ type job struct {
 	done chan struct{}
 }
 
-// JobView is a job's client-facing JSON form.
+// JobView is a job's client-facing JSON form. ErrorCode and
+// FromCheckpoint are current-version additions; the legacy wire format
+// strips them (see legacyView).
 type JobView struct {
 	ID         string          `json:"id"`
 	Experiment string          `json:"experiment"`
@@ -52,6 +56,8 @@ type JobView struct {
 	Cached     bool            `json:"cached"`
 	Coalesced  bool            `json:"coalesced,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	ErrorCode  string          `json:"error_code,omitempty"`
+	From       *CheckpointRef  `json:"from_checkpoint,omitempty"`
 	Created    time.Time       `json:"created"`
 	Started    *time.Time      `json:"started,omitempty"`
 	Finished   *time.Time      `json:"finished,omitempty"`
@@ -71,6 +77,8 @@ func (j *job) view(withResult bool) JobView {
 		Cached:     j.cached,
 		Coalesced:  j.coalesced,
 		Error:      j.errMsg,
+		ErrorCode:  j.errCode,
+		From:       j.from,
 		Created:    j.created,
 	}
 	if !j.started.IsZero() {

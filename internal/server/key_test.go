@@ -249,3 +249,38 @@ func TestPointKeyCoalesceCanonicalization(t *testing.T) {
 		t.Error("CoalesceOff hashes identically to the default; the diagnostic escape hatch is not cache-distinguishable")
 	}
 }
+
+// Golden checkpoint-derived keys: the (prefix, tail) composition must be
+// stable for the same reason the point and job keys must — streams and
+// resume results are shared across jobs by these addresses.
+const (
+	goldenCheckpointKey = "3a449c78cdf4de52535abbcf6e57da032bfcc2812489ba300b32e3aff0b44e61"
+	goldenResumeKey     = "3b5fdfedba4c74f2907eaddeef3add8ede4016716343c69211e19338f6188cc7"
+)
+
+// TestCheckpointKeyGolden pins the checkpoint-stream and resume-result
+// key derivations and their prefix/tail discrimination: the job key is
+// the prefix, the cadence (or checkpoint index) the tail, and changing
+// either moves to a different address.
+func TestCheckpointKeyGolden(t *testing.T) {
+	ck := CheckpointKey(goldenJobKey, 0)
+	if ck != goldenCheckpointKey {
+		t.Errorf("CheckpointKey drifted:\n got %s\nwant %s\n(bump keySchema if this change is intentional)", ck, goldenCheckpointKey)
+	}
+	rk := ResumeKey(ck, 0)
+	if rk != goldenResumeKey {
+		t.Errorf("ResumeKey drifted:\n got %s\nwant %s\n(bump keySchema if this change is intentional)", rk, goldenResumeKey)
+	}
+	if CheckpointKey(goldenJobKey, 1000) == ck {
+		t.Error("cadence does not contribute to the checkpoint key")
+	}
+	if CheckpointKey(goldenPointKey, 0) == ck {
+		t.Error("prefix job key does not contribute to the checkpoint key")
+	}
+	if ResumeKey(ck, 1) == rk {
+		t.Error("checkpoint index does not contribute to the resume key")
+	}
+	if ResumeKey(CheckpointKey(goldenJobKey, 1000), 0) == rk {
+		t.Error("stream key does not contribute to the resume key")
+	}
+}

@@ -24,6 +24,10 @@ const (
 	mJobsPanics    = "jobs.panics"     // jobs failed by a recovered experiment panic
 	mJobsTimeouts  = "jobs.timeouts"   // jobs failed by their per-job deadline
 
+	// Checkpoint-stream counters.
+	mCkptCaptured = "checkpoints.captured" // streams captured by a fresh simulation
+	mCkptReused   = "checkpoints.reused"   // stream requests answered by an existing stream
+
 	// Failure-model counters (see DESIGN.md §10).
 	mWorkerRestarts    = "workers.restarts"    // worker goroutines respawned after a panic escaped a job
 	mCacheWriteRetries = "cache.write_retries" // cache.Put attempts retried after a transient failure
@@ -47,6 +51,7 @@ func initMetrics(m *metrics.Synced) {
 		mJobsSubmitted, mJobsExecuted, mJobsCompleted, mJobsFailed,
 		mJobsCoalesced, mJobsCacheHits, mJobsRejected,
 		mJobsPanics, mJobsTimeouts, mWorkerRestarts, mCacheWriteRetries,
+		mCkptCaptured, mCkptReused,
 		mTimeQueued, mTimeRun,
 		"cache.hits", "cache.misses", "cache.disk_hits",
 		"cache.entries", "cache.bytes",

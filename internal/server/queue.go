@@ -161,7 +161,9 @@ func (s *Server) follow(j, leader *job) {
 	if leader.state == StateDone {
 		s.finishLocked(j, leader.result, nil)
 	} else {
-		s.finishLocked(j, nil, errors.New(leader.errMsg))
+		// Re-wrap so the follower inherits the leader's typed code, not
+		// just its message.
+		s.finishLocked(j, nil, &codedError{code: leader.errCode, err: errors.New(leader.errMsg)})
 	}
 }
 
@@ -250,7 +252,7 @@ func (s *Server) execute(ctx context.Context, j *job) (val []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.Inc(mJobsPanics)
-			err = fmt.Errorf("experiment panicked: %v\n%s", r, debug.Stack())
+			err = &codedError{code: CodePanic, err: fmt.Errorf("experiment panicked: %v\n%s", r, debug.Stack())}
 		}
 	}()
 	if s.faults.Check(SiteExpPanic) {
@@ -308,6 +310,7 @@ func (s *Server) finishLocked(j *job, val []byte, err error) {
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		j.errCode = errorCode(err)
 		s.metrics.Inc(mJobsFailed)
 	} else {
 		j.state = StateDone

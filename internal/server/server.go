@@ -3,14 +3,19 @@
 // experiments.Registry, runs them on a bounded worker pool, memoizes
 // results in a content-addressed cache, and exposes live metrics.
 //
-// API:
+// API (every response is a versioned Envelope — see envelope.go; the
+// pre-envelope wire format is served under "Accept-Version: 2024-01"):
 //
-//	GET  /v1/experiments      registry metadata (names, descriptions, defaults)
-//	POST /v1/jobs             submit {"experiment": "...", "params": {...}}
-//	GET  /v1/jobs             list submitted jobs (no result payloads)
-//	GET  /v1/jobs/{id}        one job, result included; ?wait=5s blocks
-//	GET  /metrics             flat "name value" metric exposition
-//	GET  /healthz             liveness
+//	GET  /v1/experiments                registry metadata (names, descriptions, defaults)
+//	POST /v1/jobs                       submit {"experiment": "...", "params": {...}}
+//	                                    or {"from_checkpoint": {"job": "...", "k": N}}
+//	GET  /v1/jobs                       list submitted jobs (no result payloads)
+//	GET  /v1/jobs/{id}                  one job, result included; ?wait=5s blocks
+//	POST /v1/jobs/{id}/checkpoints      capture {"every_iters": N} checkpoint stream
+//	GET  /v1/jobs/{id}/checkpoints      the job's stream metadata
+//	GET  /v1/jobs/{id}/checkpoints/{k}  inspect machine state at checkpoint k
+//	GET  /metrics                       flat "name value" metric exposition
+//	GET  /healthz                       liveness
 //
 // Identical work never runs twice: a submitted job is first looked up in
 // the cache by the canonical hash of its fully-resolved configuration
@@ -99,6 +104,12 @@ type Server struct {
 	jobs     map[string]*job
 	order    []*job
 	inflight map[string]*job // cache key → queued/running leader
+
+	// Checkpoint streams (in-memory only — they hold live copy-on-write
+	// machine and space state; see checkpoints.go).
+	ckMu    sync.Mutex
+	ckByKey map[string]*checkpointStream // content address → stream
+	ckByJob map[string]*checkpointStream // job id → its current stream
 }
 
 // New builds a server and starts its worker pool.
@@ -139,6 +150,8 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
+		ckByKey:    make(map[string]*checkpointStream),
+		ckByJob:    make(map[string]*checkpointStream),
 		nextID:     1,
 	}
 	for _, e := range cfg.Experiments {
@@ -206,6 +219,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/checkpoints", s.handleCheckpointCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpointList)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{k}", s.handleCheckpointGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -244,69 +260,173 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{"experiments": s.infos})
+	ver, err := requestVersion(r)
+	if err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if ver == LegacyAPIVersion {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"experiments": s.infos})
+		return
+	}
+	writeEnvelope(w, http.StatusOK, Envelope{Experiments: s.infos})
 }
 
-// submitRequest is the POST /v1/jobs body.
+// submitRequest is the POST /v1/jobs body: either an experiment to run
+// or a checkpoint to resume from (mutually exclusive).
 type submitRequest struct {
-	Experiment string    `json:"experiment"`
-	Params     JobParams `json:"params"`
+	Experiment     string         `json:"experiment,omitempty"`
+	Params         JobParams      `json:"params"`
+	FromCheckpoint *CheckpointRef `json:"from_checkpoint,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ver, err := requestVersion(r)
+	if err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeSubmitError(w, ver, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.FromCheckpoint != nil {
+		s.handleSubmitResume(w, ver, req)
 		return
 	}
 	v, err := s.Submit(req.Experiment, req.Params)
 	switch {
 	case errors.Is(err, ErrUnknownExperiment):
-		writeError(w, http.StatusNotFound, err)
+		s.writeSubmitError(w, ver, http.StatusNotFound, CodeNotFound, err)
 	case errors.Is(err, ErrQueueFull):
 		// Load shedding, not a bare error: Retry-After tells well-behaved
 		// clients to back off, and the queue depth in the body tells them
 		// how bad it is.
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
-			"error":       err.Error(),
-			"queue_depth": s.QueueDepth(),
+		depth := s.QueueDepth()
+		if ver == LegacyAPIVersion {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"error":       err.Error(),
+				"queue_depth": depth,
+			})
+			return
+		}
+		writeEnvelope(w, http.StatusServiceUnavailable, Envelope{
+			Error:      &APIError{Code: CodeQueueFull, Message: err.Error()},
+			QueueDepth: &depth,
 		})
 	case errors.Is(err, ErrShuttingDown):
 		w.Header().Set("Retry-After", strconv.Itoa(int(shutdownRetryAfter/time.Second)))
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeSubmitError(w, ver, http.StatusServiceUnavailable, CodeShuttingDown, err)
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		s.writeSubmitError(w, ver, http.StatusBadRequest, CodeBadRequest, err)
 	case v.State == StateDone:
-		writeJSON(w, http.StatusOK, v) // served from cache at submit time
+		s.writeJob(w, ver, http.StatusOK, v) // served from cache at submit time
 	default:
-		writeJSON(w, http.StatusAccepted, v)
+		s.writeJob(w, ver, http.StatusAccepted, v)
 	}
 }
 
+// handleSubmitResume serves the from_checkpoint form of POST /v1/jobs.
+// Checkpoint references are a current-API feature: legacy-version
+// requests are refused rather than answered in a shape that never
+// existed.
+func (s *Server) handleSubmitResume(w http.ResponseWriter, ver string, req submitRequest) {
+	if ver == LegacyAPIVersion {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("from_checkpoint requires %s %s", VersionHeader, APIVersion))
+		return
+	}
+	if req.Experiment != "" {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest,
+			"experiment and from_checkpoint are mutually exclusive")
+		return
+	}
+	v, err := s.SubmitResume(*req.FromCheckpoint)
+	if errors.Is(err, ErrShuttingDown) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(shutdownRetryAfter/time.Second)))
+		writeEnvelopeError(w, http.StatusServiceUnavailable, CodeShuttingDown, err.Error())
+		return
+	}
+	if err != nil {
+		writeCodedError(w, err)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, jobEnvelope(v))
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.Jobs()})
+	ver, err := requestVersion(r)
+	if err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	jobs := s.Jobs()
+	if ver == LegacyAPIVersion {
+		for i := range jobs {
+			jobs[i] = legacyView(jobs[i])
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": jobs})
+		return
+	}
+	writeEnvelope(w, http.StatusOK, Envelope{Jobs: jobs})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	ver, verErr := requestVersion(r)
+	if verErr != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, verErr.Error())
+		return
+	}
 	id := r.PathValue("id")
 	var wait time.Duration
 	if raw := r.URL.Query().Get("wait"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", raw))
+			s.writeSubmitError(w, ver, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad wait duration %q", raw))
 			return
 		}
 		wait = d
 	}
 	v, ok := s.Await(id, wait, r.Context().Done())
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		s.writeSubmitError(w, ver, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	if ver == LegacyAPIVersion {
+		writeJSON(w, http.StatusOK, legacyView(v))
+		return
+	}
+	env := jobEnvelope(v)
+	// A request cancelled while waiting gets a terminal typed error, not
+	// a bare 200 with a partial body the client must diagnose.
+	if env.Error == nil && v.State != StateDone && r.Context().Err() != nil {
+		env.Error = &APIError{Code: CodeCancelled,
+			Message: fmt.Sprintf("request cancelled while waiting for job %q", id)}
+	}
+	writeEnvelope(w, http.StatusOK, env)
+}
+
+// writeJob renders a job response in the requested wire format.
+func (s *Server) writeJob(w http.ResponseWriter, ver string, status int, v JobView) {
+	if ver == LegacyAPIVersion {
+		writeJSON(w, status, legacyView(v))
+		return
+	}
+	writeEnvelope(w, status, jobEnvelope(v))
+}
+
+// writeSubmitError renders an error in the requested wire format: a
+// typed envelope error, or the legacy {"error": "<message>"} object.
+func (s *Server) writeSubmitError(w http.ResponseWriter, ver string, status int, code string, err error) {
+	if ver == LegacyAPIVersion {
+		writeError(w, status, err)
+		return
+	}
+	writeEnvelopeError(w, status, code, err.Error())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

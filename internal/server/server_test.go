@@ -225,7 +225,8 @@ func TestServerUnknownExperiment(t *testing.T) {
 	}
 }
 
-// submitHTTP posts one job and decodes the response view.
+// submitHTTP posts one job and decodes the response envelope, folding
+// the hoisted result back into the view for the callers' convenience.
 func submitHTTP(t *testing.T, url, body string) (JobView, int) {
 	t.Helper()
 	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
@@ -235,9 +236,18 @@ func submitHTTP(t *testing.T, url, body string) (JobView, int) {
 	defer resp.Body.Close()
 	var v JobView
 	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
-		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		var env Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 			t.Fatal(err)
 		}
+		if env.Version != APIVersion {
+			t.Fatalf("api_version = %q, want %q", env.Version, APIVersion)
+		}
+		if env.Job == nil {
+			t.Fatal("submit response envelope has no job")
+		}
+		v = *env.Job
+		v.Result = env.Result
 	}
 	return v, resp.StatusCode
 }
@@ -268,11 +278,16 @@ func TestServerEndToEndCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var done JobView
-	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+	var env Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if env.Job == nil {
+		t.Fatal("job envelope has no job")
+	}
+	done := *env.Job
+	done.Result = env.Result
 	if done.State != StateDone {
 		t.Fatalf("first job = %s (error %q), want done", done.State, done.Error)
 	}
@@ -358,9 +373,7 @@ func TestServerHTTPSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var disc struct {
-		Experiments []experiments.Info `json:"experiments"`
-	}
+	var disc Envelope
 	if err := json.NewDecoder(resp.Body).Decode(&disc); err != nil {
 		t.Fatal(err)
 	}
@@ -396,9 +409,7 @@ func TestServerHTTPSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var list struct {
-		Jobs []JobView `json:"jobs"`
-	}
+	var list Envelope
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
@@ -765,14 +776,14 @@ func TestServerLoadShedHTTP(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("shed response lacks Retry-After")
 	}
-	var shed struct {
-		Error      string `json:"error"`
-		QueueDepth *int   `json:"queue_depth"`
-	}
+	var shed Envelope
 	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(shed.Error, ErrQueueFull.Error()) || shed.QueueDepth == nil {
-		t.Errorf("shed body = %+v, want queue-full error and queue_depth", shed)
+	if shed.Error == nil || shed.Error.Code != CodeQueueFull || shed.QueueDepth == nil {
+		t.Errorf("shed body = %+v, want queue_full error and queue_depth", shed)
+	}
+	if shed.Error != nil && !strings.Contains(shed.Error.Message, ErrQueueFull.Error()) {
+		t.Errorf("shed message = %q, want queue-full text", shed.Error.Message)
 	}
 }
