@@ -1,8 +1,10 @@
 # Development targets. `tier1` is the merge gate (see ROADMAP.md); `race`
 # is the fuller pre-merge check and `race-short` its fast CI variant;
 # `chaos` is the fault-injection sweep of DESIGN.md §10 (fixed seed;
-# set CHAOS_SEED to explore other schedules); `serve` boots the
-# experiment-serving daemon; `bench` regenerates the paper's headline
+# set CHAOS_SEED to explore other schedules); `fabric-smoke` builds the
+# real coordinator and server binaries, boots a three-process fleet, and
+# diffs a distributed sweep against the single-node driver (DESIGN.md
+# §12); `serve` boots the experiment-serving daemon; `bench` regenerates the paper's headline
 # benchmarks; `bench-hotpath` compares the compiled fast engine against
 # the reference interpreter (see BENCH_hotpath.json and
 # BENCH_coalesce.json for recorded runs); `bench-parallel` measures the
@@ -17,7 +19,7 @@ GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
+.PHONY: tier1 race race-short chaos fabric-smoke serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -32,6 +34,9 @@ race-short:
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaos -count=1 -v ./internal/server
+
+fabric-smoke:
+	FABRIC_SMOKE=1 $(GO) test -run TestFabricSmoke -count=1 -v .
 
 serve:
 	$(GO) run ./cmd/cascade-server $(SERVE_FLAGS)

@@ -6,6 +6,7 @@
 //
 //	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir]
 //	               [-drain 30s] [-job-timeout 15m]
+//	               [-coordinator URL] [-advertise URL] [-name NAME]
 //	               [-faults "site:p=0.05;..."] [-fault-seed N]
 //
 // API (see internal/server for details):
@@ -13,7 +14,14 @@
 //	GET  /v1/experiments   experiment discovery (names, descriptions, defaults)
 //	POST /v1/jobs          submit {"experiment": "fig2", "params": {"scale": 0.1}}
 //	GET  /v1/jobs/{id}     job status + result; ?wait=10s blocks until done
+//	POST /v1/points        execute one sweep point (the fabric's work unit)
 //	GET  /metrics          live counters/gauges, one "name value" per line
+//
+// With -coordinator the daemon enlists as a worker in a distributed
+// sweep fabric (see internal/fabric and cascade-coordinator): it
+// registers under -name at the -advertise URL and heartbeats until
+// shutdown, receiving sharded sweep points on POST /v1/points. Both
+// -advertise and -name default to the bound listen address.
 //
 // Identical jobs are answered from the cache without re-simulating, and
 // concurrent identical submissions coalesce into one run. With -cache
@@ -50,46 +58,56 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
 
 // serverOptions carries the parsed command line into run.
 type serverOptions struct {
-	addr       string
-	workers    int
-	queueDepth int
-	cacheDir   string
-	drain      time.Duration
-	jobTimeout time.Duration
-	faultsSpec string
-	faultSeed  int64
-	onListen   func(net.Addr) // test hook: reports the bound address
+	addr        string
+	workers     int
+	queueDepth  int
+	cacheDir    string
+	drain       time.Duration
+	jobTimeout  time.Duration
+	coordinator string
+	advertise   string
+	workerName  string
+	faultsSpec  string
+	faultSeed   int64
+	onListen    func(net.Addr) // test hook: reports the bound address
 }
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers    = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
-		queue      = flag.Int("queue", 64, "bounded job-queue depth")
-		cacheDir   = flag.String("cache", "", "result cache directory (empty: in-memory only)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-		jobTimeout = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job execution deadline (0 disables)")
-		faultsSpec = flag.String("faults", "", `fault-injection spec, e.g. "exp.panic:p=0.1;cache.write:n=3" (dev/testing)`)
-		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -faults triggers")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
+		queue       = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheDir    = flag.String("cache", "", "result cache directory (empty: in-memory only)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		jobTimeout  = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job execution deadline (0 disables)")
+		coordinator = flag.String("coordinator", "", "enlist as a fabric worker with this coordinator URL")
+		advertise   = flag.String("advertise", "", "URL the coordinator dispatches to (default: the bound listen address)")
+		workerName  = flag.String("name", "", "worker name within the fleet (default: the bound listen address)")
+		faultsSpec  = flag.String("faults", "", `fault-injection spec, e.g. "exp.panic:p=0.1;cache.write:n=3" (dev/testing)`)
+		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -faults triggers")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts := serverOptions{
-		addr:       *addr,
-		workers:    *workers,
-		queueDepth: *queue,
-		cacheDir:   *cacheDir,
-		drain:      *drain,
-		jobTimeout: *jobTimeout,
-		faultsSpec: *faultsSpec,
-		faultSeed:  *faultSeed,
+		addr:        *addr,
+		workers:     *workers,
+		queueDepth:  *queue,
+		cacheDir:    *cacheDir,
+		drain:       *drain,
+		jobTimeout:  *jobTimeout,
+		coordinator: *coordinator,
+		advertise:   *advertise,
+		workerName:  *workerName,
+		faultsSpec:  *faultsSpec,
+		faultSeed:   *faultSeed,
 	}
 	if err := run(ctx, os.Stderr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-server:", err)
@@ -141,6 +159,26 @@ func run(ctx context.Context, w io.Writer, opts serverOptions) error {
 	}
 	fmt.Fprintf(w, "cascade-server: listening on http://%s (%d workers, queue %d)\n",
 		ln.Addr(), opts.workers, opts.queueDepth)
+
+	if opts.coordinator != "" {
+		name, advertise := opts.workerName, opts.advertise
+		if name == "" {
+			name = ln.Addr().String()
+		}
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		fmt.Fprintf(w, "cascade-server: enlisting with %s as %q (advertising %s)\n",
+			opts.coordinator, name, advertise)
+		go fabric.Enlist(ctx, fabric.EnlistConfig{
+			Coordinator: opts.coordinator,
+			Name:        name,
+			Advertise:   advertise,
+			OnError: func(err error) {
+				fmt.Fprintf(w, "cascade-server: heartbeat: %v\n", err)
+			},
+		})
+	}
 
 	hs := &http.Server{Handler: s.Handler()}
 	drained := make(chan error, 1)

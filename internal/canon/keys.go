@@ -1,0 +1,42 @@
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// PointSchema versions the fabric's per-point key derivation. Bump it
+// whenever the point-spec semantics or the simulation itself changes in
+// a way that stales previously-cached point results; the golden-hash
+// tests in keys_test.go pin the current derivation so the constant and
+// the goldens must move together.
+const PointSchema = "cascade-point/v1"
+
+// Key derives a content address: the hex SHA-256 of a schema tag and the
+// canonical JSON of v. Because the canonical encoding is independent of
+// struct field order and of whether v is a typed struct or its decoded
+// generic-map form, two processes that hold semantically identical
+// values — a coordinator holding a PointSpec struct and a worker holding
+// the same spec freshly decoded from the wire — derive the same key.
+// That property is what makes cross-node result caching sound: it is
+// pinned by TestPointKeyCoordinatorWorkerIdentity.
+func Key(schema string, v interface{}) (string, error) {
+	b, err := JSON(v)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, schema)
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// PointKey derives the content address of one sweep point from its
+// fully-resolved spec under PointSchema. The spec must determine the
+// point's observable simulation behaviour completely — every knob that
+// can change the result must be a field of v.
+func PointKey(spec interface{}) (string, error) {
+	return Key(PointSchema, spec)
+}

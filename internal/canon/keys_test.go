@@ -1,0 +1,128 @@
+package canon_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/experiments"
+)
+
+// fixedSpecs are wire-stable point specs whose keys are pinned below.
+// They are constructed through the real decomposition so the goldens
+// break when either the spec shape or the plan construction changes.
+func fixedSpecs(t *testing.T) []experiments.PointSpec {
+	t.Helper()
+	rc := experiments.DefaultRunConfig()
+	rc.Scale = 0.25
+	specs, ok := experiments.Decompose("fig6", rc)
+	if !ok || len(specs) < 4 {
+		t.Fatalf("fig6 decomposition unavailable (%d specs)", len(specs))
+	}
+	return []experiments.PointSpec{specs[0], specs[2], specs[3], specs[len(specs)-1]}
+}
+
+// TestPointKeyGoldens pins the per-point key derivation. An intentional
+// change to the spec fields, the canonical encoding, or PointSchema must
+// update these hex strings in the same commit — an accidental change is
+// a silent fleet-wide cache invalidation (or worse, stale hits), which
+// is exactly what this test exists to catch.
+func TestPointKeyGoldens(t *testing.T) {
+	want := []string{
+		"5bce9c0cacb0ca0d5847028be3b4787aeab264edcd38c8ca5ebefca2fce56f38",
+		"5441a71a48a6cb84db0b42c721a60027dfc107bca301e12e825d49983fd7cd0a",
+		"959e5674a4fcef5a136f5afe087dec201812a3af9041d90bd62d4955ae0072db",
+		"a930106221f98be3d93042edea7493ecdcd6e9d34251ac0f7dab517b89432ade",
+	}
+	specs := fixedSpecs(t)
+	for i, spec := range specs {
+		got, err := canon.PointKey(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Errorf("point key %d drifted:\n got %s\nwant %s\nspec %+v", i, got, want[i], spec)
+		}
+	}
+}
+
+// TestPointKeyCoordinatorWorkerIdentity proves the fabric's cross-node
+// caching premise: a key derived from the coordinator's typed PointSpec
+// equals the key derived from the worker's view of the same spec — the
+// generic map a JSON decode of the wire body produces. If these ever
+// diverged, a worker would recompute (or mis-file) every point the
+// coordinator shipped it.
+func TestPointKeyCoordinatorWorkerIdentity(t *testing.T) {
+	for i, spec := range fixedSpecs(t) {
+		coord, err := canon.PointKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The worker's view: the spec as it arrives off the wire, decoded
+		// twice — into the typed struct the worker actually uses, and into
+		// an untyped map (field order gone, ints now float64s).
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var typed experiments.PointSpec
+		if err := json.Unmarshal(wire, &typed); err != nil {
+			t.Fatal(err)
+		}
+		workerTyped, err := canon.PointKey(typed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var generic map[string]interface{}
+		if err := json.Unmarshal(wire, &generic); err != nil {
+			t.Fatal(err)
+		}
+		workerGeneric, err := canon.PointKey(generic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coord != workerTyped || coord != workerGeneric {
+			t.Errorf("spec %d: key differs by derivation site:\ncoordinator %s\nworker/typed %s\nworker/map   %s",
+				i, coord, workerTyped, workerGeneric)
+		}
+	}
+}
+
+// TestPointKeySensitivity pins that every observable spec field moves
+// the key: two specs differing in exactly one field must never collide.
+func TestPointKeySensitivity(t *testing.T) {
+	base := experiments.PointSpec{
+		Experiment: "fig6", Index: 3, Machine: "R10000", Procs: 4,
+		Strategy: "prefetched", ChunkKB: 64, Scale: 1.0,
+	}
+	baseKey, err := canon.PointKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]experiments.PointSpec{
+		"experiment": {Experiment: "fig2", Index: 3, Machine: "R10000", Procs: 4, Strategy: "prefetched", ChunkKB: 64, Scale: 1.0},
+		"machine":    {Experiment: "fig6", Index: 3, Machine: "PentiumPro", Procs: 4, Strategy: "prefetched", ChunkKB: 64, Scale: 1.0},
+		"procs":      {Experiment: "fig6", Index: 3, Machine: "R10000", Procs: 2, Strategy: "prefetched", ChunkKB: 64, Scale: 1.0},
+		"strategy":   {Experiment: "fig6", Index: 3, Machine: "R10000", Procs: 4, Strategy: "restructured", ChunkKB: 64, Scale: 1.0},
+		"chunk_kb":   {Experiment: "fig6", Index: 3, Machine: "R10000", Procs: 4, Strategy: "prefetched", ChunkKB: 128, Scale: 1.0},
+		"scale":      {Experiment: "fig6", Index: 3, Machine: "R10000", Procs: 4, Strategy: "prefetched", ChunkKB: 64, Scale: 0.5},
+	}
+	for field, spec := range mutations {
+		k, err := canon.PointKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("changing %s did not change the point key", field)
+		}
+	}
+	// Schema separation: the same value under a different schema gets a
+	// different key, so point results can never alias job results.
+	other, err := canon.Key("some-other-schema/v1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == baseKey {
+		t.Error("schema tag does not separate key spaces")
+	}
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/wave5"
+)
+
+// Point-level decomposition of the sweep drivers. A decomposable
+// experiment can be split into an ordered list of independent simulation
+// points — each fully described by a serializable PointSpec — run
+// anywhere (another goroutine, another process, another node), and
+// reassembled by a merge step into exactly the Renderable the monolithic
+// driver produces. The contract the fabric's byte-identity guarantee
+// rests on:
+//
+//   - Points(rc) is deterministic: same RunConfig, same specs, same order.
+//   - Run(ctx, spec) depends only on the spec (every knob that influences
+//     the simulation is a spec field), so a point computes the same
+//     result on every node — and content-addressing point results by the
+//     canonical hash of the spec is sound.
+//   - Merge(rc, results) consumes index-ordered results and performs the
+//     exact arithmetic of the monolithic driver, so the merged result's
+//     canonical JSON is byte-identical to a single-node run's.
+//
+// The equivalence tests in points_test.go pin all three properties for
+// the built-in decompositions (fig2, fig6), including a JSON round-trip
+// of every PointResult to prove identity survives wire transport.
+
+// PointSpec fully describes one simulation point of a decomposed sweep.
+// Every field that can influence the simulated result is here; the spec
+// is the unit of work the fabric ships between processes and the input
+// to the point's content-addressed cache key.
+type PointSpec struct {
+	// Experiment names the decomposition that produced (and can run) this
+	// spec.
+	Experiment string `json:"experiment"`
+	// Index is the spec's position in the decomposition's point order.
+	// Merge receives results sorted by it.
+	Index int `json:"index"`
+	// Machine is the machine preset name (see machine.Presets).
+	Machine string `json:"machine"`
+	// Procs overrides the preset's processor count.
+	Procs int `json:"procs"`
+	// Strategy is the execution strategy token (see Strategy.Token).
+	Strategy string `json:"strategy"`
+	// ChunkKB is the cascade chunk budget in KB.
+	ChunkKB int `json:"chunk_kb"`
+	// Scale is the PARMVR dataset scale factor.
+	Scale float64 `json:"scale"`
+	// N is the synthetic-loop / kernel array length (0 when unused).
+	N int `json:"n,omitempty"`
+}
+
+// PointResult is the serializable outcome of running one PointSpec: the
+// raw measurements merges need, never derived ratios — speedups are
+// computed at merge time from the same integers the monolithic driver
+// divides, so distribution cannot perturb a single bit.
+type PointResult struct {
+	Index       int              `json:"index"`
+	Cycles      int64            `json:"cycles"`
+	HelperIters int64            `json:"helper_iters,omitempty"`
+	TotalIters  int64            `json:"total_iters,omitempty"`
+	Metrics     metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// Decomposition is a sweep driver split into its three distributable
+// phases. Points and Merge run on the coordinating side; Run executes
+// anywhere.
+type Decomposition struct {
+	Points func(rc RunConfig) []PointSpec
+	Run    func(ctx context.Context, ps PointSpec) (PointResult, error)
+	Merge  func(rc RunConfig, results []PointResult) (Renderable, error)
+}
+
+// decompositions maps experiment name → decomposition. The built-ins
+// register in init; tests may add synthetic sweeps via
+// RegisterDecomposition.
+var decompositions = map[string]Decomposition{}
+
+// RegisterDecomposition adds (or replaces) a named decomposition. The
+// built-in sweeps register themselves; tests register cheap synthetic
+// sweeps to exercise the fabric without paper-scale simulations. Both
+// sides of a distributed run must register the same name: the process
+// that decomposes and merges, and the process that runs points.
+func RegisterDecomposition(name string, d Decomposition) {
+	decompositions[name] = d
+}
+
+// DecomposableExperiments returns the names with a registered
+// decomposition, sorted.
+func DecomposableExperiments() []string {
+	names := make([]string, 0, len(decompositions))
+	for n := range decompositions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Decomposable reports whether an experiment has a registered
+// decomposition — whether the fabric can shard it point-by-point or must
+// ship it whole.
+func Decomposable(name string) bool {
+	_, ok := decompositions[name]
+	return ok
+}
+
+// Decompose returns the ordered point plan for an experiment, or false
+// when the experiment has no registered decomposition.
+func Decompose(experiment string, rc RunConfig) ([]PointSpec, bool) {
+	d, ok := decompositions[experiment]
+	if !ok {
+		return nil, false
+	}
+	return d.Points(rc), true
+}
+
+// RunPoint executes one spec, dispatching on its Experiment field.
+func RunPoint(ctx context.Context, ps PointSpec) (PointResult, error) {
+	d, ok := decompositions[ps.Experiment]
+	if !ok {
+		return PointResult{}, fmt.Errorf("experiment %q has no point decomposition", ps.Experiment)
+	}
+	return d.Run(ctx, ps)
+}
+
+// MergePoints assembles an experiment's result from its complete point
+// results. Results may arrive in any order; they are sorted by Index
+// before the merge.
+func MergePoints(experiment string, rc RunConfig, results []PointResult) (Renderable, error) {
+	d, ok := decompositions[experiment]
+	if !ok {
+		return nil, fmt.Errorf("experiment %q has no point decomposition", experiment)
+	}
+	sorted := make([]PointResult, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	for i, r := range sorted {
+		if r.Index != i {
+			return nil, fmt.Errorf("merge %s: incomplete results (missing index %d)", experiment, i)
+		}
+	}
+	return d.Merge(rc, sorted)
+}
+
+// RunDecomposed runs a decomposable experiment locally — decompose, run
+// every point through the experiment pool, merge — reporting point
+// progress through the context (see WithPointProgress). It returns
+// ok=false when the experiment has no decomposition. This is the
+// single-node twin of the fabric's distributed path: both funnel through
+// the same Run and Merge, which is what makes "byte-identical to a
+// single-node run" a testable statement rather than a hope.
+func RunDecomposed(ctx context.Context, experiment string, rc RunConfig) (Renderable, bool, error) {
+	d, ok := decompositions[experiment]
+	if !ok {
+		return nil, false, nil
+	}
+	specs := d.Points(rc)
+	results := make([]PointResult, len(specs))
+	if err := parallelFor(ctx, len(specs), func(i int) error {
+		r, err := d.Run(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, true, err
+	}
+	r, err := d.Merge(rc, results)
+	return r, true, err
+}
+
+// machineByName resolves a preset name against Machines(), so a point
+// run on any node sees the same configuration — including the
+// host-parallel knob — as a local sweep would.
+func machineByName(name string) (machine.Config, error) {
+	for _, cfg := range Machines() {
+		if cfg.Name == name {
+			return cfg, nil
+		}
+	}
+	return machine.Config{}, fmt.Errorf("unknown machine preset %q", name)
+}
+
+// Token returns the strategy's spec token — lowercase, stable, part of
+// the point-key derivation (unlike String, which is a display label).
+func (s Strategy) Token() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case Prefetched:
+		return "prefetched"
+	case Restructured:
+		return "restructured"
+	default:
+		return fmt.Sprintf("strategy-%d", int(s))
+	}
+}
+
+// ParseStrategy inverts Token.
+func ParseStrategy(tok string) (Strategy, error) {
+	for _, s := range Strategies {
+		if s.Token() == tok {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy token %q", tok)
+}
+
+// runPARMVRPoint executes one PARMVR simulation described by a spec and
+// reduces it to the raw measurements every PARMVR merge consumes.
+func runPARMVRPoint(ps PointSpec) (PointResult, error) {
+	cfg, err := machineByName(ps.Machine)
+	if err != nil {
+		return PointResult{}, err
+	}
+	strat, err := ParseStrategy(ps.Strategy)
+	if err != nil {
+		return PointResult{}, err
+	}
+	rr, err := RunPARMVR(cfg.WithProcs(ps.Procs), wave5.DefaultParams().Scaled(ps.Scale), strat, ps.ChunkKB*1024)
+	if err != nil {
+		return PointResult{}, err
+	}
+	res := PointResult{Index: ps.Index, Cycles: TotalCycles(rr), Metrics: MergeMetrics(rr)}
+	for _, r := range rr {
+		res.HelperIters += int64(r.HelperIters)
+		res.TotalIters += int64(r.TotalIters)
+	}
+	return res, nil
+}
+
+func init() {
+	RegisterDecomposition("fig2", Decomposition{
+		Points: fig2Points,
+		Run: func(ctx context.Context, ps PointSpec) (PointResult, error) {
+			return runPARMVRPoint(ps)
+		},
+		Merge: fig2Merge,
+	})
+	RegisterDecomposition("fig6", Decomposition{
+		Points: fig6Points,
+		Run: func(ctx context.Context, ps PointSpec) (PointResult, error) {
+			return runPARMVRPoint(ps)
+		},
+		Merge: fig6Merge,
+	})
+}
+
+// fig2Points mirrors Fig2's spec construction exactly: one sequential
+// baseline per machine at the preset's full processor count, then the
+// (machine × procs × strategy) sweep in the driver's loop order.
+func fig2Points(rc RunConfig) []PointSpec {
+	chunkKB := rc.ChunkBytes / 1024
+	var specs []PointSpec
+	for _, cfg := range Machines() {
+		specs = append(specs, PointSpec{
+			Experiment: "fig2", Index: len(specs), Machine: cfg.Name, Procs: cfg.Procs,
+			Strategy: Sequential.Token(), ChunkKB: chunkKB, Scale: rc.Scale,
+		})
+	}
+	for _, cfg := range Machines() {
+		for _, procs := range procSweep(cfg) {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				specs = append(specs, PointSpec{
+					Experiment: "fig2", Index: len(specs), Machine: cfg.Name, Procs: procs,
+					Strategy: strat.Token(), ChunkKB: chunkKB, Scale: rc.Scale,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// fig2Merge rebuilds Fig2Result with the driver's exact arithmetic:
+// Speedup = baseline cycles / point cycles, HelperCompletion =
+// helper/total iterations — the same integer inputs, the same float64
+// divisions, the same bytes.
+func fig2Merge(rc RunConfig, results []PointResult) (Renderable, error) {
+	machines := Machines()
+	if len(results) != len(fig2Points(rc)) {
+		return nil, fmt.Errorf("fig2 merge: %d results, want %d", len(results), len(fig2Points(rc)))
+	}
+	res := &Fig2Result{
+		Params:     rc.Params(),
+		ChunkBytes: rc.ChunkBytes,
+		Baselines:  make(map[string]int64),
+	}
+	bases := make(map[string]int64, len(machines))
+	for i, cfg := range machines {
+		bases[cfg.Name] = results[i].Cycles
+		res.Baselines[cfg.Name] = results[i].Cycles
+	}
+	k := len(machines)
+	for _, cfg := range machines {
+		for _, procs := range procSweep(cfg) {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				r := results[k]
+				k++
+				res.Points = append(res.Points, Fig2Point{
+					Machine:          cfg.Name,
+					Strategy:         strat,
+					Procs:            procs,
+					Speedup:          float64(bases[cfg.Name]) / float64(r.Cycles),
+					HelperCompletion: float64(r.HelperIters) / float64(r.TotalIters),
+					Metrics:          r.Metrics,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// fig6Points mirrors Fig6: one 4-processor sequential baseline per
+// machine at the driver's fixed 64KB chunk parameter, then the
+// (machine × chunk size × strategy) sweep in loop order.
+func fig6Points(rc RunConfig) []PointSpec {
+	const procs = 4
+	var specs []PointSpec
+	for _, cfg := range Machines() {
+		specs = append(specs, PointSpec{
+			Experiment: "fig6", Index: len(specs), Machine: cfg.Name, Procs: procs,
+			Strategy: Sequential.Token(), ChunkKB: 64, Scale: rc.Scale,
+		})
+	}
+	for _, cfg := range Machines() {
+		for _, kb := range Fig6ChunkSizesKB {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				specs = append(specs, PointSpec{
+					Experiment: "fig6", Index: len(specs), Machine: cfg.Name, Procs: procs,
+					Strategy: strat.Token(), ChunkKB: kb, Scale: rc.Scale,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// fig6Merge rebuilds Fig6Result from baseline and sweep measurements.
+func fig6Merge(rc RunConfig, results []PointResult) (Renderable, error) {
+	machines := Machines()
+	if len(results) != len(fig6Points(rc)) {
+		return nil, fmt.Errorf("fig6 merge: %d results, want %d", len(results), len(fig6Points(rc)))
+	}
+	res := &Fig6Result{Params: rc.Params(), Procs: 4}
+	bases := make(map[string]int64, len(machines))
+	for i, cfg := range machines {
+		bases[cfg.Name] = results[i].Cycles
+	}
+	k := len(machines)
+	for _, cfg := range machines {
+		for _, kb := range Fig6ChunkSizesKB {
+			for _, strat := range []Strategy{Prefetched, Restructured} {
+				r := results[k]
+				k++
+				res.Points = append(res.Points, Fig6Point{
+					Machine:    cfg.Name,
+					Strategy:   strat,
+					ChunkBytes: kb * 1024,
+					Speedup:    float64(bases[cfg.Name]) / float64(r.Cycles),
+					Metrics:    r.Metrics,
+				})
+			}
+		}
+	}
+	return res, nil
+}

@@ -6,7 +6,32 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// pointProgressKey carries a sweep-progress reporter in a context (see
+// WithPointProgress).
+type pointProgressKey struct{}
+
+// WithPointProgress returns a context carrying fn. Every sweep that runs
+// through parallelFor calls fn as points complete, with the number of
+// completed points and the sweep's total — no driver changes required.
+// An experiment with several sweep phases (baselines, then points)
+// reports each phase's counts in turn. The serving layer installs a
+// reporter here to expose points_done/points_total keep-alive progress
+// on long-polled jobs. fn must be safe for concurrent calls.
+func WithPointProgress(ctx context.Context, fn func(done, total int)) context.Context {
+	return context.WithValue(ctx, pointProgressKey{}, fn)
+}
+
+// ReportPointProgress invokes ctx's progress reporter, if any. Exported
+// so experiments defined outside this package (test stand-ins, custom
+// workloads) can feed the same progress channel the built-in sweeps do.
+func ReportPointProgress(ctx context.Context, done, total int) {
+	if fn, ok := ctx.Value(pointProgressKey{}).(func(done, total int)); ok && fn != nil {
+		fn(done, total)
+	}
+}
 
 // DefaultJobWorkers is the bounded concurrency at which the serving
 // layer (internal/server) executes experiment jobs: half the scheduler's
@@ -55,6 +80,10 @@ func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	var completed atomic.Int64
+	finish := func() {
+		ReportPointProgress(ctx, int(completed.Add(1)), n)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -63,6 +92,7 @@ func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 			if err := runPoint(i, fn); err != nil {
 				return err
 			}
+			finish()
 		}
 		return nil
 	}
@@ -105,6 +135,7 @@ func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 					continue
 				}
 				record(i, runPoint(i, fn))
+				finish()
 			}
 		}()
 	}

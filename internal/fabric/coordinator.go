@@ -1,0 +1,377 @@
+// Package fabric is the distributed sweep fabric: a coordinator that
+// accepts experiment jobs through the same versioned envelope API the
+// single-node server speaks, decomposes each sweep into point-level
+// work units (internal/experiments' decompositions), shards the points
+// across a fleet of cascade-server workers by consistent hashing, and
+// merges the returned point results into a response byte-identical to a
+// single-node run.
+//
+// Fleet mechanics:
+//
+//   - Workers enlist with POST /v1/workers and stay registered by
+//     heartbeating; a worker that misses its heartbeat window is
+//     declared dead, removed from the hash ring, and its in-flight
+//     points are retried on the survivors (fabric.points.retried).
+//   - A point dispatch is a lease bounded by the RPC deadline: a worker
+//     that dies mid-point fails the RPC, and the coordinator reassigns
+//     the point to the next candidate on the ring. Work is only ever
+//     lost to terminal experiment errors, never to worker death.
+//   - Results are content-addressed end to end: the coordinator checks
+//     its own cache index before shipping a point (fabric.cache.hits),
+//     workers answer from their local cache when they can ("cached"
+//     responses count in fabric.cache.remote_hits), and merged job
+//     results land under the same render key a single-node server uses
+//     — so a fleet and a server sharing a cache directory memoize each
+//     other's work.
+//   - Admission control: per-tenant quotas (X-Tenant header) bound how
+//     many jobs a tenant may have in flight, on top of the workers' own
+//     503 load shedding.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// SiteAssign is the fabric's fault-injection site: armed, it fails a
+// point dispatch before the RPC is sent, indistinguishable from a
+// worker dying at assignment — the deterministic half of the chaos
+// tests' worker-kill coverage.
+const SiteAssign = "fabric.assign"
+
+// FaultSites returns every injection site the coordinator consults.
+func FaultSites() []string { return []string{SiteAssign} }
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrUnknownExperiment is returned for a name the registry lacks.
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrShuttingDown is returned for submissions after Shutdown began.
+	ErrShuttingDown = errors.New("coordinator shutting down")
+	// ErrQuotaExceeded is returned when the tenant is at its in-flight
+	// job quota.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// errNoWorkers fails a dispatch when no live worker exists.
+	errNoWorkers = errors.New("no live workers")
+)
+
+// Config configures a Coordinator. The zero value coordinates the full
+// experiment registry with a memory-only result index and no quotas.
+type Config struct {
+	// Experiments is the served registry (tests inject synthetic
+	// sweeps). Default: experiments.Registry(). Workers must serve a
+	// superset: decomposition names are resolved on both sides.
+	Experiments []experiments.Experiment
+	// CacheDir persists the coordinator's result index under this
+	// directory; empty keeps it in memory. Pointing it at the same
+	// directory as the workers' caches turns disk into a shared
+	// result store for the whole fleet.
+	CacheDir string
+	// Metrics receives the fleet counters. Default: a fresh registry.
+	Metrics *metrics.Synced
+	// Faults arms the coordinator's injection sites (see FaultSites).
+	Faults *faults.Injector
+	// Client performs worker RPCs. Default: an http.Client whose
+	// Timeout is LeaseTimeout.
+	Client *http.Client
+	// LeaseTimeout bounds one point dispatch end to end: a worker that
+	// holds a point longer has lost its lease, the RPC fails, and the
+	// point is reassigned. Size it above the workers' point deadline.
+	// Default: 2m.
+	LeaseTimeout time.Duration
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// declared dead. Default: 15s.
+	HeartbeatTimeout time.Duration
+	// MaxInflight bounds concurrent point dispatches per job. Default: 16.
+	MaxInflight int
+	// MaxPointAttempts bounds how many workers one point is tried on
+	// before the job fails with the last transport error. Default: 8.
+	MaxPointAttempts int
+	// RetryBackoff is the base delay between a failed dispatch and its
+	// retry, doubling per attempt (capped at 1s). Default: 50ms.
+	RetryBackoff time.Duration
+	// DefaultQuota bounds any tenant's in-flight jobs; 0 = unlimited.
+	// Quotas overrides it per tenant (a 0 entry means unlimited for
+	// that tenant).
+	DefaultQuota int
+	Quotas       map[string]int
+	// ProgressInterval is the keep-alive cadence of streaming ?wait
+	// responses. Default: server.DefaultProgressInterval.
+	ProgressInterval time.Duration
+}
+
+// Coordinator owns the fleet: worker membership, the hash ring, the
+// job table, and the shared result index. Create with New, expose
+// Handler over HTTP, stop with Shutdown.
+type Coordinator struct {
+	cfg     Config
+	metrics *metrics.Synced
+	cache   *server.Cache
+	faults  *faults.Injector
+	client  *http.Client
+	infos   []experiments.Info
+	exps    map[string]bool
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup // job runners + reaper
+
+	stopReap chan struct{} // closed once by Shutdown
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	jobs    map[string]*fjob
+	order   []*fjob
+	workers map[string]*workerRec
+	ring    *ring
+	tenants map[string]int // tenant → in-flight jobs
+	wake    chan struct{}  // closed+replaced when membership grows
+}
+
+// workerRec is one enlisted worker.
+type workerRec struct {
+	Name     string    `json:"name"`
+	URL      string    `json:"url"`
+	LastSeen time.Time `json:"last_seen"`
+	Alive    bool      `json:"alive"`
+}
+
+// New builds a coordinator and starts its heartbeat reaper.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Experiments == nil {
+		cfg.Experiments = experiments.Registry()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewSynced()
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Minute
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 15 * time.Second
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 16
+	}
+	if cfg.MaxPointAttempts <= 0 {
+		cfg.MaxPointAttempts = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = server.DefaultProgressInterval
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.LeaseTimeout}
+	}
+	initMetrics(cfg.Metrics)
+	cache, err := server.NewCache(cfg.CacheDir, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:       cfg,
+		metrics:   cfg.Metrics,
+		cache:     cache,
+		faults:    cfg.Faults,
+		client:    cfg.Client,
+		exps:      make(map[string]bool, len(cfg.Experiments)),
+		runCtx:    runCtx,
+		cancelRun: cancel,
+		stopReap:  make(chan struct{}),
+		jobs:      make(map[string]*fjob),
+		workers:   make(map[string]*workerRec),
+		ring:      buildRing(nil),
+		tenants:   make(map[string]int),
+		wake:      make(chan struct{}),
+		nextID:    1,
+	}
+	for _, e := range cfg.Experiments {
+		if c.exps[e.Name] {
+			cancel()
+			return nil, fmt.Errorf("fabric: duplicate experiment %q", e.Name)
+		}
+		c.exps[e.Name] = true
+		c.infos = append(c.infos, e.Info())
+	}
+	c.wg.Add(1)
+	go c.reaper()
+	return c, nil
+}
+
+// Shutdown stops the coordinator: new submissions are rejected and
+// in-flight jobs drain (their point RPCs are bounded by LeaseTimeout).
+// If ctx expires first, the run context is cancelled — dispatch loops
+// stop and the affected jobs fail — and ctx's error is returned.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.stopReap)
+	}
+	c.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		c.cancelRun()
+		<-drained
+		err = ctx.Err()
+	}
+	c.cancelRun()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Metrics returns a snapshot of the fleet metrics.
+func (c *Coordinator) Metrics() metrics.Snapshot {
+	return c.metrics.Snapshot()
+}
+
+// Experiments returns the coordinated experiments' metadata.
+func (c *Coordinator) Experiments() []experiments.Info {
+	return c.infos
+}
+
+// Register enlists (or re-enlists — registration doubles as the
+// heartbeat) a worker under a stable name at a base URL. A worker
+// changing URLs mid-life is treated as the same ring member at a new
+// address.
+func (c *Coordinator) Register(name, url string) error {
+	if name == "" || url == "" {
+		return errors.New("worker registration needs name and url")
+	}
+	c.metrics.Inc(mWorkersRegistered)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[name]
+	if !ok {
+		w = &workerRec{Name: name}
+		c.workers[name] = w
+	}
+	revived := !w.Alive
+	w.URL = url
+	w.LastSeen = time.Now()
+	w.Alive = true
+	if revived {
+		c.rebuildRingLocked()
+		c.wakeLocked()
+	}
+	return nil
+}
+
+// Workers returns the current membership, sorted by name.
+func (c *Coordinator) Workers() []workerRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]workerRec, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// reaper declares silent workers dead. It runs at a quarter of the
+// heartbeat window so death detection lags silence by at most ~1.25
+// windows.
+func (c *Coordinator) reaper() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.reapOnce(time.Now())
+		case <-c.stopReap:
+			return
+		case <-c.runCtx.Done():
+			return
+		}
+	}
+}
+
+// reapOnce marks every worker silent past the heartbeat window dead and
+// rebuilds the ring if membership changed.
+func (c *Coordinator) reapOnce(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for _, w := range c.workers {
+		if w.Alive && now.Sub(w.LastSeen) > c.cfg.HeartbeatTimeout {
+			w.Alive = false
+			changed = true
+			c.metrics.Inc(mWorkersDeaths)
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+}
+
+// rebuildRingLocked rebuilds the hash ring from live members and
+// refreshes the alive gauge. Callers must hold c.mu.
+func (c *Coordinator) rebuildRingLocked() {
+	var names []string
+	for _, w := range c.workers {
+		if w.Alive {
+			names = append(names, w.Name)
+		}
+	}
+	sort.Strings(names)
+	c.ring = buildRing(names)
+	c.metrics.Set(mWorkersAlive, int64(len(names)))
+}
+
+// wakeLocked signals dispatchers blocked on an empty fleet. Callers
+// must hold c.mu.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// candidates resolves a key's failover sequence to live worker URLs,
+// plus the channel a dispatcher waits on when the fleet is empty.
+func (c *Coordinator) candidates(key string) (urls []string, wake <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range c.ring.candidates(key) {
+		if w, ok := c.workers[name]; ok && w.Alive {
+			urls = append(urls, w.URL)
+		}
+	}
+	return urls, c.wake
+}
+
+// quota returns the tenant's in-flight job bound (0 = unlimited).
+func (c *Coordinator) quota(tenant string) int {
+	if q, ok := c.cfg.Quotas[tenant]; ok {
+		return q
+	}
+	return c.cfg.DefaultQuota
+}

@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Enlist is the worker side of fleet membership: a cascade-server that
+// wants sweep shards announces itself to the coordinator and then keeps
+// heartbeating so the coordinator's reaper knows it is alive. The same
+// POST /v1/workers request serves as both registration and heartbeat —
+// there is no separate liveness protocol to get out of sync with
+// membership.
+
+// DefaultHeartbeatInterval is how often an enlisted worker re-announces
+// itself. It must be comfortably under the coordinator's
+// HeartbeatTimeout (default 15s) so one dropped request does not get a
+// healthy worker declared dead.
+const DefaultHeartbeatInterval = 3 * time.Second
+
+// EnlistConfig configures a worker's membership loop.
+type EnlistConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8081".
+	Coordinator string
+	// Name uniquely identifies this worker within the fleet.
+	Name string
+	// Advertise is the URL the coordinator should dispatch points to —
+	// this worker's own listen address as reachable from the coordinator.
+	Advertise string
+	// Interval between heartbeats. Zero means DefaultHeartbeatInterval.
+	Interval time.Duration
+	// Client used for heartbeat requests. Nil means a client with a
+	// timeout of Interval (a heartbeat slower than the next one is due
+	// is as good as lost).
+	Client *http.Client
+	// OnError, if non-nil, observes heartbeat failures. The loop keeps
+	// retrying regardless: coordinator restarts are expected, and
+	// re-registration after one is exactly how the fleet heals.
+	OnError func(error)
+}
+
+// Enlist registers with the coordinator and heartbeats until ctx is
+// cancelled. The first registration is attempted immediately and its
+// error returned if ctx dies before any attempt succeeds; after that
+// the loop only ever exits with ctx.Err().
+func Enlist(ctx context.Context, cfg EnlistConfig) error {
+	if cfg.Coordinator == "" || cfg.Name == "" || cfg.Advertise == "" {
+		return fmt.Errorf("fabric: enlist needs coordinator, name and advertise URLs")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultHeartbeatInterval
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Interval}
+	}
+
+	body, err := json.Marshal(workerRequest{Name: cfg.Name, URL: cfg.Advertise})
+	if err != nil {
+		return fmt.Errorf("fabric: marshal enlist request: %w", err)
+	}
+	beat := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.Coordinator+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(server.VersionHeader, server.APIVersion)
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fabric: coordinator rejected heartbeat: %s", resp.Status)
+		}
+		return nil
+	}
+
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		if err := beat(); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if cfg.OnError != nil {
+				cfg.OnError(err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// fjob is the coordinator's record of one accepted job. It mirrors the
+// server's job just closely enough to render the same JobView, so a
+// client cannot tell a coordinator from a server by response shape.
+type fjob struct {
+	id         string
+	experiment string
+	params     server.JobParams
+	key        string // render key of the merged result
+	tenant     string
+
+	state   server.State
+	cached  bool
+	errMsg  string
+	errCode string
+	result  []byte
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	pointsDone  atomic.Int64
+	pointsTotal atomic.Int64
+
+	done chan struct{}
+}
+
+func (j *fjob) view(withResult bool) server.JobView {
+	v := server.JobView{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Params:     j.params,
+		Key:        j.key,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.errMsg,
+		ErrorCode:  j.errCode,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if withResult && j.state == server.StateDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	return v
+}
+
+func (j *fjob) progress() *server.Progress {
+	total := j.pointsTotal.Load()
+	if total == 0 {
+		return nil
+	}
+	return &server.Progress{PointsDone: int(j.pointsDone.Load()), PointsTotal: int(total)}
+}
+
+// fabricError carries a typed API code through the scheduler, so a
+// job's failure reports the same code a single server would have used.
+type fabricError struct {
+	code string
+	err  error
+}
+
+func (e *fabricError) Error() string { return e.err.Error() }
+func (e *fabricError) Unwrap() error { return e.err }
+
+func codeOf(err error) string {
+	var fe *fabricError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &fe):
+		return fe.code
+	case errors.Is(err, context.Canceled):
+		return server.CodeCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return server.CodeTimeout
+	default:
+		return server.CodeExperimentFailed
+	}
+}
+
+// Submit accepts one job for a tenant ("" = anonymous). The submission
+// path mirrors the server's: resolve defaults, derive the content
+// address, answer from the cache when the merged result already exists,
+// otherwise start the distributed run.
+func (c *Coordinator) Submit(tenant, experiment string, p server.JobParams) (server.JobView, error) {
+	if !c.exps[experiment] {
+		return server.JobView{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, experiment)
+	}
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return server.JobView{}, err
+	}
+	jobKey, err := server.JobKey(experiment, p)
+	if err != nil {
+		return server.JobView{}, err
+	}
+	key := server.RenderKey(jobKey, "json")
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.metrics.Inc(mJobsRejected)
+		return server.JobView{}, ErrShuttingDown
+	}
+	if q := c.quota(tenant); q > 0 && c.tenants[tenant] >= q {
+		c.metrics.Inc(mJobsQuotaRejected)
+		return server.JobView{}, fmt.Errorf("%w: tenant %q has %d jobs in flight (quota %d)",
+			ErrQuotaExceeded, tenant, c.tenants[tenant], q)
+	}
+	c.metrics.Inc(mJobsSubmitted)
+	j := &fjob{
+		id:         fmt.Sprintf("f%d", c.nextID),
+		experiment: experiment,
+		params:     p,
+		key:        key,
+		tenant:     tenant,
+		state:      server.StateQueued,
+		created:    time.Now(),
+		done:       make(chan struct{}),
+	}
+	c.nextID++
+	c.jobs[j.id] = j
+	c.order = append(c.order, j)
+
+	if val, ok := c.cache.Get(key); ok {
+		j.cached = true
+		c.finishLocked(j, val, nil)
+		c.metrics.Inc(mJobsCacheHits)
+		return j.view(true), nil
+	}
+	c.tenants[tenant]++
+	c.wg.Add(1)
+	go c.runJob(j)
+	return j.view(true), nil
+}
+
+// Job returns the view of a submitted job.
+func (c *Coordinator) Job(id string) (server.JobView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return server.JobView{}, false
+	}
+	return j.view(true), true
+}
+
+// Jobs returns every job in submission order, without result payloads.
+func (c *Coordinator) Jobs() []server.JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]server.JobView, len(c.order))
+	for i, j := range c.order {
+		out[i] = j.view(false)
+	}
+	return out
+}
+
+// Await blocks until the job finishes, the timeout elapses, or cancel
+// fires, then returns the current view.
+func (c *Coordinator) Await(id string, timeout time.Duration, cancel <-chan struct{}) (server.JobView, bool) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return server.JobView{}, false
+	}
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-cancel:
+		}
+	}
+	return c.Job(id)
+}
+
+// runJob drives one job to completion: decomposable sweeps shard
+// point-by-point across the fleet; anything else ships whole to one
+// worker.
+func (c *Coordinator) runJob(j *fjob) {
+	defer func() {
+		c.mu.Lock()
+		c.tenants[j.tenant]--
+		if c.tenants[j.tenant] <= 0 {
+			delete(c.tenants, j.tenant)
+		}
+		c.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.mu.Lock()
+	j.state = server.StateRunning
+	j.started = time.Now()
+	c.mu.Unlock()
+
+	var val []byte
+	var err error
+	if specs, ok := experiments.Decompose(j.experiment, j.params.RunConfig()); ok {
+		val, err = c.runSharded(j, specs)
+	} else {
+		c.metrics.Inc(mJobsForwarded)
+		val, err = c.forwardJob(j)
+	}
+	if err == nil {
+		// Degrade on a failed write exactly as the server does: the merged
+		// result is in hand, only the shared copy is lost.
+		_ = c.cache.Put(j.key, val)
+	}
+	c.mu.Lock()
+	c.finishLocked(j, val, err)
+	c.mu.Unlock()
+}
+
+// runSharded runs a decomposed sweep: every point dispatched across the
+// fleet (bounded by MaxInflight), results merged in index order, with
+// the pool's lowest-index-error rule — when points fail, the job
+// reports the failure of the lowest-index one, independent of dispatch
+// interleaving.
+func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte, error) {
+	j.pointsTotal.Store(int64(len(specs)))
+	results := make([]experiments.PointResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, c.cfg.MaxInflight)
+	var wg sync.WaitGroup
+	for i := range specs {
+		if c.runCtx.Err() != nil {
+			errs[i] = c.runCtx.Err()
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			res, err := c.runPoint(specs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res
+			j.pointsDone.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("point %d: %w", i, e)
+		}
+	}
+	merged, err := experiments.MergePoints(j.experiment, j.params.RunConfig(), results)
+	if err != nil {
+		return nil, err
+	}
+	return server.RenderJSON(merged)
+}
+
+// runPoint resolves one spec to its result: the coordinator's own index
+// first, then dispatch along the key's ring candidates until a worker
+// answers, the attempt budget runs out, or the error is terminal.
+func (c *Coordinator) runPoint(spec experiments.PointSpec) (experiments.PointResult, error) {
+	key, err := canon.PointKey(spec)
+	if err != nil {
+		return experiments.PointResult{}, &fabricError{code: server.CodeBadRequest, err: err}
+	}
+	if val, ok := c.cache.Get(key); ok {
+		var res experiments.PointResult
+		if err := json.Unmarshal(val, &res); err == nil {
+			c.metrics.Inc(mCacheHits)
+			return res, nil
+		}
+	}
+	backoff := c.cfg.RetryBackoff
+	var lastErr error = errNoWorkers
+	for attempt := 0; attempt < c.cfg.MaxPointAttempts; attempt++ {
+		urls, wake := c.candidates(key)
+		if len(urls) == 0 {
+			// Empty fleet: wait for a registration rather than burning the
+			// attempt budget on a fleet that is still booting.
+			select {
+			case <-wake:
+				continue
+			case <-time.After(backoff):
+			case <-c.runCtx.Done():
+				return experiments.PointResult{}, c.runCtx.Err()
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		url := urls[attempt%len(urls)]
+		c.metrics.Inc(mPointsAssigned)
+		res, cached, err := c.shipPoint(url, key, spec)
+		if err == nil {
+			c.metrics.Inc(mPointsCompleted)
+			if cached {
+				c.metrics.Inc(mCacheRemoteHits)
+			}
+			if val, merr := json.Marshal(res); merr == nil {
+				_ = c.cache.Put(key, val)
+			}
+			return res, nil
+		}
+		var fe *fabricError
+		if errors.As(err, &fe) && terminalCode(fe.code) {
+			c.metrics.Inc(mPointsFailed)
+			return experiments.PointResult{}, err
+		}
+		// The lease died — worker unreachable, saturated, or draining.
+		// Reassign to the next ring candidate after a breather.
+		c.metrics.Inc(mPointsRetried)
+		lastErr = err
+		select {
+		case <-time.After(backoff):
+		case <-c.runCtx.Done():
+			return experiments.PointResult{}, c.runCtx.Err()
+		}
+		backoff = nextBackoff(backoff)
+	}
+	return experiments.PointResult{}, fmt.Errorf("point %s undeliverable after %d attempts: %w",
+		key[:12], c.cfg.MaxPointAttempts, lastErr)
+}
+
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// terminalCode reports whether a worker's error code means the point
+// itself is bad — retrying it elsewhere would fail identically.
+func terminalCode(code string) bool {
+	switch code {
+	case server.CodeQueueFull, server.CodeShuttingDown:
+		return false // load shedding: another worker (or a later try) can serve
+	case "":
+		return false // no typed code = transport-level trouble
+	default:
+		return true
+	}
+}
+
+// shipPoint performs one point dispatch RPC. The error is a
+// *fabricError carrying the worker's typed code when the worker
+// answered with one, or an untyped transport error when it did not.
+func (c *Coordinator) shipPoint(workerURL, key string, spec experiments.PointSpec) (experiments.PointResult, bool, error) {
+	if err := c.faults.Fail(SiteAssign); err != nil {
+		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %w", workerURL, err)
+	}
+	body, err := json.Marshal(map[string]interface{}{"key": key, "point": spec})
+	if err != nil {
+		return experiments.PointResult{}, false, &fabricError{code: server.CodeBadRequest, err: err}
+	}
+	req, err := http.NewRequestWithContext(c.runCtx, "POST", workerURL+"/v1/points", bytes.NewReader(body))
+	if err != nil {
+		return experiments.PointResult{}, false, &fabricError{code: server.CodeBadRequest, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.VersionHeader, server.APIVersion)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %w", workerURL, err)
+	}
+	defer resp.Body.Close()
+	var env server.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: bad envelope: %w", workerURL, err)
+	}
+	if resp.StatusCode != http.StatusOK || env.Point == nil {
+		code, msg := "", fmt.Sprintf("status %d", resp.StatusCode)
+		if env.Error != nil {
+			code, msg = env.Error.Code, env.Error.Message
+		}
+		if !terminalCode(code) {
+			return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %s", workerURL, msg)
+		}
+		return experiments.PointResult{}, false, &fabricError{code: code, err: fmt.Errorf("worker %s: %s", workerURL, msg)}
+	}
+	return *env.Point, env.Cached, nil
+}
+
+// forwardJob ships a non-decomposable job whole to one worker (chosen
+// by the job's content address, so identical jobs land on the same
+// worker and coalesce there) and relays the result.
+func (c *Coordinator) forwardJob(j *fjob) ([]byte, error) {
+	backoff := c.cfg.RetryBackoff
+	var lastErr error = errNoWorkers
+	for attempt := 0; attempt < c.cfg.MaxPointAttempts; attempt++ {
+		urls, wake := c.candidates(j.key)
+		if len(urls) == 0 {
+			select {
+			case <-wake:
+				continue
+			case <-time.After(backoff):
+			case <-c.runCtx.Done():
+				return nil, c.runCtx.Err()
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		val, err := c.forwardOnce(urls[attempt%len(urls)], j)
+		if err == nil {
+			return val, nil
+		}
+		var fe *fabricError
+		if errors.As(err, &fe) && terminalCode(fe.code) {
+			return nil, err
+		}
+		lastErr = err
+		select {
+		case <-time.After(backoff):
+		case <-c.runCtx.Done():
+			return nil, c.runCtx.Err()
+		}
+		backoff = nextBackoff(backoff)
+	}
+	return nil, fmt.Errorf("job %s undeliverable after %d attempts: %w", j.id, c.cfg.MaxPointAttempts, lastErr)
+}
+
+// forwardOnce submits the job to one worker and long-polls it to
+// completion. The relayed result is re-rendered through the canonical
+// formatting so its bytes match a direct single-node run exactly.
+func (c *Coordinator) forwardOnce(workerURL string, j *fjob) ([]byte, error) {
+	body, _ := json.Marshal(map[string]interface{}{"experiment": j.experiment, "params": j.params})
+	env, status, err := c.doEnvelope("POST", workerURL+"/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if env.Error != nil && status != http.StatusOK && status != http.StatusAccepted {
+		if terminalCode(env.Error.Code) {
+			return nil, &fabricError{code: env.Error.Code, err: fmt.Errorf("worker %s: %s", workerURL, env.Error.Message)}
+		}
+		return nil, fmt.Errorf("worker %s refused job: %s", workerURL, env.Error.Message)
+	}
+	if env.Job == nil {
+		return nil, fmt.Errorf("worker %s: job response without a job", workerURL)
+	}
+	for env.Job.State != server.StateDone && env.Job.State != server.StateFailed {
+		if c.runCtx.Err() != nil {
+			return nil, c.runCtx.Err()
+		}
+		env, _, err = c.doEnvelope("GET", workerURL+"/v1/jobs/"+env.Job.ID+"?wait=5s", nil)
+		if err != nil {
+			return nil, err
+		}
+		if env.Job == nil {
+			return nil, fmt.Errorf("worker %s: poll response without a job", workerURL)
+		}
+	}
+	if env.Job.State == server.StateFailed {
+		code := env.Job.ErrorCode
+		if code == "" {
+			code = server.CodeExperimentFailed
+		}
+		return nil, &fabricError{code: code, err: fmt.Errorf("worker %s: %s", workerURL, env.Job.Error)}
+	}
+	return normalizeResult(env.Result)
+}
+
+// doEnvelope performs one current-version API request and decodes the
+// envelope. Transport errors come back untyped (retryable).
+func (c *Coordinator) doEnvelope(method, url string, body []byte) (server.Envelope, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(c.runCtx, method, url, rd)
+	if err != nil {
+		return server.Envelope{}, 0, &fabricError{code: server.CodeBadRequest, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(server.VersionHeader, server.APIVersion)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return server.Envelope{}, 0, err
+	}
+	defer resp.Body.Close()
+	var env server.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return server.Envelope{}, resp.StatusCode, fmt.Errorf("bad envelope from %s: %w", url, err)
+	}
+	return env, resp.StatusCode, nil
+}
+
+// normalizeResult re-renders relayed result bytes in the canonical
+// cache format (two-space indent, trailing newline). A result embedded
+// in a response envelope was re-indented relative to its position in
+// that envelope; normalizing restores the exact bytes RenderJSON
+// produces, preserving the byte-identity and shared-cache contracts.
+func normalizeResult(raw json.RawMessage) ([]byte, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("forwarded job finished without result bytes")
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, raw); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := json.Indent(&out, compact.Bytes(), "", "  "); err != nil {
+		return nil, err
+	}
+	out.WriteByte('\n')
+	return out.Bytes(), nil
+}
+
+// finishLocked moves a job to its terminal state and wakes waiters.
+// Callers must hold c.mu.
+func (c *Coordinator) finishLocked(j *fjob, val []byte, err error) {
+	j.finished = time.Now()
+	if err != nil {
+		j.state = server.StateFailed
+		j.errMsg = err.Error()
+		j.errCode = codeOf(err)
+		c.metrics.Inc(mJobsFailed)
+	} else {
+		j.state = server.StateDone
+		j.result = val
+		c.metrics.Inc(mJobsCompleted)
+	}
+	close(j.done)
+}

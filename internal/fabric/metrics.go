@@ -1,0 +1,62 @@
+package fabric
+
+import "repro/internal/metrics"
+
+// Fleet metric names, all under the fabric. prefix so a scrape of the
+// coordinator's /metrics separates fleet behaviour from any colocated
+// server's job counters.
+//
+// The point counters obey a conservation identity mirroring the
+// server's job identity (DESIGN.md §6): every assignment ends in
+// exactly one of completed, retried, or failed, so at any quiescent
+// moment
+//
+//	fabric.points.assigned = fabric.points.completed
+//	                       + fabric.points.retried
+//	                       + fabric.points.failed
+//
+// and while dispatches are in flight the left side exceeds the right by
+// exactly the in-flight count. The multi-node chaos test asserts this
+// after killing a worker mid-sweep: a lease that died with its worker
+// must surface in fabric.points.retried, never vanish.
+const (
+	// Job counters.
+	mJobsSubmitted     = "fabric.jobs.submitted"      // jobs accepted (a record exists)
+	mJobsCompleted     = "fabric.jobs.completed"      // jobs finished done
+	mJobsFailed        = "fabric.jobs.failed"         // jobs finished failed
+	mJobsCacheHits     = "fabric.jobs.cache_hits"     // jobs answered from the merged-result cache
+	mJobsForwarded     = "fabric.jobs.forwarded"      // non-decomposable jobs shipped whole to a worker
+	mJobsQuotaRejected = "fabric.jobs.quota_rejected" // submissions refused by tenant quota
+	mJobsRejected      = "fabric.jobs.rejected"       // submissions refused (shutdown)
+
+	// Point counters (see the conservation identity above).
+	mPointsAssigned  = "fabric.points.assigned"  // point dispatches started (one per attempt)
+	mPointsCompleted = "fabric.points.completed" // dispatches that returned a result
+	mPointsRetried   = "fabric.points.retried"   // dispatches lost to a dead/saturated worker and reassigned
+	mPointsFailed    = "fabric.points.failed"    // dispatches that failed terminally (experiment error)
+
+	// Cross-node cache counters — the observable proof that the fleet
+	// shares results instead of recomputing them.
+	mCacheHits       = "fabric.cache.hits"        // points answered from the coordinator's own index
+	mCacheRemoteHits = "fabric.cache.remote_hits" // points a worker answered from its cache ("cached": true)
+
+	// Worker-fleet counters and gauges.
+	mWorkersRegistered = "fabric.workers.registered" // registration requests (incl. heartbeats)
+	mWorkersDeaths     = "fabric.workers.deaths"     // workers declared dead by heartbeat timeout
+	mWorkersAlive      = "fabric.workers.alive"      // gauge: workers currently serving
+)
+
+// initMetrics pre-registers every fabric metric at zero, the same
+// stable-exposition convention the server follows.
+func initMetrics(m *metrics.Synced) {
+	for _, name := range []string{
+		mJobsSubmitted, mJobsCompleted, mJobsFailed, mJobsCacheHits,
+		mJobsForwarded, mJobsQuotaRejected, mJobsRejected,
+		mPointsAssigned, mPointsCompleted, mPointsRetried, mPointsFailed,
+		mCacheHits, mCacheRemoteHits,
+		mWorkersRegistered, mWorkersDeaths,
+	} {
+		m.Add(name, 0)
+	}
+	m.Set(mWorkersAlive, 0)
+}

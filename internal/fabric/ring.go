@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ring mapping point keys to workers. Each worker owns
+// vnodesPerWorker pseudo-random arcs of the 64-bit hash circle, so keys
+// spread evenly and a membership change (a worker joining, or dying
+// mid-sweep) remaps only the arcs that worker owned — every other
+// point's affinity is untouched, which keeps retry traffic and cache
+// locality stable while the fleet churns.
+
+// vnodesPerWorker trades balance (more vnodes = smoother key spread)
+// against ring-rebuild cost. 64 keeps worst-case imbalance within a few
+// percent for small fleets, and rebuilds are trivial at fleet sizes the
+// fabric targets.
+const vnodesPerWorker = 64
+
+type vnode struct {
+	hash   uint64
+	worker string
+}
+
+type ring struct {
+	vnodes []vnode // sorted by hash
+}
+
+// fnvHash is FNV-1a over s with a 64-bit avalanche finalizer. Plain
+// FNV-1a (what the server's cache striping uses, where only the low
+// bits matter) leaves the high bits of similar short strings like
+// "w3#17" correlated — sorted on the full hash that clusters one
+// worker's vnodes into huge arcs and breaks ring balance. The fmix64
+// finalizer (MurmurHash3's) diffuses every input bit across the word.
+func fnvHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// buildRing places every worker's vnodes on the circle. Deterministic:
+// the same worker set (any order) builds the same ring.
+func buildRing(workers []string) *ring {
+	r := &ring{vnodes: make([]vnode, 0, len(workers)*vnodesPerWorker)}
+	for _, w := range workers {
+		for i := 0; i < vnodesPerWorker; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: fnvHash(fmt.Sprintf("%s#%d", w, i)), worker: w})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.worker < b.worker // total order even on hash collisions
+	})
+	return r
+}
+
+// candidates returns every distinct worker in ring order starting from
+// the key's successor vnode: the key's owner first, then the failover
+// sequence a retry walks when the owner is saturated or dead.
+func (r *ring) candidates(key string) []string {
+	if r == nil || len(r.vnodes) == 0 {
+		return nil
+	}
+	h := fnvHash(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	seen := make(map[string]bool)
+	var out []string
+	for n := 0; n < len(r.vnodes); n++ {
+		v := r.vnodes[(start+n)%len(r.vnodes)]
+		if !seen[v.worker] {
+			seen[v.worker] = true
+			out = append(out, v.worker)
+		}
+	}
+	return out
+}

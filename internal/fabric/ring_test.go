@@ -1,0 +1,94 @@
+package fabric
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic pins that membership order does not matter: any
+// permutation of the same worker set builds an identical ring, so every
+// coordinator (or one coordinator across rebuilds) agrees on point
+// placement.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing([]string{"w1", "w2", "w3"})
+	b := buildRing([]string{"w3", "w1", "w2"})
+	if !reflect.DeepEqual(a.vnodes, b.vnodes) {
+		t.Fatal("ring depends on membership order")
+	}
+	for _, key := range []string{"k0", "k1", "deadbeef", "5bce9c0c"} {
+		if got, want := a.candidates(key), b.candidates(key); !reflect.DeepEqual(got, want) {
+			t.Fatalf("candidates(%q) differ across permutations: %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestRingCandidates pins the failover contract: every live worker
+// appears exactly once, owner first, and removing a worker leaves the
+// other keys' owners untouched (the consistent-hashing point).
+func TestRingCandidates(t *testing.T) {
+	workers := []string{"w1", "w2", "w3", "w4"}
+	r := buildRing(workers)
+	owner := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		cands := r.candidates(key)
+		if len(cands) != len(workers) {
+			t.Fatalf("key %q: got %d candidates, want %d", key, len(cands), len(workers))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %q: duplicate candidate %q", key, c)
+			}
+			seen[c] = true
+		}
+		owner[key] = cands[0]
+	}
+
+	// Drop w2: only keys w2 owned may move.
+	small := buildRing([]string{"w1", "w3", "w4"})
+	moved := 0
+	for key, before := range owner {
+		after := small.candidates(key)[0]
+		if before == "w2" {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved from %q to %q though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by w2 — ring badly imbalanced")
+	}
+}
+
+// TestRingBalance checks vnode smoothing: across many keys no worker
+// owns a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	r := buildRing([]string{"w1", "w2", "w3", "w4"})
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.candidates(fmt.Sprintf("point-%d", i))[0]]++
+	}
+	for w, n := range counts {
+		share := float64(n) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("worker %s owns %.1f%% of keys (counts: %v)", w, 100*share, counts)
+		}
+	}
+}
+
+// TestRingEmpty pins nil-safety: no workers means no candidates, not a
+// panic.
+func TestRingEmpty(t *testing.T) {
+	if got := buildRing(nil).candidates("k"); got != nil {
+		t.Fatalf("empty ring returned candidates %v", got)
+	}
+	var r *ring
+	if got := r.candidates("k"); got != nil {
+		t.Fatalf("nil ring returned candidates %v", got)
+	}
+}

@@ -35,6 +35,10 @@ const (
 	CodeTimeout          = "timeout"
 	CodePanic            = "panic"
 	CodeExperimentFailed = "experiment_failed"
+	// CodeQuotaExceeded rejects a submission whose tenant is over its
+	// admission quota (fabric coordinators only; a single server never
+	// emits it).
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // APIError is the envelope's typed error object.
@@ -47,15 +51,26 @@ type APIError struct {
 // fills the fields it has and omits the rest, so clients decode a single
 // type. A job's result rides beside the job, not inside it.
 type Envelope struct {
-	Version     string                `json:"api_version"`
-	Job         *JobView              `json:"job,omitempty"`
-	Jobs        []JobView             `json:"jobs,omitempty"`
-	Experiments []experiments.Info    `json:"experiments,omitempty"`
-	Result      json.RawMessage       `json:"result,omitempty"`
-	Checkpoints *CheckpointStreamView `json:"checkpoints,omitempty"`
-	Checkpoint  *CheckpointView       `json:"checkpoint,omitempty"`
-	QueueDepth  *int                  `json:"queue_depth,omitempty"`
-	Error       *APIError             `json:"error,omitempty"`
+	Version     string                   `json:"api_version"`
+	Job         *JobView                 `json:"job,omitempty"`
+	Jobs        []JobView                `json:"jobs,omitempty"`
+	Experiments []experiments.Info       `json:"experiments,omitempty"`
+	Result      json.RawMessage          `json:"result,omitempty"`
+	Point       *experiments.PointResult `json:"point,omitempty"`
+	Cached      bool                     `json:"cached,omitempty"`
+	Progress    *Progress                `json:"progress,omitempty"`
+	Checkpoints *CheckpointStreamView    `json:"checkpoints,omitempty"`
+	Checkpoint  *CheckpointView          `json:"checkpoint,omitempty"`
+	QueueDepth  *int                     `json:"queue_depth,omitempty"`
+	Error       *APIError                `json:"error,omitempty"`
+}
+
+// Progress reports how far a running sweep has advanced, in points.
+// Keep-alive frames of a streaming ?wait response carry one, as do the
+// coordinator's partial-result frames.
+type Progress struct {
+	PointsDone  int `json:"points_done"`
+	PointsTotal int `json:"points_total"`
 }
 
 // requestVersion resolves a request's wire format. An absent header means

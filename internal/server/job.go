@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,7 +42,24 @@ type job struct {
 	started  time.Time
 	finished time.Time
 
+	// Sweep progress in points, updated live from the experiment pool's
+	// goroutines while the job runs (hence atomics, not the mutex): the
+	// streaming ?wait path reads them to build keep-alive frames.
+	pointsDone  atomic.Int64
+	pointsTotal atomic.Int64
+
 	done chan struct{}
+}
+
+// progress snapshots the job's live point counts, or nil before the
+// sweep has reported anything (jobs whose experiment never parallelizes
+// report no point progress at all).
+func (j *job) progress() *Progress {
+	total := j.pointsTotal.Load()
+	if total == 0 {
+		return nil
+	}
+	return &Progress{PointsDone: int(j.pointsDone.Load()), PointsTotal: int(total)}
 }
 
 // JobView is a job's client-facing JSON form. ErrorCode and

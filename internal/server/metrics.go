@@ -24,6 +24,14 @@ const (
 	mJobsPanics    = "jobs.panics"     // jobs failed by a recovered experiment panic
 	mJobsTimeouts  = "jobs.timeouts"   // jobs failed by their per-job deadline
 
+	// Point-execution counters (POST /v1/points — the fabric worker
+	// surface; see point.go).
+	mPointsExecuted    = "points.executed"     // points that ran a simulation here
+	mPointsCacheHits   = "points.cache_hits"   // points answered from the local cache
+	mPointsRejected    = "points.rejected"     // points refused (saturated or draining)
+	mPointsFailed      = "points.failed"       // point executions that returned an error
+	mPointsKeyMismatch = "points.key_mismatch" // requests whose key != locally-derived key
+
 	// Checkpoint-stream counters.
 	mCkptCaptured = "checkpoints.captured" // streams captured by a fresh simulation
 	mCkptReused   = "checkpoints.reused"   // stream requests answered by an existing stream
@@ -51,6 +59,8 @@ func initMetrics(m *metrics.Synced) {
 		mJobsSubmitted, mJobsExecuted, mJobsCompleted, mJobsFailed,
 		mJobsCoalesced, mJobsCacheHits, mJobsRejected,
 		mJobsPanics, mJobsTimeouts, mWorkerRestarts, mCacheWriteRetries,
+		mPointsExecuted, mPointsCacheHits, mPointsRejected,
+		mPointsFailed, mPointsKeyMismatch,
 		mCkptCaptured, mCkptReused,
 		mTimeQueued, mTimeRun,
 		"cache.hits", "cache.misses", "cache.disk_hits",

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/experiments"
+)
+
+// POST /v1/points is the fabric's worker surface: a coordinator ships
+// one PointSpec here and gets its PointResult back. The endpoint is
+// deliberately stateless — no job record, no queue slot, no id to poll —
+// because the coordinator owns all sweep bookkeeping (assignment,
+// retry, merge); a worker only has to run one point correctly, cache
+// it, and shed load honestly.
+//
+// Three properties the fleet relies on:
+//
+//   - Key verification: the worker re-derives canon.PointKey from the
+//     spec it decoded off the wire and refuses a request whose claimed
+//     key disagrees (points.key_mismatch). A mismatch means the two
+//     processes no longer share a key derivation — serving it would
+//     file the result under a key other nodes will never look up, or
+//     worse, hit a stale entry — so the safe answer is a loud 400.
+//   - Cache-first: a point already in the local cache (including one
+//     another worker wrote through a shared cache directory) is served
+//     without simulating (points.cache_hits, "cached": true in the
+//     envelope — which is how cross-node hits become observable).
+//   - Bounded admission: at most Workers points execute concurrently
+//     and at most QueueDepth more may wait; beyond that the worker
+//     sheds load with 503 + Retry-After exactly like job submission,
+//     and the coordinator backs off or reassigns.
+
+// pointRequest is the POST /v1/points body. Key is optional: when
+// present it must equal the key the worker derives from Point.
+type pointRequest struct {
+	Key   string                 `json:"key,omitempty"`
+	Point *experiments.PointSpec `json:"point"`
+}
+
+// pointRetryAfter is the Retry-After hint on shed points: short,
+// because point execution is fast relative to jobs and the coordinator
+// re-balances on its own clock anyway.
+const pointRetryAfter = "1"
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	ver, err := requestVersion(r)
+	if err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if ver == LegacyAPIVersion {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("point execution requires %s %s", VersionHeader, APIVersion))
+		return
+	}
+	var req pointRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Point == nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, "missing point spec")
+		return
+	}
+	spec := *req.Point
+	if !experiments.Decomposable(spec.Experiment) {
+		writeEnvelopeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("experiment %q has no point decomposition", spec.Experiment))
+		return
+	}
+	key, err := canon.PointKey(spec)
+	if err != nil {
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.Key != "" && req.Key != key {
+		s.metrics.Inc(mPointsKeyMismatch)
+		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("point key mismatch: request says %s, spec derives %s — coordinator and worker disagree on the key derivation", req.Key, key))
+		return
+	}
+
+	// Cache first: a hit — ours, or a sibling worker's through a shared
+	// cache directory — answers without burning an execution slot.
+	if val, ok := s.cache.Get(key); ok {
+		var res experiments.PointResult
+		if err := json.Unmarshal(val, &res); err == nil {
+			s.metrics.Inc(mPointsCacheHits)
+			writeEnvelope(w, http.StatusOK, Envelope{Point: &res, Cached: true})
+			return
+		}
+		// An undecodable entry can only mean the PointResult shape moved
+		// under a live cache; recompute and overwrite below.
+	}
+
+	if s.Draining() {
+		s.metrics.Inc(mPointsRejected)
+		w.Header().Set("Retry-After", pointRetryAfter)
+		writeEnvelopeError(w, http.StatusServiceUnavailable, CodeShuttingDown, ErrShuttingDown.Error())
+		return
+	}
+	release, ok := s.acquirePointSlot(r.Context())
+	if !ok {
+		s.metrics.Inc(mPointsRejected)
+		w.Header().Set("Retry-After", pointRetryAfter)
+		writeEnvelopeError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			"point admission saturated")
+		return
+	}
+	defer release()
+
+	res, err := s.executePoint(spec)
+	if err != nil {
+		s.metrics.Inc(mPointsFailed)
+		code := errorCode(err)
+		status := http.StatusInternalServerError
+		switch code {
+		case CodeTimeout:
+			status = http.StatusGatewayTimeout
+		case CodeCancelled, CodeShuttingDown:
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", pointRetryAfter)
+		case CodeBadRequest, CodeNotFound:
+			status = http.StatusBadRequest
+		}
+		writeEnvelopeError(w, status, code, err.Error())
+		return
+	}
+	s.metrics.Inc(mPointsExecuted)
+	if val, merr := json.Marshal(res); merr == nil {
+		// Degrade on write failure exactly as jobs do: the result is in
+		// hand, only the shared copy is lost (cache.write_errors).
+		_ = s.storeResult(s.runCtx, key, val)
+	}
+	writeEnvelope(w, http.StatusOK, Envelope{Point: &res})
+}
+
+// acquirePointSlot admits one point execution: at most Workers run at
+// once, at most QueueDepth more wait. Returns false — without blocking
+// indefinitely — when the wait line is full, the client gave up, or the
+// server's run context died.
+func (s *Server) acquirePointSlot(ctx context.Context) (release func(), ok bool) {
+	if int(s.pointAdmitted.Add(1)) > s.pointAdmitMax {
+		s.pointAdmitted.Add(-1)
+		return nil, false
+	}
+	select {
+	case s.pointSem <- struct{}{}:
+		return func() {
+			<-s.pointSem
+			s.pointAdmitted.Add(-1)
+		}, true
+	case <-ctx.Done():
+	case <-s.runCtx.Done():
+	}
+	s.pointAdmitted.Add(-1)
+	return nil, false
+}
+
+// executePoint runs one spec under the server's run context and job
+// deadline, converting panics (an experiment bug, or the injected
+// SiteExpPanic) into typed errors — the same containment execute gives
+// whole jobs, so a poisoned point fails one request, not the worker.
+func (s *Server) executePoint(spec experiments.PointSpec) (res experiments.PointResult, err error) {
+	ctx := s.runCtx
+	if s.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Inc(mJobsPanics)
+			err = &codedError{code: CodePanic, err: fmt.Errorf("point panicked: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if s.faults.Check(SiteExpPanic) {
+		panic(fmt.Sprintf("injected panic (site %s)", SiteExpPanic))
+	}
+	if s.faults.Check(SiteExpStall) {
+		<-ctx.Done() // a point that never finishes until cancelled
+		return res, ctx.Err()
+	}
+	res, err = experiments.RunPoint(ctx, spec)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.runCtx.Err() == nil {
+		s.metrics.Inc(mJobsTimeouts)
+		err = fmt.Errorf("point exceeded its %v deadline: %w", s.jobTimeout, err)
+	}
+	return res, err
+}
+
+// PointDeadline returns the execution deadline applied to shipped
+// points (0 = none); coordinators size their lease timeouts above it.
+func (s *Server) PointDeadline() time.Duration {
+	return s.jobTimeout
+}

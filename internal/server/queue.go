@@ -217,7 +217,10 @@ func (s *Server) runJob(j *job) {
 	s.metrics.Add(mTimeQueued, j.started.Sub(j.created).Nanoseconds())
 	s.metrics.Inc(mJobsExecuted)
 
-	ctx := s.runCtx
+	ctx := experiments.WithPointProgress(s.runCtx, func(done, total int) {
+		j.pointsDone.Store(int64(done))
+		j.pointsTotal.Store(int64(total))
+	})
 	timeout := time.Duration(j.params.TimeoutMS) * time.Millisecond
 	if timeout > 0 {
 		var cancel context.CancelFunc

@@ -11,6 +11,9 @@
 //	                                    or {"from_checkpoint": {"job": "...", "k": N}}
 //	GET  /v1/jobs                       list submitted jobs (no result payloads)
 //	GET  /v1/jobs/{id}                  one job, result included; ?wait=5s blocks
+//	                                    ("Accept: application/x-ndjson" streams
+//	                                    keep-alive progress frames while waiting)
+//	POST /v1/points                     run one decomposed sweep point (fabric workers)
 //	POST /v1/jobs/{id}/checkpoints      capture {"every_iters": N} checkpoint stream
 //	GET  /v1/jobs/{id}/checkpoints      the job's stream metadata
 //	GET  /v1/jobs/{id}/checkpoints/{k}  inspect machine state at checkpoint k
@@ -34,6 +37,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -80,23 +84,34 @@ type Config struct {
 	// injection at no cost. Tests and the cascade-server -faults dev
 	// flag are the only intended users.
 	Faults *faults.Injector
+	// ProgressInterval is the keep-alive cadence of streaming ?wait
+	// responses (see stream.go). Default: DefaultProgressInterval.
+	ProgressInterval time.Duration
 }
 
 // Server is the serving daemon. Create with New, expose Handler over
 // HTTP, stop with Shutdown.
 type Server struct {
-	metrics    *metrics.Synced
-	cache      *Cache
-	exps       map[string]experiments.Experiment
-	infos      []experiments.Info
-	jobTimeout time.Duration
-	faults     *faults.Injector
+	metrics      *metrics.Synced
+	cache        *Cache
+	exps         map[string]experiments.Experiment
+	infos        []experiments.Info
+	jobTimeout   time.Duration
+	faults       *faults.Injector
+	progressTick time.Duration
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 
 	queue chan *job
 	wg    sync.WaitGroup // workers + follower waiters
+
+	// Point-execution admission (POST /v1/points; see point.go): at most
+	// cap(pointSem) points run concurrently, at most pointAdmitMax are
+	// admitted (running + waiting) before the endpoint sheds load.
+	pointSem      chan struct{}
+	pointAdmitted atomic.Int64
+	pointAdmitMax int
 
 	mu       sync.Mutex
 	closed   bool
@@ -132,6 +147,9 @@ func New(cfg Config) (*Server, error) {
 	case cfg.JobTimeout < 0:
 		cfg.JobTimeout = 0 // no server default
 	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = DefaultProgressInterval
+	}
 	initMetrics(cfg.Metrics)
 	cache, err := NewCache(cfg.CacheDir, cfg.Metrics)
 	if err != nil {
@@ -140,19 +158,22 @@ func New(cfg Config) (*Server, error) {
 	cache.WithFaults(cfg.Faults)
 	runCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		metrics:    cfg.Metrics,
-		cache:      cache,
-		exps:       make(map[string]experiments.Experiment, len(cfg.Experiments)),
-		jobTimeout: cfg.JobTimeout,
-		faults:     cfg.Faults,
-		runCtx:     runCtx,
-		cancelRun:  cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		ckByKey:    make(map[string]*checkpointStream),
-		ckByJob:    make(map[string]*checkpointStream),
-		nextID:     1,
+		metrics:       cfg.Metrics,
+		cache:         cache,
+		progressTick:  cfg.ProgressInterval,
+		exps:          make(map[string]experiments.Experiment, len(cfg.Experiments)),
+		jobTimeout:    cfg.JobTimeout,
+		faults:        cfg.Faults,
+		runCtx:        runCtx,
+		cancelRun:     cancel,
+		queue:         make(chan *job, cfg.QueueDepth),
+		pointSem:      make(chan struct{}, cfg.Workers),
+		pointAdmitMax: cfg.Workers + cfg.QueueDepth,
+		jobs:          make(map[string]*job),
+		inflight:      make(map[string]*job),
+		ckByKey:       make(map[string]*checkpointStream),
+		ckByJob:       make(map[string]*checkpointStream),
+		nextID:        1,
 	}
 	for _, e := range cfg.Experiments {
 		if _, dup := s.exps[e.Name]; dup {
@@ -219,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/points", s.handlePoint)
 	mux.HandleFunc("POST /v1/jobs/{id}/checkpoints", s.handleCheckpointCreate)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpointList)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{k}", s.handleCheckpointGet)
@@ -390,6 +412,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		wait = d
+	}
+	if ver == APIVersion && wantsNDJSON(r) {
+		s.streamJob(w, r, id, wait)
+		return
 	}
 	v, ok := s.Await(id, wait, r.Context().Done())
 	if !ok {
