@@ -1,7 +1,10 @@
 # Development targets. `tier1` is the merge gate (see ROADMAP.md); `race`
 # is the fuller pre-merge check and `race-short` its fast CI variant;
 # `chaos` is the fault-injection sweep of DESIGN.md §10 (fixed seed;
-# set CHAOS_SEED to explore other schedules); `fabric-smoke` builds the
+# set CHAOS_SEED to explore other schedules); `chaos-fabric` is the
+# durability chaos pass of DESIGN.md §13 — kill the coordinator
+# mid-sweep, restart it over the journal, assert zero lost and zero
+# double-merged points; `fabric-smoke` builds the
 # real coordinator and server binaries, boots a three-process fleet, and
 # diffs a distributed sweep against the single-node driver (DESIGN.md
 # §12); `serve` boots the experiment-serving daemon; `bench` regenerates the paper's headline
@@ -19,7 +22,7 @@ GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos fabric-smoke serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
+.PHONY: tier1 race race-short chaos chaos-fabric fabric-smoke serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -34,6 +37,9 @@ race-short:
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaos -count=1 -v ./internal/server
+
+chaos-fabric:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaosCoordinator -count=1 -v ./internal/fabric
 
 fabric-smoke:
 	FABRIC_SMOKE=1 $(GO) test -run TestFabricSmoke -count=1 -v .

@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	cascade-coordinator [-addr :8081] [-cache dir] [-drain 30s]
-//	                    [-lease 2m] [-heartbeat-timeout 15s]
+//	cascade-coordinator [-addr :8081] [-cache dir] [-journal dir]
+//	                    [-drain 30s] [-lease 2m] [-heartbeat-timeout 15s]
 //	                    [-inflight N] [-attempts N]
 //	                    [-quota N] [-quotas "tenant=N,..."]
 //	                    [-faults "fabric.assign:n=1"] [-fault-seed N]
@@ -29,6 +29,12 @@
 // -heartbeat-timeout is declared dead and its in-flight points are
 // retried on the survivors. Pointing -cache at the same directory as
 // the workers' caches turns disk into a fleet-wide shared result store.
+//
+// -journal points at a directory for the write-ahead journal that makes
+// the coordinator durable: a restarted coordinator replays the log,
+// re-adopts jobs that were in flight when it died, fences stale leases
+// behind a bumped epoch, and re-dispatches only the genuinely
+// unfinished remainder (DESIGN.md §13). Empty disables durability.
 //
 // The -faults flag (development/testing only) arms the coordinator's
 // deterministic injection sites (fabric.FaultSites) so dispatch-failure
@@ -58,6 +64,7 @@ import (
 type coordinatorOptions struct {
 	addr             string
 	cacheDir         string
+	journalDir       string
 	drain            time.Duration
 	lease            time.Duration
 	heartbeatTimeout time.Duration
@@ -74,6 +81,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8081", "listen address")
 		cacheDir   = flag.String("cache", "", "result cache directory (empty: in-memory only)")
+		journalDir = flag.String("journal", "", "write-ahead journal directory for crash recovery (empty: not durable)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		lease      = flag.Duration("lease", 2*time.Minute, "point-dispatch lease (per-RPC deadline)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 15*time.Second, "silence after which a worker is declared dead")
@@ -90,6 +98,7 @@ func main() {
 	opts := coordinatorOptions{
 		addr:             *addr,
 		cacheDir:         *cacheDir,
+		journalDir:       *journalDir,
 		drain:            *drain,
 		lease:            *lease,
 		heartbeatTimeout: *hbTimeout,
@@ -153,7 +162,10 @@ func run(ctx context.Context, w io.Writer, opts coordinatorOptions) error {
 	}
 	c, err := fabric.New(fabric.Config{
 		CacheDir:         opts.cacheDir,
+		JournalDir:       opts.journalDir,
 		Faults:           inj,
+		FaultSpec:        opts.faultsSpec,
+		FaultSeed:        opts.faultSeed,
 		LeaseTimeout:     opts.lease,
 		HeartbeatTimeout: opts.heartbeatTimeout,
 		MaxInflight:      opts.maxInflight,
@@ -163,6 +175,9 @@ func run(ctx context.Context, w io.Writer, opts coordinatorOptions) error {
 	})
 	if err != nil {
 		return err
+	}
+	if opts.journalDir != "" {
+		fmt.Fprintf(w, "cascade-coordinator: journal at %s (epoch %d)\n", opts.journalDir, c.Epoch())
 	}
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {

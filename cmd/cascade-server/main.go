@@ -5,17 +5,18 @@
 // Usage:
 //
 //	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir]
-//	               [-drain 30s] [-job-timeout 15m]
+//	               [-quarantine-ttl 24h] [-drain 30s] [-job-timeout 15m]
 //	               [-coordinator URL] [-advertise URL] [-name NAME]
 //	               [-faults "site:p=0.05;..."] [-fault-seed N]
 //
 // API (see internal/server for details):
 //
-//	GET  /v1/experiments   experiment discovery (names, descriptions, defaults)
-//	POST /v1/jobs          submit {"experiment": "fig2", "params": {"scale": 0.1}}
-//	GET  /v1/jobs/{id}     job status + result; ?wait=10s blocks until done
-//	POST /v1/points        execute one sweep point (the fabric's work unit)
-//	GET  /metrics          live counters/gauges, one "name value" per line
+//	GET  /v1/experiments       experiment discovery (names, descriptions, defaults)
+//	POST /v1/jobs              submit {"experiment": "fig2", "params": {"scale": 0.1}}
+//	GET  /v1/jobs/{id}         job status + result; ?wait=10s blocks until done
+//	GET  /v1/jobs/{id}/repro   deterministic repro bundle of a failed job
+//	POST /v1/points            execute one sweep point (the fabric's work unit)
+//	GET  /metrics              live counters/gauges, one "name value" per line
 //
 // With -coordinator the daemon enlists as a worker in a distributed
 // sweep fabric (see internal/fabric and cascade-coordinator): it
@@ -69,6 +70,7 @@ type serverOptions struct {
 	workers     int
 	queueDepth  int
 	cacheDir    string
+	quarantine  time.Duration
 	drain       time.Duration
 	jobTimeout  time.Duration
 	coordinator string
@@ -85,6 +87,7 @@ func main() {
 		workers     = flag.Int("workers", experiments.DefaultJobWorkers(), "concurrent experiment jobs")
 		queue       = flag.Int("queue", 64, "bounded job-queue depth")
 		cacheDir    = flag.String("cache", "", "result cache directory (empty: in-memory only)")
+		quarantine  = flag.Duration("quarantine-ttl", server.DefaultQuarantineTTL, "age past which quarantined .corrupt cache files are purged at startup (negative disables)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		jobTimeout  = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job execution deadline (0 disables)")
 		coordinator = flag.String("coordinator", "", "enlist as a fabric worker with this coordinator URL")
@@ -101,6 +104,7 @@ func main() {
 		workers:     *workers,
 		queueDepth:  *queue,
 		cacheDir:    *cacheDir,
+		quarantine:  *quarantine,
 		drain:       *drain,
 		jobTimeout:  *jobTimeout,
 		coordinator: *coordinator,
@@ -141,11 +145,14 @@ func run(ctx context.Context, w io.Writer, opts serverOptions) error {
 		jobTimeout = -1 // flag 0 = "no deadline"; Config 0 = "use default"
 	}
 	s, err := server.New(server.Config{
-		Workers:    opts.workers,
-		QueueDepth: opts.queueDepth,
-		CacheDir:   opts.cacheDir,
-		JobTimeout: jobTimeout,
-		Faults:     inj,
+		Workers:       opts.workers,
+		QueueDepth:    opts.queueDepth,
+		CacheDir:      opts.cacheDir,
+		QuarantineTTL: opts.quarantine,
+		JobTimeout:    jobTimeout,
+		Faults:        inj,
+		FaultSpec:     opts.faultsSpec,
+		FaultSeed:     opts.faultSeed,
 	})
 	if err != nil {
 		return err

@@ -40,6 +40,16 @@
 // host cores for wall-clock time — but parallel runs are cached under
 // their own keys, so a -cache directory never mixes the two engines.
 //
+// The -repro flag replays a deterministic repro bundle — the JSON
+// document GET /v1/jobs/{id}/repro serves for a failed job — instead of
+// running experiments: the bundle's fault spec and seed are re-armed,
+// the recorded failing unit (one sweep point, or the whole experiment)
+// is re-executed under the same resolved parameters and deadline, and
+// the replayed failure is compared against the recorded one. Exit
+// status 0 means the failure reproduced identically; anything else —
+// including a replay that unexpectedly succeeds — is reported and exits
+// nonzero.
+//
 // The -cpuprofile and -memprofile flags write standard pprof profiles
 // of whatever the invocation runs — the supported way to attribute
 // simulator time to engine functions (`go tool pprof cascade-sim
@@ -76,6 +86,7 @@ type cliOptions struct {
 	mode       string // table, csv, chart, json
 	metrics    string // "", table, json
 	cacheDir   string // "" = no memoization
+	repro      string // path to a repro bundle to replay; "" = normal run
 	quiet      bool
 }
 
@@ -90,6 +101,7 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit raw results as JSON (figures and studies)")
 		metrics = flag.String("metrics", "", "emit per-processor metric snapshots: json or table (defaults -exp to quickstart)")
 		cache   = flag.String("cache", "", "content-addressed result cache directory, shared with cascade-server")
+		repro   = flag.String("repro", "", "replay a repro bundle JSON file (from GET /v1/jobs/{id}/repro) and verify the failure reproduces")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
 		par     = flag.Bool("parallel", false, "simulate the processors on parallel host goroutines (bit-identical results)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -105,6 +117,7 @@ func main() {
 		mode:       outputMode(*csv, *chart, *asJSON),
 		metrics:    *metrics,
 		cacheDir:   *cache,
+		repro:      *repro,
 		quiet:      *quiet,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -211,6 +224,45 @@ func render(w io.Writer, r experiments.Renderable, mode string) error {
 	return nil
 }
 
+// runRepro replays a repro bundle and verifies the recorded failure
+// reproduces: same typed error code, same first error line (panic
+// stacks carry run-varying addresses past the first line). A replay
+// that fails differently — or succeeds — exits nonzero, because either
+// way the bundle's claim of determinism did not hold on this build.
+func runRepro(ctx context.Context, w io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b server.ReproBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("repro bundle %s: %w", path, err)
+	}
+	recorded := b.Key
+	unit := "experiment " + b.Experiment
+	if b.Point != nil {
+		unit = fmt.Sprintf("point %d of %s", b.Point.Index, b.Experiment)
+	}
+	fmt.Fprintf(w, "replaying %s (job %s, %s)\n", path, b.Job, unit)
+	if derived, err := b.DeriveKey(); err == nil && recorded != "" && derived != recorded {
+		fmt.Fprintf(w, "warning: bundle key %s does not match its inputs (derived %s) — edited bundle?\n",
+			recorded, derived)
+	}
+	replayed := server.RunRepro(ctx, &b)
+	switch {
+	case b.SameFailure(replayed):
+		fmt.Fprintf(w, "reproduced: %s (%s)\n", server.FirstLine(replayed.Error()), b.ErrorCode)
+		return nil
+	case replayed == nil:
+		return fmt.Errorf("repro diverged: recorded failure %q (%s), but the replay succeeded",
+			server.FirstLine(b.Error), b.ErrorCode)
+	default:
+		return fmt.Errorf("repro diverged: recorded %q (%s), replayed %q (%s)",
+			server.FirstLine(b.Error), b.ErrorCode,
+			server.FirstLine(replayed.Error()), server.ErrorCodeOf(replayed))
+	}
+}
+
 // list enumerates the registry from the same exported metadata the
 // serving daemon's GET /v1/experiments returns.
 func list(w io.Writer) {
@@ -223,6 +275,9 @@ func list(w io.Writer) {
 }
 
 func run(ctx context.Context, w io.Writer, opts cliOptions) error {
+	if opts.repro != "" {
+		return runRepro(ctx, w, opts.repro)
+	}
 	switch opts.metrics {
 	case "", "table", "json":
 	default:

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -413,5 +415,81 @@ func TestRunParallelFlagMatchesSerial(t *testing.T) {
 	parallel := runOnce(true)
 	if serial != parallel {
 		t.Errorf("-parallel output diverges from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestRunRepro pins the offline replay loop end to end: a fault-injected
+// failure on an in-process server is exported as a repro bundle, and
+// `cascade-sim -repro bundle.json` replays it to the identical failure.
+// Then the divergence path: stripping the fault spec from the bundle
+// makes the replay succeed, which -repro must report as a nonzero-exit
+// divergence, not a pass.
+func TestRunRepro(t *testing.T) {
+	const spec = "exp.panic:n=1"
+	inj, err := faults.Parse(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Workers: 1, Faults: inj, FaultSpec: spec, FaultSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	// Small-scale quickstart keeps the defanged replay below fast: with
+	// the fault spec stripped, -repro really runs the experiment.
+	v, err := s.Submit("quickstart", server.JobParams{Scale: smallScale, ChunkKB: 64, N: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Await(v.ID, 10*time.Second, nil); !ok || got.State != server.StateFailed {
+		t.Fatalf("job = %+v, want failed", got)
+	}
+	bundle, err := s.Repro(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := run(context.Background(), &b, cliOptions{repro: path}); err != nil {
+		t.Fatalf("-repro on a faithful bundle: %v\n%s", err, b.String())
+	}
+	if out := b.String(); !strings.Contains(out, "reproduced:") || !strings.Contains(out, "injected panic") {
+		t.Errorf("replay output missing the reproduced failure:\n%s", out)
+	}
+
+	// Strip the recorded fault spec: the replay now succeeds, so the
+	// bundle's determinism claim fails to hold and -repro must say so.
+	defanged := *bundle
+	defanged.Faults = nil
+	raw, err = json.Marshal(&defanged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent := filepath.Join(t.TempDir(), "divergent.json")
+	if err := os.WriteFile(divergent, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	err = run(context.Background(), &b, cliOptions{repro: divergent})
+	if err == nil || !strings.Contains(err.Error(), "repro diverged") {
+		t.Errorf("-repro on a defanged bundle = %v, want divergence", err)
+	}
+	// Editing the bundle changed its replay inputs, so the stamped key
+	// no longer matches — the replay warns before diverging.
+	if !strings.Contains(b.String(), "edited bundle?") {
+		t.Errorf("no edited-bundle warning in:\n%s", b.String())
+	}
+
+	if err := run(context.Background(), &b, cliOptions{repro: filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("-repro on a missing file succeeded")
 	}
 }

@@ -40,3 +40,16 @@ func Key(schema string, v interface{}) (string, error) {
 func PointKey(spec interface{}) (string, error) {
 	return Key(PointSchema, spec)
 }
+
+// ReproSchema versions the repro-bundle key derivation. A bundle's key
+// hashes only the deterministic replay inputs (experiment, resolved
+// params, failing point spec, fault spec and seed) — never the captured
+// error text or checkpoint, which are outputs. Two failures with the
+// same key must replay identically; keys_test.go pins the derivation.
+const ReproSchema = "cascade-repro/v1"
+
+// ReproKey derives the content address of a repro bundle's replay
+// inputs under ReproSchema.
+func ReproKey(inputs interface{}) (string, error) {
+	return Key(ReproSchema, inputs)
+}

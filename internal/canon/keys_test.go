@@ -126,3 +126,77 @@ func TestPointKeySensitivity(t *testing.T) {
 		t.Error("schema tag does not separate key spaces")
 	}
 }
+
+// TestReproKeyGoldens pins the repro-bundle key derivation the same way
+// TestPointKeyGoldens pins point keys: an intentional change to
+// ReproSchema or the canonical encoding must update these hex strings
+// in the same commit. The inputs are written as the generic maps a JSON
+// round-trip of server.reproInputs produces — by the canonical-encoding
+// guarantee these hash identically to the typed struct, so the goldens
+// also pin that a bundle re-keyed after `curl ... > bundle.json` still
+// matches the key the server stamped.
+func TestReproKeyGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		in   map[string]interface{}
+		want string
+	}{
+		{
+			name: "whole experiment with faults",
+			in: map[string]interface{}{
+				"experiment": "fig2",
+				"params":     map[string]interface{}{"scale": 0.25},
+				"fault_spec": "exp.panic:n=1",
+				"fault_seed": 1,
+			},
+			want: "6ec7d53965363a4775d1b60b44a3f4450fff2795e46fce9504d96760eb82aace",
+		},
+		{
+			name: "failing point, no faults",
+			in: map[string]interface{}{
+				"experiment": "fig6",
+				"params":     map[string]interface{}{"scale": 1.0},
+				"point": map[string]interface{}{
+					"experiment": "fig6", "index": 3, "machine": "R10000",
+					"procs": 4, "strategy": "prefetched", "chunk_kb": 64, "scale": 1.0,
+				},
+			},
+			want: "0c756164ccc12522e9629c9abf641208be6a693b52757e0ad417fcda9ead66ee",
+		},
+	}
+	for _, tc := range cases {
+		got, err := canon.ReproKey(tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("repro key (%s) drifted:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+	// Every replay input moves the key: same inputs under a different
+	// fault seed (or with the seed absent) must not collide — a stale
+	// bundle replaying under the wrong seed would chase a different bug.
+	base := cases[0].in
+	reseeded := map[string]interface{}{
+		"experiment": "fig2",
+		"params":     map[string]interface{}{"scale": 0.25},
+		"fault_spec": "exp.panic:n=1",
+		"fault_seed": 2,
+	}
+	k1, err := canon.ReproKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := canon.ReproKey(reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("fault seed does not move the repro key")
+	}
+	// Schema separation from point keys: identical bytes under the two
+	// schemas must never alias.
+	if pk, _ := canon.PointKey(base); pk == k1 {
+		t.Error("repro and point key spaces alias")
+	}
+}

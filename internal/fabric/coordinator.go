@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric/journal"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -50,7 +51,9 @@ import (
 const SiteAssign = "fabric.assign"
 
 // FaultSites returns every injection site the coordinator consults.
-func FaultSites() []string { return []string{SiteAssign} }
+// journal.SiteAppend tears write-ahead appends (short write, no fsync)
+// to exercise crash-recovery's torn-tail repair.
+func FaultSites() []string { return []string{SiteAssign, journal.SiteAppend} }
 
 // Submission errors the HTTP layer maps to status codes.
 var (
@@ -77,10 +80,26 @@ type Config struct {
 	// directory as the workers' caches turns disk into a shared
 	// result store for the whole fleet.
 	CacheDir string
+	// JournalDir enables the write-ahead journal (see the journal
+	// package and recovery.go): every job and point transition is
+	// durably logged, and a coordinator restarted against the same
+	// directory re-adopts in-flight jobs instead of losing them. Empty
+	// disables durability (the pre-journal, memory-only behaviour).
+	JournalDir string
 	// Metrics receives the fleet counters. Default: a fresh registry.
 	Metrics *metrics.Synced
 	// Faults arms the coordinator's injection sites (see FaultSites).
 	Faults *faults.Injector
+	// FaultSpec and FaultSeed record what Faults was parsed from, so
+	// repro bundles carry the exact injection configuration as a
+	// replayable input. Informational: they arm nothing themselves.
+	FaultSpec string
+	FaultSeed int64
+	// QuarantineTTL ages out stale .corrupt files from the result
+	// index's disk directory at startup, exactly as the server's
+	// sweep does. 0 means server.DefaultQuarantineTTL; negative
+	// disables.
+	QuarantineTTL time.Duration
 	// Client performs worker RPCs. Default: an http.Client whose
 	// Timeout is LeaseTimeout.
 	Client *http.Client
@@ -121,6 +140,12 @@ type Coordinator struct {
 	client  *http.Client
 	infos   []experiments.Info
 	exps    map[string]bool
+
+	// Durability (nil journal = memory-only coordination). epoch is
+	// this incarnation's fencing token: one greater than any epoch the
+	// journal has seen, immutable after New.
+	journal *journal.Journal
+	epoch   uint64
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -181,6 +206,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.QuarantineTTL == 0 {
+		cfg.QuarantineTTL = server.DefaultQuarantineTTL
+	}
+	if cfg.QuarantineTTL > 0 {
+		cache.PurgeQuarantine(cfg.QuarantineTTL)
+	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:       cfg,
@@ -207,9 +238,58 @@ func New(cfg Config) (*Coordinator, error) {
 		c.exps[e.Name] = true
 		c.infos = append(c.infos, e.Info())
 	}
+	if err := c.openJournal(); err != nil {
+		cancel()
+		return nil, err
+	}
+	c.metrics.Set(mEpoch, int64(c.epoch))
 	c.wg.Add(1)
 	go c.reaper()
 	return c, nil
+}
+
+// Epoch returns this incarnation's fencing token: 1 for a fresh
+// coordinator, one greater than the predecessor's for each recovery.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// jappend durably journals records, degrading on failure: coordination
+// continues memory-only for this batch (the record is lost to a future
+// recovery, never to the running job) and fabric.journal.errors counts
+// the loss. A closed journal (Kill) is silent — the incarnation is dead
+// and its remaining goroutines are just draining.
+func (c *Coordinator) jappend(recs ...journal.Record) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Append(recs...); err != nil {
+		if !errors.Is(err, journal.ErrClosed) {
+			c.metrics.Inc(mJournalErrors)
+		}
+		return
+	}
+	c.metrics.Add(mJournalRecords, int64(len(recs)))
+}
+
+// Kill simulates a coordinator crash for recovery tests: submissions
+// stop, the journal's descriptor closes without compaction or a final
+// sync (releasing the incarnation flock exactly as process death
+// would), and in-flight work dies with the run context — no drain, no
+// terminal journal records. The instance is unusable afterwards;
+// recover by calling New against the same JournalDir.
+func (c *Coordinator) Kill() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.stopReap)
+	}
+	c.mu.Unlock()
+	// Fence the journal before cancelling work so dying dispatch loops
+	// cannot journal outcomes a real crash would never have written.
+	if c.journal != nil {
+		c.journal.Kill()
+	}
+	c.cancelRun()
+	c.wg.Wait()
 }
 
 // Shutdown stops the coordinator: new submissions are rejected and
@@ -238,6 +318,9 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	c.cancelRun()
+	if c.journal != nil {
+		c.journal.Close()
+	}
 	return err
 }
 

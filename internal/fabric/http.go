@@ -28,6 +28,12 @@ import (
 // that quota admission is keyed by. Absent means the anonymous tenant.
 const TenantHeader = "X-Tenant"
 
+// retryAfterSeconds is the Retry-After hint on every load-shedding
+// response (429 quota_exceeded, 503 shutting_down): long enough for a
+// quota slot to open or a restart to finish, short enough that a
+// well-behaved client keeps up with the fleet.
+const retryAfterSeconds = "5"
+
 // Handler returns the coordinator's HTTP API.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -35,6 +41,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", c.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/repro", c.handleRepro)
 	mux.HandleFunc("POST /v1/workers", c.handleWorkerRegister)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkerList)
 	mux.HandleFunc("GET /v1/cache/{key}", c.handleCacheProbe)
@@ -81,10 +88,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrUnknownExperiment):
 		writeEnvelopeError(w, http.StatusNotFound, server.CodeNotFound, err.Error())
 	case errors.Is(err, ErrQuotaExceeded):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeEnvelopeError(w, http.StatusTooManyRequests, server.CodeQuotaExceeded, err.Error())
 	case errors.Is(err, ErrShuttingDown):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeEnvelopeError(w, http.StatusServiceUnavailable, server.CodeShuttingDown, err.Error())
 	case err != nil:
 		writeEnvelopeError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
@@ -185,15 +192,47 @@ func (c *Coordinator) streamJob(w http.ResponseWriter, r *http.Request, id strin
 	writeFrame(w, flusher, env)
 }
 
+// handleRepro serves the repro bundle of a terminal-failed job as a
+// bare JSON document (not an envelope): the bundle is a self-contained
+// artifact meant to be saved to a file and fed to cascade-sim -repro.
+func (c *Coordinator) handleRepro(w http.ResponseWriter, r *http.Request) {
+	if !checkVersion(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	raw, err := c.Repro(id)
+	if err != nil {
+		var fe *fabricError
+		status := http.StatusBadRequest
+		code := server.CodeBadRequest
+		if errors.As(err, &fe) {
+			code = fe.code
+			if code == server.CodeNotFound {
+				status = http.StatusNotFound
+			}
+		}
+		writeEnvelopeError(w, status, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
 // workerRequest is the POST /v1/workers body.
 type workerRequest struct {
 	Name string `json:"name"`
 	URL  string `json:"url"`
 }
 
-// workersResponse is the fleet-membership wire shape.
+// workersResponse is the fleet-membership wire shape. Epoch is the
+// coordinator incarnation's fencing epoch: it bumps exactly once per
+// restart, so an enlisted worker observing a change knows its
+// coordinator died and healed, and that any leases it still holds from
+// the previous epoch will be fenced, not double-counted.
 type workersResponse struct {
 	Version string      `json:"api_version"`
+	Epoch   uint64      `json:"epoch"`
 	Workers []workerRec `json:"workers"`
 }
 
@@ -210,14 +249,14 @@ func (c *Coordinator) handleWorkerRegister(w http.ResponseWriter, r *http.Reques
 		writeEnvelopeError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, workersResponse{Version: server.APIVersion, Workers: c.Workers()})
+	writeJSON(w, http.StatusOK, workersResponse{Version: server.APIVersion, Epoch: c.epoch, Workers: c.Workers()})
 }
 
 func (c *Coordinator) handleWorkerList(w http.ResponseWriter, r *http.Request) {
 	if !checkVersion(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, workersResponse{Version: server.APIVersion, Workers: c.Workers()})
+	writeJSON(w, http.StatusOK, workersResponse{Version: server.APIVersion, Epoch: c.epoch, Workers: c.Workers()})
 }
 
 // handleCacheProbe answers the shared result-index protocol: raw cached

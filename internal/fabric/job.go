@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/experiments"
+	"repro/internal/fabric/journal"
 	"repro/internal/server"
 )
 
@@ -39,6 +40,23 @@ type fjob struct {
 
 	pointsDone  atomic.Int64
 	pointsTotal atomic.Int64
+
+	// jdone marks point indexes whose point_completed journal record
+	// already exists, either written this incarnation or replayed from a
+	// previous one — the idempotence fence that keeps a re-driven sweep
+	// from journaling (and thus counting) the same completion twice.
+	// Guarded by Coordinator.mu.
+	jdone map[int]bool
+
+	// Failure forensics for the repro bundle: the lowest-index failed
+	// point's spec, plus the worker's raw error (failDetail) and typed
+	// code, free of the "worker http://..." framing that would make the
+	// bundle key depend on topology. Written once before the job turns
+	// terminal; repro holds the marshaled bundle.
+	failSpec   *experiments.PointSpec
+	failDetail string
+	failCode   string
+	repro      []byte
 
 	done chan struct{}
 }
@@ -79,9 +97,12 @@ func (j *fjob) progress() *server.Progress {
 
 // fabricError carries a typed API code through the scheduler, so a
 // job's failure reports the same code a single server would have used.
+// detail preserves the worker's own message before the scheduler wraps
+// it with dispatch framing — repro bundles want the portable half.
 type fabricError struct {
-	code string
-	err  error
+	code   string
+	detail string
+	err    error
 }
 
 func (e *fabricError) Error() string { return e.err.Error() }
@@ -141,6 +162,7 @@ func (c *Coordinator) Submit(tenant, experiment string, p server.JobParams) (ser
 		tenant:     tenant,
 		state:      server.StateQueued,
 		created:    time.Now(),
+		jdone:      make(map[int]bool),
 		done:       make(chan struct{}),
 	}
 	c.nextID++
@@ -152,6 +174,15 @@ func (c *Coordinator) Submit(tenant, experiment string, p server.JobParams) (ser
 		c.finishLocked(j, val, nil)
 		c.metrics.Inc(mJobsCacheHits)
 		return j.view(true), nil
+	}
+	// Journal the acceptance before the run starts: a job either never
+	// existed or is recoverable — there is no window where work is in
+	// flight for a job a restart would not know about. Cache-answered
+	// jobs are deliberately not journaled; resubmission hits the cache
+	// again.
+	if raw, err := json.Marshal(p); err == nil {
+		c.jappend(journal.Record{Type: journal.TypeJobAccepted, Job: j.id,
+			Tenant: tenant, Experiment: experiment, Params: raw, Key: key})
 	}
 	c.tenants[tenant]++
 	c.wg.Add(1)
@@ -230,8 +261,19 @@ func (c *Coordinator) runJob(j *fjob) {
 	}
 	if err == nil {
 		// Degrade on a failed write exactly as the server does: the merged
-		// result is in hand, only the shared copy is lost.
+		// result is in hand, only the shared copy is lost. The merged
+		// record goes down after the Put — it is recovery's licence to
+		// forget the job, so the result must already be addressable.
 		_ = c.cache.Put(j.key, val)
+		c.jappend(journal.Record{Type: journal.TypeJobMerged, Job: j.id, Key: j.key})
+	} else {
+		rec := journal.Record{Type: journal.TypeJobFailed, Job: j.id,
+			Error: err.Error(), Code: codeOf(err)}
+		if b, rerr := c.buildRepro(j, err); rerr == nil {
+			j.repro = b
+			rec.Repro = b
+		}
+		c.jappend(rec)
 	}
 	c.mu.Lock()
 	c.finishLocked(j, val, err)
@@ -261,7 +303,7 @@ func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte
 				<-sem
 				wg.Done()
 			}()
-			res, err := c.runPoint(specs[i])
+			res, err := c.runPoint(j, i, specs[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -273,6 +315,16 @@ func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte
 	wg.Wait()
 	for i, e := range errs {
 		if e != nil {
+			// Record the failing point for the repro bundle before the job
+			// turns terminal: the spec pins the exact point, the detail and
+			// code pin the failure free of dispatch framing.
+			sp := specs[i]
+			j.failSpec = &sp
+			j.failDetail, j.failCode = e.Error(), codeOf(e)
+			var fe *fabricError
+			if errors.As(e, &fe) && fe.detail != "" {
+				j.failDetail, j.failCode = fe.detail, fe.code
+			}
 			return nil, fmt.Errorf("point %d: %w", i, e)
 		}
 	}
@@ -286,7 +338,14 @@ func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte
 // runPoint resolves one spec to its result: the coordinator's own index
 // first, then dispatch along the key's ring candidates until a worker
 // answers, the attempt budget runs out, or the error is terminal.
-func (c *Coordinator) runPoint(spec experiments.PointSpec) (experiments.PointResult, error) {
+//
+// Every real dispatch is bracketed by journal records — point_assigned
+// (stamped with this incarnation's epoch) before the RPC, then exactly
+// one of point_completed / point_retried / point_failed after it — so
+// at any instant the log's open assignments are precisely the in-flight
+// leases, and a crash leaves nothing uncountable. Cache-answered points
+// write no records at all: no lease was ever issued for them.
+func (c *Coordinator) runPoint(j *fjob, idx int, spec experiments.PointSpec) (experiments.PointResult, error) {
 	key, err := canon.PointKey(spec)
 	if err != nil {
 		return experiments.PointResult{}, &fabricError{code: server.CodeBadRequest, err: err}
@@ -300,23 +359,26 @@ func (c *Coordinator) runPoint(spec experiments.PointSpec) (experiments.PointRes
 	}
 	backoff := c.cfg.RetryBackoff
 	var lastErr error = errNoWorkers
-	for attempt := 0; attempt < c.cfg.MaxPointAttempts; attempt++ {
+	// attempt advances only on a real dispatch: an empty fleet (workers
+	// still booting, or re-enlisting after a coordinator restart) must
+	// not burn the budget.
+	for attempt := 0; attempt < c.cfg.MaxPointAttempts; {
 		urls, wake := c.candidates(key)
 		if len(urls) == 0 {
-			// Empty fleet: wait for a registration rather than burning the
-			// attempt budget on a fleet that is still booting.
 			select {
 			case <-wake:
-				continue
 			case <-time.After(backoff):
+				backoff = nextBackoff(backoff)
 			case <-c.runCtx.Done():
 				return experiments.PointResult{}, c.runCtx.Err()
 			}
-			backoff = nextBackoff(backoff)
 			continue
 		}
 		url := urls[attempt%len(urls)]
+		attempt++
 		c.metrics.Inc(mPointsAssigned)
+		c.jappend(journal.Record{Type: journal.TypePointAssigned, Job: j.id,
+			Index: idx, Key: key, Epoch: c.epoch})
 		res, cached, err := c.shipPoint(url, key, spec)
 		if err == nil {
 			c.metrics.Inc(mPointsCompleted)
@@ -326,16 +388,31 @@ func (c *Coordinator) runPoint(spec experiments.PointSpec) (experiments.PointRes
 			if val, merr := json.Marshal(res); merr == nil {
 				_ = c.cache.Put(key, val)
 			}
+			// Close the lease after the result is addressable, and only
+			// once per point ever — a replayed completion that re-ran
+			// because its cached bytes were lost must not double-count.
+			c.mu.Lock()
+			first := !j.jdone[idx]
+			j.jdone[idx] = true
+			c.mu.Unlock()
+			if first {
+				c.jappend(journal.Record{Type: journal.TypePointCompleted, Job: j.id, Index: idx, Key: key})
+			} else {
+				c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: idx})
+			}
 			return res, nil
 		}
 		var fe *fabricError
 		if errors.As(err, &fe) && terminalCode(fe.code) {
 			c.metrics.Inc(mPointsFailed)
+			c.jappend(journal.Record{Type: journal.TypePointFailed, Job: j.id,
+				Index: idx, Error: err.Error(), Code: fe.code})
 			return experiments.PointResult{}, err
 		}
 		// The lease died — worker unreachable, saturated, or draining.
 		// Reassign to the next ring candidate after a breather.
 		c.metrics.Inc(mPointsRetried)
+		c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: idx})
 		lastErr = err
 		select {
 		case <-time.After(backoff):
@@ -403,7 +480,8 @@ func (c *Coordinator) shipPoint(workerURL, key string, spec experiments.PointSpe
 		if !terminalCode(code) {
 			return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %s", workerURL, msg)
 		}
-		return experiments.PointResult{}, false, &fabricError{code: code, err: fmt.Errorf("worker %s: %s", workerURL, msg)}
+		return experiments.PointResult{}, false, &fabricError{code: code, detail: msg,
+			err: fmt.Errorf("worker %s: %s", workerURL, msg)}
 	}
 	return *env.Point, env.Cached, nil
 }
@@ -414,20 +492,23 @@ func (c *Coordinator) shipPoint(workerURL, key string, spec experiments.PointSpe
 func (c *Coordinator) forwardJob(j *fjob) ([]byte, error) {
 	backoff := c.cfg.RetryBackoff
 	var lastErr error = errNoWorkers
-	for attempt := 0; attempt < c.cfg.MaxPointAttempts; attempt++ {
+	// As in runPoint: attempt advances only on a real dispatch, so an
+	// empty fleet never burns the budget.
+	for attempt := 0; attempt < c.cfg.MaxPointAttempts; {
 		urls, wake := c.candidates(j.key)
 		if len(urls) == 0 {
 			select {
 			case <-wake:
-				continue
 			case <-time.After(backoff):
+				backoff = nextBackoff(backoff)
 			case <-c.runCtx.Done():
 				return nil, c.runCtx.Err()
 			}
-			backoff = nextBackoff(backoff)
 			continue
 		}
-		val, err := c.forwardOnce(urls[attempt%len(urls)], j)
+		url := urls[attempt%len(urls)]
+		attempt++
+		val, err := c.forwardOnce(url, j)
 		if err == nil {
 			return val, nil
 		}
@@ -457,7 +538,8 @@ func (c *Coordinator) forwardOnce(workerURL string, j *fjob) ([]byte, error) {
 	}
 	if env.Error != nil && status != http.StatusOK && status != http.StatusAccepted {
 		if terminalCode(env.Error.Code) {
-			return nil, &fabricError{code: env.Error.Code, err: fmt.Errorf("worker %s: %s", workerURL, env.Error.Message)}
+			return nil, &fabricError{code: env.Error.Code, detail: env.Error.Message,
+				err: fmt.Errorf("worker %s: %s", workerURL, env.Error.Message)}
 		}
 		return nil, fmt.Errorf("worker %s refused job: %s", workerURL, env.Error.Message)
 	}
@@ -481,7 +563,8 @@ func (c *Coordinator) forwardOnce(workerURL string, j *fjob) ([]byte, error) {
 		if code == "" {
 			code = server.CodeExperimentFailed
 		}
-		return nil, &fabricError{code: code, err: fmt.Errorf("worker %s: %s", workerURL, env.Job.Error)}
+		return nil, &fabricError{code: code, detail: env.Job.Error,
+			err: fmt.Errorf("worker %s: %s", workerURL, env.Job.Error)}
 	}
 	return normalizeResult(env.Result)
 }
@@ -532,6 +615,65 @@ func normalizeResult(raw json.RawMessage) ([]byte, error) {
 	}
 	out.WriteByte('\n')
 	return out.Bytes(), nil
+}
+
+// buildRepro assembles the deterministic repro bundle for a job that is
+// about to turn terminal-failed: the resolved params, the failing
+// point's spec and content address when the sweep pinned one, and the
+// coordinator's fault-injection state — everything cascade-sim -repro
+// needs to replay the failure bit-for-bit, nothing tied to the fleet
+// topology the failure happened on.
+func (c *Coordinator) buildRepro(j *fjob, err error) ([]byte, error) {
+	b := server.ReproBundle{
+		Schema:     canon.ReproSchema,
+		Job:        j.id,
+		Experiment: j.experiment,
+		Params:     j.params,
+		JobKey:     j.key,
+		Error:      err.Error(),
+		ErrorCode:  codeOf(err),
+	}
+	var fe *fabricError
+	if errors.As(err, &fe) && fe.detail != "" {
+		b.Error, b.ErrorCode = fe.detail, fe.code
+	}
+	if j.failSpec != nil {
+		sp := *j.failSpec
+		b.Point = &sp
+		if key, kerr := canon.PointKey(sp); kerr == nil {
+			b.PointKey = key
+		}
+		if j.failDetail != "" {
+			b.Error, b.ErrorCode = j.failDetail, j.failCode
+		}
+	}
+	if c.cfg.FaultSpec != "" {
+		b.Faults = &server.ReproFaults{Spec: c.cfg.FaultSpec, Seed: c.cfg.FaultSeed,
+			Fired: server.FiredCounts(c.faults, FaultSites())}
+	}
+	if _, err := b.DeriveKey(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(b)
+}
+
+// Repro returns the raw repro bundle of a terminal-failed job.
+func (c *Coordinator) Repro(id string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, &fabricError{code: server.CodeNotFound, err: fmt.Errorf("unknown job %q", id)}
+	}
+	if j.state != server.StateFailed {
+		return nil, &fabricError{code: server.CodeBadRequest,
+			err: fmt.Errorf("job %q is %s; repro bundles exist only for failed jobs", id, j.state)}
+	}
+	if len(j.repro) == 0 {
+		return nil, &fabricError{code: server.CodeNotFound,
+			err: fmt.Errorf("job %q failed without a repro bundle", id)}
+	}
+	return j.repro, nil
 }
 
 // finishLocked moves a job to its terminal state and wakes waiters.

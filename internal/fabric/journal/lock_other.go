@@ -1,0 +1,10 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; the epoch token in
+// the journal itself still fences worker-visible state across
+// incarnations, only same-host double-start protection is lost.
+func lockFile(f *os.File) error { return nil }

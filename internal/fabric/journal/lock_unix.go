@@ -1,0 +1,17 @@
+//go:build unix
+
+package journal
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the journal so two
+// coordinator incarnations can never write the same log: a split-brain
+// successor fails Open instead of interleaving frames with a live
+// predecessor. The kernel releases the lock when the holder's
+// descriptor closes — including by process death, which is the point.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

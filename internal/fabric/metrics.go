@@ -44,6 +44,20 @@ const (
 	mWorkersRegistered = "fabric.workers.registered" // registration requests (incl. heartbeats)
 	mWorkersDeaths     = "fabric.workers.deaths"     // workers declared dead by heartbeat timeout
 	mWorkersAlive      = "fabric.workers.alive"      // gauge: workers currently serving
+
+	// Durability counters and gauges (journal + crash recovery; see
+	// DESIGN.md §13). Recovery events deliberately do NOT feed the live
+	// point counters above — the conservation identity is a property of
+	// one incarnation's dispatches, and replayed history would skew it.
+	mJournalRecords     = "fabric.journal.records"      // records durably appended this incarnation
+	mJournalReplayed    = "fabric.journal.replayed"     // records replayed from the log at startup
+	mJournalTruncations = "fabric.journal.truncations"  // startups that repaired a torn tail
+	mJournalErrors      = "fabric.journal.errors"       // append batches that failed to reach disk
+	mJobsRecovered      = "fabric.jobs.recovered"       // in-flight jobs re-adopted after a restart
+	mPointsRecovered    = "fabric.points.recovered"     // journaled completions verified against the result index
+	mPointsRecoveryLost = "fabric.points.recovery_lost" // journaled completions whose result had vanished
+	mPointsFenced       = "fabric.points.fenced"        // stale prior-epoch leases closed as retried at recovery
+	mEpoch              = "fabric.epoch"                // gauge: this incarnation's fencing epoch
 )
 
 // initMetrics pre-registers every fabric metric at zero, the same
@@ -55,8 +69,11 @@ func initMetrics(m *metrics.Synced) {
 		mPointsAssigned, mPointsCompleted, mPointsRetried, mPointsFailed,
 		mCacheHits, mCacheRemoteHits,
 		mWorkersRegistered, mWorkersDeaths,
+		mJournalRecords, mJournalReplayed, mJournalTruncations, mJournalErrors,
+		mJobsRecovered, mPointsRecovered, mPointsRecoveryLost, mPointsFenced,
 	} {
 		m.Add(name, 0)
 	}
 	m.Set(mWorkersAlive, 0)
+	m.Set(mEpoch, 0)
 }

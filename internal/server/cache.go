@@ -9,8 +9,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -247,6 +249,42 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 func (c *Cache) quarantine(path string) {
 	c.inc("cache.corrupt")
 	os.Rename(path, path+".corrupt")
+}
+
+// DefaultQuarantineTTL is how long quarantined .corrupt files are kept
+// for forensics before the startup sweep removes them. A day covers
+// "the operator noticed the cache.corrupt counter and wants to look at
+// the bytes"; after that they are dead weight in the cache directory.
+const DefaultQuarantineTTL = 24 * time.Hour
+
+// PurgeQuarantine removes quarantined (.corrupt) entries whose
+// quarantine is older than ttl, returning how many were removed
+// (counted under cache.quarantine_purged). Memory-only caches and
+// non-positive TTLs are no-ops. Quarantine age is the file's mtime:
+// the rename in quarantine() preserves it, so age measures time since
+// the corrupt bytes were written, a conservative lower bound on time
+// since quarantine.
+func (c *Cache) PurgeQuarantine(ttl time.Duration) int {
+	if c.dir == "" || ttl <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl)
+	purged := 0
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".corrupt") {
+			return nil // unreadable subtrees degrade to "not purged"
+		}
+		info, err := d.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			purged++
+			c.inc("cache.quarantine_purged")
+		}
+		return nil
+	})
+	return purged
 }
 
 // Put stores val under key in memory and, when the cache has a

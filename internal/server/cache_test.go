@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -299,5 +300,65 @@ func TestCachePutIdempotent(t *testing.T) {
 	}
 	if m.Value("cache.entries") != 1 || m.Value("cache.bytes") != 2 {
 		t.Errorf("entries/bytes = %d/%d, want 1/2", m.Value("cache.entries"), m.Value("cache.bytes"))
+	}
+}
+
+// TestPurgeQuarantine pins the startup sweep over stale quarantined
+// entries: .corrupt files older than the TTL are removed and counted
+// under cache.quarantine_purged; fresh quarantines — still useful for
+// forensics — and live cache entries survive untouched.
+func TestPurgeQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	m := metrics.NewSynced()
+	c, err := NewCache(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("aalive-json", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+
+	shard := filepath.Join(dir, "qq")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(shard, "qqold-json.corrupt")
+	fresh := filepath.Join(shard, "qqnew-json.corrupt")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("corrupt bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := c.PurgeQuarantine(DefaultQuarantineTTL); got != 1 {
+		t.Fatalf("PurgeQuarantine = %d, want 1", got)
+	}
+	if m.Value("cache.quarantine_purged") != 1 {
+		t.Errorf("cache.quarantine_purged = %d, want 1", m.Value("cache.quarantine_purged"))
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale quarantine survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh quarantine was purged early: %v", err)
+	}
+	if v, ok := c.Get("aalive-json"); !ok || string(v) != "good" {
+		t.Errorf("live entry lost: %q, %v", v, ok)
+	}
+
+	// Disabled sweeps are no-ops, as is a memory-only cache.
+	if got := c.PurgeQuarantine(-1); got != 0 {
+		t.Errorf("PurgeQuarantine(-1) = %d, want 0", got)
+	}
+	mem, err := NewCache("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.PurgeQuarantine(DefaultQuarantineTTL); got != 0 {
+		t.Errorf("memory-only PurgeQuarantine = %d, want 0", got)
 	}
 }

@@ -66,6 +66,7 @@ func initMetrics(m *metrics.Synced) {
 		"cache.hits", "cache.misses", "cache.disk_hits",
 		"cache.entries", "cache.bytes",
 		"cache.read_errors", "cache.write_errors", "cache.corrupt",
+		"cache.quarantine_purged",
 	} {
 		m.Add(name, 0)
 	}

@@ -84,9 +84,19 @@ type Config struct {
 	// injection at no cost. Tests and the cascade-server -faults dev
 	// flag are the only intended users.
 	Faults *faults.Injector
+	// FaultSpec and FaultSeed record what Faults was parsed from, so
+	// repro bundles (repro.go) can carry the exact injection
+	// configuration as a replayable input. Informational: they arm
+	// nothing themselves.
+	FaultSpec string
+	FaultSeed int64
 	// ProgressInterval is the keep-alive cadence of streaming ?wait
 	// responses (see stream.go). Default: DefaultProgressInterval.
 	ProgressInterval time.Duration
+	// QuarantineTTL ages out stale .corrupt quarantine files from the
+	// disk cache at startup (cache.quarantine_purged counts removals).
+	// 0 means DefaultQuarantineTTL; negative disables the sweep.
+	QuarantineTTL time.Duration
 }
 
 // Server is the serving daemon. Create with New, expose Handler over
@@ -98,6 +108,8 @@ type Server struct {
 	infos        []experiments.Info
 	jobTimeout   time.Duration
 	faults       *faults.Injector
+	faultSpec    string
+	faultSeed    int64
 	progressTick time.Duration
 
 	runCtx    context.Context
@@ -156,6 +168,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cache.WithFaults(cfg.Faults)
+	if cfg.QuarantineTTL == 0 {
+		cfg.QuarantineTTL = DefaultQuarantineTTL
+	}
+	if cfg.QuarantineTTL > 0 {
+		cache.PurgeQuarantine(cfg.QuarantineTTL)
+	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		metrics:       cfg.Metrics,
@@ -164,6 +182,8 @@ func New(cfg Config) (*Server, error) {
 		exps:          make(map[string]experiments.Experiment, len(cfg.Experiments)),
 		jobTimeout:    cfg.JobTimeout,
 		faults:        cfg.Faults,
+		faultSpec:     cfg.FaultSpec,
+		faultSeed:     cfg.FaultSeed,
 		runCtx:        runCtx,
 		cancelRun:     cancel,
 		queue:         make(chan *job, cfg.QueueDepth),
@@ -240,6 +260,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/repro", s.handleRepro)
 	mux.HandleFunc("POST /v1/points", s.handlePoint)
 	mux.HandleFunc("POST /v1/jobs/{id}/checkpoints", s.handleCheckpointCreate)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpointList)

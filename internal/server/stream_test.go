@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -190,6 +191,82 @@ func TestStreamingWaitTimeout(t *testing.T) {
 	if last.Job == nil || last.Job.State != StateRunning || last.Error != nil {
 		t.Errorf("final frame after wait timeout = %+v, want a running job and no error", last)
 	}
+}
+
+// TestStreamingWaitClientDisconnect pins the decoupling between a
+// streaming watcher and the job it watches: when the client drops the
+// connection mid-stream, the job keeps running to completion, and the
+// goroutines servicing the dead stream are torn down rather than
+// leaked. A monitoring dashboard closing a tab must never cancel or
+// orphan the sweep underneath it.
+func TestStreamingWaitClientDisconnect(t *testing.T) {
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var runs atomic.Int32
+	s, err := New(Config{
+		Workers:          1,
+		Experiments:      []experiments.Experiment{gatedExperiment("fake", gate, running, &runs)},
+		ProgressInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, err := s.Submit("fake", JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	// Steady state: server up, job running, no stream attached yet.
+	// Goroutines must return to this level once the stream dies.
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+v.ID+"?wait=10s", nil)
+	req.Header.Set("Accept", NDJSONContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read at least one keep-alive frame so the stream is demonstrably
+	// live before the disconnect.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no frame before disconnect: %v", sc.Err())
+	}
+	var env Envelope
+	if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+		t.Fatalf("bad frame: %v", err)
+	}
+	if env.Job == nil || env.Job.State != StateRunning {
+		t.Fatalf("first frame = %+v, want the running job", env)
+	}
+
+	// Drop the connection mid-stream, then let the experiment finish.
+	cancel()
+	close(gate)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, ok := s.Job(v.ID); ok && j.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			j, _ := s.Job(v.ID)
+			t.Fatalf("job never finished after client disconnect: %+v", j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runs = %d, want 1 (disconnect must not rerun or cancel the job)", got)
+	}
+	waitNoGoroutineLeaks(t, baseline)
 }
 
 // TestStreamingWaitUnknownJob pins that the stream path refuses an
