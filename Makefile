@@ -14,7 +14,10 @@
 # host-parallel engine against the serial driver on the same workloads
 # (recorded in BENCH_parallel.json); `bench-snapshot` measures
 # copy-on-write warm-started sweeps against fresh per-point prefixes
-# (recorded in BENCH_snapshot.json); `bench-smoke` is the CI
+# (recorded in BENCH_snapshot.json); `bench-fabric` measures batched
+# lease dispatch and worker-side warm-prefix reuse through a real
+# coordinator + worker pair (recorded in BENCH_fabric.json);
+# `bench-smoke` is the CI
 # keep-the-benchmarks-compiling pass: one iteration of the hot-path
 # benchmarks at short-mode scale, a smoke test rather than a measurement.
 
@@ -22,7 +25,7 @@ GO ?= go
 SERVE_FLAGS ?= -cache .cascade-cache
 CHAOS_SEED ?=
 
-.PHONY: tier1 race race-short chaos chaos-fabric fabric-smoke serve bench bench-hotpath bench-parallel bench-snapshot bench-smoke fmt
+.PHONY: tier1 race race-short chaos chaos-fabric fabric-smoke serve bench bench-hotpath bench-parallel bench-snapshot bench-fabric bench-smoke fmt
 
 tier1:
 	$(GO) build ./...
@@ -58,6 +61,10 @@ bench-parallel:
 
 bench-snapshot:
 	$(GO) test -run NONE -bench BenchmarkSnapshot -benchtime 3x -count 5 ./internal/experiments/
+
+bench-fabric:
+	$(GO) test -run NONE -bench BenchmarkPointDispatch -benchtime 20x -count 3 ./internal/fabric/
+	$(GO) test -run NONE -bench BenchmarkWarmFleetSweep -benchtime 1x -count 5 ./internal/fabric/
 
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkHotPathSequential|BenchmarkHotPathCascade' -benchtime 1x -short .

@@ -9,7 +9,7 @@
 //
 //	cascade-coordinator [-addr :8081] [-cache dir] [-journal dir]
 //	                    [-drain 30s] [-lease 2m] [-heartbeat-timeout 15s]
-//	                    [-inflight N] [-attempts N]
+//	                    [-inflight N] [-attempts N] [-batch N]
 //	                    [-quota N] [-quotas "tenant=N,..."]
 //	                    [-faults "fabric.assign:n=1"] [-fault-seed N]
 //
@@ -70,6 +70,7 @@ type coordinatorOptions struct {
 	heartbeatTimeout time.Duration
 	maxInflight      int
 	maxAttempts      int
+	batch            int
 	defaultQuota     int
 	quotasSpec       string
 	faultsSpec       string
@@ -85,8 +86,9 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		lease      = flag.Duration("lease", 2*time.Minute, "point-dispatch lease (per-RPC deadline)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 15*time.Second, "silence after which a worker is declared dead")
-		inflight   = flag.Int("inflight", 16, "concurrent point dispatches per job")
+		inflight   = flag.Int("inflight", 16, "concurrent lease dispatches per job")
 		attempts   = flag.Int("attempts", 8, "workers tried per point before the job fails")
+		batch      = flag.Int("batch", 0, "points per lease (0: adapt to measured RPC overhead vs point cost)")
 		quota      = flag.Int("quota", 0, "default per-tenant in-flight job quota (0: unlimited)")
 		quotasSpec = flag.String("quotas", "", `per-tenant quota overrides, e.g. "alice=2,bob=8"`)
 		faultsSpec = flag.String("faults", "", `fault-injection spec, e.g. "fabric.assign:n=1" (dev/testing)`)
@@ -104,6 +106,7 @@ func main() {
 		heartbeatTimeout: *hbTimeout,
 		maxInflight:      *inflight,
 		maxAttempts:      *attempts,
+		batch:            *batch,
 		defaultQuota:     *quota,
 		quotasSpec:       *quotasSpec,
 		faultsSpec:       *faultsSpec,
@@ -170,6 +173,7 @@ func run(ctx context.Context, w io.Writer, opts coordinatorOptions) error {
 		HeartbeatTimeout: opts.heartbeatTimeout,
 		MaxInflight:      opts.maxInflight,
 		MaxPointAttempts: opts.maxAttempts,
+		Batch:            opts.batch,
 		DefaultQuota:     opts.defaultQuota,
 		Quotas:           quotas,
 	})

@@ -7,6 +7,7 @@
 //	cascade-server [-addr :8080] [-workers N] [-queue N] [-cache dir]
 //	               [-quarantine-ttl 24h] [-drain 30s] [-job-timeout 15m]
 //	               [-coordinator URL] [-advertise URL] [-name NAME]
+//	               [-warm-prefixes] [-prefix-cache-mb N]
 //	               [-faults "site:p=0.05;..."] [-fault-seed N]
 //
 // API (see internal/server for details):
@@ -22,7 +23,10 @@
 // sweep fabric (see internal/fabric and cascade-coordinator): it
 // registers under -name at the -advertise URL and heartbeats until
 // shutdown, receiving sharded sweep points on POST /v1/points. Both
-// -advertise and -name default to the bound listen address.
+// -advertise and -name default to the bound listen address. With
+// -warm-prefixes the worker computes each sweep's shared prefix once,
+// parks the sealed machine snapshot in a bounded LRU (-prefix-cache-mb),
+// and forks it per point — byte-identical results, less repeated warmup.
 //
 // Identical jobs are answered from the cache without re-simulating, and
 // concurrent identical submissions coalesce into one run. With -cache
@@ -66,19 +70,21 @@ import (
 
 // serverOptions carries the parsed command line into run.
 type serverOptions struct {
-	addr        string
-	workers     int
-	queueDepth  int
-	cacheDir    string
-	quarantine  time.Duration
-	drain       time.Duration
-	jobTimeout  time.Duration
-	coordinator string
-	advertise   string
-	workerName  string
-	faultsSpec  string
-	faultSeed   int64
-	onListen    func(net.Addr) // test hook: reports the bound address
+	addr          string
+	workers       int
+	queueDepth    int
+	cacheDir      string
+	quarantine    time.Duration
+	drain         time.Duration
+	jobTimeout    time.Duration
+	coordinator   string
+	warmPrefixes  bool
+	prefixCacheMB int
+	advertise     string
+	workerName    string
+	faultsSpec    string
+	faultSeed     int64
+	onListen      func(net.Addr) // test hook: reports the bound address
 }
 
 func main() {
@@ -91,6 +97,8 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		jobTimeout  = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job execution deadline (0 disables)")
 		coordinator = flag.String("coordinator", "", "enlist as a fabric worker with this coordinator URL")
+		warmPrefix  = flag.Bool("warm-prefixes", false, "reuse sealed prefix snapshots across sweep points (fabric worker warm path)")
+		prefixMB    = flag.Int("prefix-cache-mb", 0, "warm-prefix snapshot LRU ceiling in MiB (0: default)")
 		advertise   = flag.String("advertise", "", "URL the coordinator dispatches to (default: the bound listen address)")
 		workerName  = flag.String("name", "", "worker name within the fleet (default: the bound listen address)")
 		faultsSpec  = flag.String("faults", "", `fault-injection spec, e.g. "exp.panic:p=0.1;cache.write:n=3" (dev/testing)`)
@@ -100,18 +108,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts := serverOptions{
-		addr:        *addr,
-		workers:     *workers,
-		queueDepth:  *queue,
-		cacheDir:    *cacheDir,
-		quarantine:  *quarantine,
-		drain:       *drain,
-		jobTimeout:  *jobTimeout,
-		coordinator: *coordinator,
-		advertise:   *advertise,
-		workerName:  *workerName,
-		faultsSpec:  *faultsSpec,
-		faultSeed:   *faultSeed,
+		addr:          *addr,
+		workers:       *workers,
+		queueDepth:    *queue,
+		cacheDir:      *cacheDir,
+		quarantine:    *quarantine,
+		drain:         *drain,
+		jobTimeout:    *jobTimeout,
+		coordinator:   *coordinator,
+		warmPrefixes:  *warmPrefix,
+		prefixCacheMB: *prefixMB,
+		advertise:     *advertise,
+		workerName:    *workerName,
+		faultsSpec:    *faultsSpec,
+		faultSeed:     *faultSeed,
 	}
 	if err := run(ctx, os.Stderr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cascade-server:", err)
@@ -145,14 +155,16 @@ func run(ctx context.Context, w io.Writer, opts serverOptions) error {
 		jobTimeout = -1 // flag 0 = "no deadline"; Config 0 = "use default"
 	}
 	s, err := server.New(server.Config{
-		Workers:       opts.workers,
-		QueueDepth:    opts.queueDepth,
-		CacheDir:      opts.cacheDir,
-		QuarantineTTL: opts.quarantine,
-		JobTimeout:    jobTimeout,
-		Faults:        inj,
-		FaultSpec:     opts.faultsSpec,
-		FaultSeed:     opts.faultSeed,
+		Workers:          opts.workers,
+		QueueDepth:       opts.queueDepth,
+		CacheDir:         opts.cacheDir,
+		QuarantineTTL:    opts.quarantine,
+		JobTimeout:       jobTimeout,
+		Faults:           inj,
+		FaultSpec:        opts.faultsSpec,
+		FaultSeed:        opts.faultSeed,
+		WarmPrefixes:     opts.warmPrefixes,
+		PrefixCacheBytes: int64(opts.prefixCacheMB) << 20,
 	})
 	if err != nil {
 		return err

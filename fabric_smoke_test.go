@@ -98,7 +98,15 @@ func (p *fleetProc) baseURL(t *testing.T) string {
 	}
 }
 
-func TestFabricSmoke(t *testing.T) {
+func TestFabricSmoke(t *testing.T) { runFabricSmoke(t, 0, false) }
+
+// TestFabricSmokeBatchedWarm reruns the fleet smoke with batched leases
+// pinned at four points per dispatch and worker-side warm-prefix
+// snapshot reuse enabled: the whole point of both optimizations is that
+// the merged bytes cannot move, so the same single-node diff must pass.
+func TestFabricSmokeBatchedWarm(t *testing.T) { runFabricSmoke(t, 4, true) }
+
+func runFabricSmoke(t *testing.T, batch int, warm bool) {
 	if os.Getenv("FABRIC_SMOKE") != "1" {
 		t.Skip("set FABRIC_SMOKE=1 to run the process-level fleet smoke test")
 	}
@@ -114,14 +122,21 @@ func TestFabricSmoke(t *testing.T) {
 
 	// Boot the fleet: one coordinator, two workers, one shared cache dir.
 	cacheDir := t.TempDir()
-	coord := startProc(t, filepath.Join(binDir, "cascade-coordinator"),
-		"-addr", "127.0.0.1:0", "-cache", cacheDir, "-heartbeat-timeout", "10s")
+	coordArgs := []string{"-addr", "127.0.0.1:0", "-cache", cacheDir, "-heartbeat-timeout", "10s"}
+	if batch > 0 {
+		coordArgs = append(coordArgs, "-batch", fmt.Sprint(batch))
+	}
+	coord := startProc(t, filepath.Join(binDir, "cascade-coordinator"), coordArgs...)
 	coordURL := coord.baseURL(t)
+	var workerURLs []string
 	for i := 0; i < 2; i++ {
-		w := startProc(t, filepath.Join(binDir, "cascade-server"),
-			"-addr", "127.0.0.1:0", "-cache", cacheDir,
-			"-coordinator", coordURL, "-name", fmt.Sprintf("w%d", i))
-		w.baseURL(t)
+		wargs := []string{"-addr", "127.0.0.1:0", "-cache", cacheDir,
+			"-coordinator", coordURL, "-name", fmt.Sprintf("w%d", i)}
+		if warm {
+			wargs = append(wargs, "-warm-prefixes")
+		}
+		w := startProc(t, filepath.Join(binDir, "cascade-server"), wargs...)
+		workerURLs = append(workerURLs, w.baseURL(t))
 	}
 
 	// Wait for both workers to enlist.
@@ -255,5 +270,33 @@ func TestFabricSmoke(t *testing.T) {
 	}
 	if vals["fabric.jobs.completed"] != 1 {
 		t.Fatalf("jobs.completed = %d, want 1", vals["fabric.jobs.completed"])
+	}
+	if batch > 0 && vals["fabric.batches.dispatched"] == 0 {
+		t.Fatalf("no batched leases dispatched; metrics:\n%s", metricsBody)
+	}
+
+	// With warm prefixes on, at least one worker must have retired points
+	// through the snapshot-fork path (points.warm) — byte identity above
+	// proves it changed nothing.
+	if warm {
+		warmPoints := 0
+		for _, wu := range workerURLs {
+			resp, err := http.Get(wu + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(wb), "\n") {
+				var name string
+				var v int
+				if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err == nil && name == "points.warm" {
+					warmPoints += v
+				}
+			}
+		}
+		if warmPoints == 0 {
+			t.Fatal("warm-prefix fleet retired no points through the warm path")
+		}
 	}
 }

@@ -11,7 +11,9 @@ import (
 // a way that stales previously-cached point results; the golden-hash
 // tests in keys_test.go pin the current derivation so the constant and
 // the goldens must move together.
-const PointSchema = "cascade-point/v1"
+// v2: prefetch wind-down — compiler-prefetch streams stop issuing at the
+// end of the data their run-mode call touches, changing R10000 results.
+const PointSchema = "cascade-point/v2"
 
 // Key derives a content address: the hex SHA-256 of a schema tag and the
 // canonical JSON of v. Because the canonical encoding is independent of
@@ -39,6 +41,23 @@ func Key(schema string, v interface{}) (string, error) {
 // can change the result must be a field of v.
 func PointKey(spec interface{}) (string, error) {
 	return Key(PointSchema, spec)
+}
+
+// PrefixSchema versions the warm-prefix key derivation: the content
+// address of a sweep's shared strategy-independent prefix (machine
+// configuration, dataset parameters, warm-up schedule). Workers use it to
+// share one sealed machine snapshot across every point of a job that
+// declares the same prefix; bump it whenever the prefix construction
+// changes meaning. v2: derivation moved to the canonical-JSON Key form
+// and grew the distribute flag.
+const PrefixSchema = "cascade-prefix/v2"
+
+// PrefixKey derives the content address of a resolved warm-prefix
+// descriptor under PrefixSchema. The descriptor must determine the
+// post-prefix machine state completely — two equal keys promise
+// interchangeable snapshots.
+func PrefixKey(desc interface{}) (string, error) {
+	return Key(PrefixSchema, desc)
 }
 
 // ReproSchema versions the repro-bundle key derivation. A bundle's key

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/wave5"
 )
 
 // fixedSpecs are wire-stable point specs whose keys are pinned below.
@@ -29,10 +31,10 @@ func fixedSpecs(t *testing.T) []experiments.PointSpec {
 // is exactly what this test exists to catch.
 func TestPointKeyGoldens(t *testing.T) {
 	want := []string{
-		"5bce9c0cacb0ca0d5847028be3b4787aeab264edcd38c8ca5ebefca2fce56f38",
-		"5441a71a48a6cb84db0b42c721a60027dfc107bca301e12e825d49983fd7cd0a",
-		"959e5674a4fcef5a136f5afe087dec201812a3af9041d90bd62d4955ae0072db",
-		"a930106221f98be3d93042edea7493ecdcd6e9d34251ac0f7dab517b89432ade",
+		"ffbb07c3f42a80d310b6d0374de5ca23676510900568208ef5c5f22fe1f692e1",
+		"5c621468b8bf7abf48e760d711771038d8608f3904cd9a2dd305bcb8cad4eeaf",
+		"8643578aea9211c872076624acc4e05f7259fc1d377d02c4174b80b9780bfe8e",
+		"2f1e9d412d3b6626f75a5546cb35b5869b9072466361a2edb8d285b8091f458f",
 	}
 	specs := fixedSpecs(t)
 	for i, spec := range specs {
@@ -124,6 +126,53 @@ func TestPointKeySensitivity(t *testing.T) {
 	}
 	if other == baseKey {
 		t.Error("schema tag does not separate key spaces")
+	}
+}
+
+// TestPrefixKeyGoldens pins the warm-prefix key derivation through the
+// real resolver (machine canonical bytes + dataset params + warm-up
+// schedule under PrefixSchema). Workers share sealed machine snapshots
+// across jobs keyed by these strings — accidental drift here is a silent
+// warm-cache invalidation fleet-wide, or stale snapshot hits if a
+// meaningful field stops being hashed.
+func TestPrefixKeyGoldens(t *testing.T) {
+	p := wave5.DefaultParams().Scaled(0.25)
+	cases := []struct {
+		cfg    machine.Config
+		warmup int
+		want   string
+	}{
+		{machine.R10000(8), 2, "a757a6ca54f61120c5dc55aeecf4049233bdf2b41b7997e019c556a526bfe080"},
+		{machine.R10000(8), 0, "468bfc614baa927823d969471e18017e4ed8c847d55164436400c15ff263e0dd"},
+		{machine.PentiumPro(4), 2, "72932d3cf80a145f218ba3301bd0a10e7ebad952a27ad7156d179a9f16210360"},
+		{machine.PentiumPro(4), 0, "f2380f038737485fd600dbe45acf003556b7869876db5bb03e9c0cbb69327c46"},
+	}
+	seen := map[string]string{}
+	for _, tc := range cases {
+		got, err := experiments.PrefixKey(tc.cfg, p, tc.warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("prefix key (%s warm=%d) drifted:\n got %s\nwant %s", tc.cfg.Name, tc.warmup, got, tc.want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("prefix key collision: %s and %s/warm=%d", prev, tc.cfg.Name, tc.warmup)
+		}
+		seen[got] = tc.cfg.Name
+	}
+	// Schema separation: a prefix key must never alias a point key even if
+	// a descriptor and a spec were ever to hash the same bytes.
+	pk, err := canon.PrefixKey(map[string]interface{}{"config": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptk, err := canon.PointKey(map[string]interface{}{"config": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk == ptk {
+		t.Error("prefix and point key spaces alias")
 	}
 }
 

@@ -141,7 +141,7 @@ func Resume(l *loopir.Loop, opts Options, ck *Checkpoint) (Result, error) {
 	}
 
 	P := m.Procs()
-	chunks := Split(l, opts.ChunkBytes)
+	chunks := SplitFor(m.Config(), l, opts.ChunkBytes)
 	if ck.NextChunk > len(chunks) {
 		return Result{}, fmt.Errorf("cascade: checkpoint's next chunk %d beyond %d chunks (wrong loop or chunk size?)", ck.NextChunk, len(chunks))
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/memsim"
 )
 
 // Chunk is a contiguous range of loop iterations [Lo, Hi) executed by one
@@ -34,7 +36,35 @@ func ItersPerChunk(l *loopir.Loop, chunkBytes int) int {
 // chunk and chunks are in increasing order — sequential semantics are
 // preserved by executing them in slice order.
 func Split(l *loopir.Loop, chunkBytes int) []Chunk {
+	return splitPer(l, ItersPerChunk(l, chunkBytes))
+}
+
+// SplitFor is the machine-aware Split the run drivers use: on
+// compiler-prefetch machines it snaps the chunk size down to the loop's
+// boundary-alignment quantum (see chunkAlign), so the footprint analysis
+// sees chunk write spans that meet exactly at L2-line boundaries instead
+// of sharing a straddled line. On machines without compiler prefetch it
+// is identical to Split.
+func SplitFor(cfg machine.Config, l *loopir.Loop, chunkBytes int) []Chunk {
+	return splitPer(l, snappedPer(cfg, l, chunkBytes))
+}
+
+// snappedPer returns the per-chunk iteration count after boundary
+// snapping: the byte budget's count rounded down to a multiple of the
+// alignment quantum. When the budget holds fewer iterations than one
+// quantum the unsnapped count is kept — a short chunk cannot be aligned,
+// and admission then rejects it exactly as before this pass existed.
+func snappedPer(cfg machine.Config, l *loopir.Loop, chunkBytes int) int {
 	per := ItersPerChunk(l, chunkBytes)
+	if align := chunkAlign(cfg, l); align > 1 {
+		if snapped := per / align * align; snapped > 0 {
+			per = snapped
+		}
+	}
+	return per
+}
+
+func splitPer(l *loopir.Loop, per int) []Chunk {
 	chunks := make([]Chunk, 0, (l.Iters+per-1)/per)
 	for lo := 0; lo < l.Iters; lo += per {
 		hi := lo + per
@@ -44,4 +74,69 @@ func Split(l *loopir.Loop, chunkBytes int) []Chunk {
 		chunks = append(chunks, Chunk{Lo: lo, Hi: hi})
 	}
 	return chunks
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// chunkAlign returns the iteration-count quantum that puts every chunk
+// boundary of every affine reference over a *written* array exactly on an
+// L2-line boundary, or 1 when no quantum exists (misaligned base/offset,
+// indirect writes, unanalyzable loop) or none is needed (no compiler
+// prefetch — tight spans already meet only at a shared straddled line,
+// which the paper's line-aligned chunk sizes avoid by construction).
+//
+// This is what closes the documented R10000 admission gap: with prefetch
+// wind-down keeping every access inside the tight span, the only
+// remaining cross-chunk contact is a chunk boundary landing mid-line.
+// Snapping the chunk size to a multiple of this quantum makes adjacent
+// write spans meet exactly at coherence granularity, so footprint
+// admission sees them as disjoint.
+func chunkAlign(cfg machine.Config, l *loopir.Loop) int {
+	if !cfg.CompilerPrefetch.Enabled || l.NoCompilerPrefetch {
+		return 1
+	}
+	shapes, ok := loopShapes(l)
+	if !ok {
+		return 1
+	}
+	written := make(map[*memsim.Array]bool)
+	for _, s := range shapes {
+		if s.write {
+			written[s.arr] = true
+		}
+	}
+	l2 := cfg.L2.LineSize
+	align := 1
+	for _, s := range shapes {
+		if s.whole || s.scale == 0 || !written[s.arr] {
+			continue
+		}
+		elem := s.arr.ElemSize()
+		// The boundary byte between consecutive chunks at iteration b is
+		// base + (scale*b + off)*elem for ascending references and
+		// base + (scale*b + off - scale)*elem for descending ones (the
+		// low edge of the chunk ending at b). Alignment at every multiple
+		// of the quantum needs the constant term L2-aligned and the
+		// per-quantum increment scale*per*elem ≡ 0 (mod l2).
+		boundOff := s.off
+		if s.scale < 0 {
+			boundOff = s.off - s.scale
+		}
+		if (int(s.arr.Base())+boundOff*elem)%l2 != 0 {
+			return 1
+		}
+		abs := s.scale
+		if abs < 0 {
+			abs = -abs
+		}
+		align = lcm(align, l2/gcd(l2, abs*elem))
+	}
+	return align
 }

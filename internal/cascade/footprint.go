@@ -86,29 +86,29 @@ type refShape struct {
 	scale, off int
 	whole      bool // entire array regardless of chunk bounds
 	write      bool
-	pf         bool // compiler-prefetch reach extends this shape's range
 }
 
 // loopShapes derives the footprint shapes of l's references. ok is false
 // when any index expression is of an unknown kind, in which case no sound
-// static footprint exists and the run must stay serial. pfOn mirrors the
-// interpreter's own gate for the compiler-prefetch model.
-func loopShapes(l *loopir.Loop, pfOn bool) (shapes []refShape, ok bool) {
+// static footprint exists and the run must stay serial.
+//
+// Compiler prefetch needs no reach extension here: the interpreter's
+// wind-down model (interp.timed) suppresses any prefetch whose target
+// lies beyond the data the current call's remaining iterations touch, so
+// every prefetch a chunk can issue lands inside its tight element span.
+func loopShapes(l *loopir.Loop) (shapes []refShape, ok bool) {
 	add := func(refs []loopir.Ref, write bool) bool {
 		for _, r := range refs {
 			switch ix := r.Index.(type) {
 			case loopir.Affine:
 				shapes = append(shapes, refShape{
-					arr: r.Array, scale: ix.Scale, off: ix.Offset,
-					write: write, pf: pfOn && ix.Scale != 0,
+					arr: r.Array, scale: ix.Scale, off: ix.Offset, write: write,
 				})
 			case loopir.Indirect:
-				// The table walk is affine and prefetchable; the target
-				// array is reachable anywhere (and never prefetched: its
-				// stride is not statically known).
+				// The table walk is affine; the target array is reachable
+				// anywhere (the table values are data).
 				shapes = append(shapes, refShape{
 					arr: ix.Tbl, scale: ix.Entry.Scale, off: ix.Entry.Offset,
-					pf: pfOn && ix.Entry.Scale != 0,
 				})
 				shapes = append(shapes, refShape{arr: r.Array, whole: true, write: write})
 			default:
@@ -123,12 +123,11 @@ func loopShapes(l *loopir.Loop, pfOn bool) (shapes []refShape, ok bool) {
 	return shapes, true
 }
 
-// spanFor returns the shape's line span for iterations [lo, hi). reach is
-// the compiler-prefetch lookahead in bytes (Distance x L1 line size): a
-// prefetching reference can touch that far beyond its last element in its
-// stride direction, clamped to the array. l2Line aligns the result outward
-// to coherence granularity.
-func (s refShape) spanFor(lo, hi, reach, l2Line int) span {
+// spanFor returns the shape's line span for iterations [lo, hi), aligned
+// outward to l2Line (coherence granularity). The span is tight: prefetch
+// wind-down guarantees no access — demand or prefetch — lands outside the
+// element range the iterations themselves touch.
+func (s refShape) spanFor(lo, hi, l2Line int) span {
 	base := s.arr.Base()
 	end := base + memsim.Addr(s.arr.SizeBytes())
 	a, b := base, end
@@ -140,17 +139,6 @@ func (s refShape) spanFor(lo, hi, reach, l2Line int) span {
 		}
 		a = s.arr.Addr(e0)
 		b = s.arr.Addr(e1) + memsim.Addr(s.arr.ElemSize())
-		if s.pf && reach > 0 {
-			if s.scale > 0 {
-				b += memsim.Addr(reach)
-			} else {
-				if a-base < memsim.Addr(reach) {
-					a = base
-				} else {
-					a -= memsim.Addr(reach)
-				}
-			}
-		}
 		if b > end {
 			b = end
 		}
@@ -161,10 +149,10 @@ func (s refShape) spanFor(lo, hi, reach, l2Line int) span {
 // chunkFoot builds the footprint of one chunk: every shape's span over the
 // chunk's iteration range, plus — under the restructuring helper — the
 // whole sequential buffer the chunk's processor streams into.
-func chunkFoot(shapes []refShape, ch Chunk, reach, l2Line int, buf *interp.SeqBuf) footprint {
+func chunkFoot(shapes []refShape, ch Chunk, l2Line int, buf *interp.SeqBuf) footprint {
 	var rd, wr []span
 	for _, s := range shapes {
-		sp := s.spanFor(ch.Lo, ch.Hi, reach, l2Line)
+		sp := s.spanFor(ch.Lo, ch.Hi, l2Line)
 		if s.write {
 			wr = append(wr, sp)
 		} else {

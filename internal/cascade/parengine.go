@@ -112,7 +112,6 @@ type parEngine struct {
 	st     *chunkState
 	chunks []Chunk
 	shapes []refShape
-	reach  int // compiler-prefetch lookahead, bytes
 	l2Line int
 	P      int
 
@@ -162,17 +161,12 @@ func newParEngine(st *chunkState, chunks []Chunk) *parEngine {
 	if !st.l.Reentrant() {
 		return nil
 	}
-	pfOn := cfg.CompilerPrefetch.Enabled && !st.l.NoCompilerPrefetch
-	shapes, ok := loopShapes(st.l, pfOn)
+	shapes, ok := loopShapes(st.l)
 	if !ok {
 		return nil
 	}
-	reach := 0
-	if pfOn {
-		reach = cfg.CompilerPrefetch.Distance * cfg.L1.LineSize
-	}
 	return &parEngine{
-		st: st, chunks: chunks, shapes: shapes, reach: reach,
+		st: st, chunks: chunks, shapes: shapes,
 		l2Line: cfg.L2.LineSize, P: P,
 		jobs:      make([]chan *parJob, P),
 		doneCh:    make(chan parDone, P),
@@ -193,7 +187,7 @@ func (e *parEngine) foot(k int) footprint {
 	if e.st.opts.Helper == HelperRestructure {
 		buf = e.st.bufs[k%e.P]
 	}
-	return chunkFoot(e.shapes, e.chunks[k], e.reach, e.l2Line, buf)
+	return chunkFoot(e.shapes, e.chunks[k], e.l2Line, buf)
 }
 
 // admit decides whether chunk k may be simulated concurrently with the

@@ -144,6 +144,103 @@ func TestParallelEngineEngagesAndMatchesSerial(t *testing.T) {
 	}
 }
 
+// denseLoopAligned is denseLoop with caller-controlled array alignment,
+// so tests can place array bases on (or off) L2-line boundaries.
+func denseLoopAligned(iters, align int) (*memsim.Space, *loopir.Loop) {
+	s := memsim.NewSpace()
+	a := s.Alloc("A", iters, 8, align)
+	b := s.Alloc("B", iters, 8, align)
+	out := s.Alloc("OUT", iters, 8, align)
+	a.Fill(func(i int) float64 { return float64(i % 97) })
+	b.Fill(func(i int) float64 { return float64(i % 89) })
+	l := &loopir.Loop{
+		Name:  "dense",
+		Iters: iters,
+		RO: []loopir.Ref{
+			{Array: a, Index: loopir.Ident},
+			{Array: b, Index: loopir.Ident},
+		},
+		Writes:    []loopir.Ref{{Array: out, Index: loopir.Ident}},
+		PreCycles: 4, FinalCycles: 2,
+		NPre: 1,
+		NewPre: func() func(int, []float64) []float64 {
+			return func(_ int, ro []float64) []float64 {
+				return []float64{ro[0] + 2*ro[1]}
+			}
+		},
+		NewFinal: func() func(int, []float64, []float64) []float64 {
+			return func(_ int, pre, _ []float64) []float64 { return pre }
+		},
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return s, l
+}
+
+// TestParallelEnginePrefetchBoundarySnapping is the differential for the
+// R10000 admission gap: with compiler prefetch on, a chunk budget whose
+// raw iteration count straddles L2 lines used to leave every chunk pair
+// sharing boundary lines (and the old reach-extended footprints overlapped
+// outright), so dense sweeps ran solo. Boundary snapping rounds the chunk
+// size down to the loop's alignment quantum — 16 iterations here
+// (128 B L2 line / 8 B elements) — and the wind-down model keeps every
+// prefetch inside the tight span, so the same sweep is now fully admitted
+// and still bit-identical to the serial driver.
+func TestParallelEnginePrefetchBoundarySnapping(t *testing.T) {
+	// 1000 B / 24 B-per-iter = 41 iterations — deliberately not a
+	// multiple of the 16-iteration quantum, so admission depends on the
+	// snapping pass, not on a lucky budget.
+	const iters, chunkBytes = 4000, 1000
+	if align := chunkAlign(machine.R10000(8), func() *loopir.Loop {
+		_, l := denseLoopAligned(iters, 128)
+		return l
+	}()); align != 16 {
+		t.Fatalf("chunkAlign = %d, want 16", align)
+	}
+	for _, h := range []Helper{HelperPrefetch, HelperRestructure} {
+		sSer, lSer := denseLoopAligned(iters, 128)
+		sPar, lPar := denseLoopAligned(iters, 128)
+		mSer := machine.MustNew(machine.R10000(8))
+		mPar := machine.MustNew(machine.R10000(8).WithParallel(machine.ParallelOn))
+
+		ser, err := Run(mSer, lSer, parOpts(t, h, sSer, chunkBytes, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := captureEngaged(t)
+		par, err := Run(mPar, lPar, parOpts(t, h, sPar, chunkBytes, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := "r10000/" + h.String()
+		if got[0] == 0 {
+			t.Errorf("%s: no chunks admitted (solo %d); snapping did not close the gap", label, got[1])
+		}
+		if got[1] != 0 {
+			t.Errorf("%s: expected full admission, got %d solo chunks", label, got[1])
+		}
+		coalesceDiff(t, label, par, ser)
+		if eq, idx := lPar.Writes[0].Array.Equal(lSer.Writes[0].Array.Snapshot()); !eq {
+			t.Errorf("%s: outputs diverge at element %d", label, idx)
+		}
+		parEngaged = nil
+	}
+	// A written array based mid-L2-line admits no quantum; the snapped
+	// split must then degrade to the plain one.
+	sOff := memsim.NewSpace()
+	aOff := sOff.Alloc("A", iters, 8, 128)
+	outOff := sOff.AllocAt("OUT", iters, 8, 64, 128)
+	lOff := &loopir.Loop{
+		Name: "offdense", Iters: iters,
+		RO:     []loopir.Ref{{Array: aOff, Index: loopir.Ident}},
+		Writes: []loopir.Ref{{Array: outOff, Index: loopir.Ident}},
+	}
+	if align := chunkAlign(machine.R10000(8), lOff); align != 1 {
+		t.Errorf("chunkAlign on a mid-line write base = %d, want 1", align)
+	}
+}
+
 // TestParallelEngineSoloFallback: when every chunk writes one shared
 // accumulator line, only the first chunk can be admitted; the rest must
 // run inline through the serial body — and the Result must still be
@@ -221,7 +318,7 @@ func TestLoopShapesRejectsUnknownIndex(t *testing.T) {
 		Name: "opaque", Iters: 64,
 		RO: []loopir.Ref{{Array: a, Index: opaqueIndex{loopir.Ident}}},
 	}
-	if _, ok := loopShapes(l, false); ok {
+	if _, ok := loopShapes(l); ok {
 		t.Error("loopShapes accepted an unknown index expression")
 	}
 }
@@ -244,9 +341,9 @@ func TestFootprintSpans(t *testing.T) {
 }
 
 // TestFootprintChunkSpans pins the per-chunk footprint construction:
-// affine references get tight line-aligned ranges (extended by the
-// compiler-prefetch reach in stride direction), indirect references cover
-// the table walk tightly plus the whole target array.
+// affine references get tight line-aligned ranges (prefetch wind-down
+// guarantees no access lands beyond them), indirect references cover the
+// table walk tightly plus the whole target array.
 func TestFootprintChunkSpans(t *testing.T) {
 	s := memsim.NewSpace()
 	a := s.Alloc("A", 1024, 8, 4096)
@@ -259,12 +356,12 @@ func TestFootprintChunkSpans(t *testing.T) {
 			{Array: g, Index: loopir.Indirect{Tbl: tbl, Entry: loopir.Ident}},
 		},
 	}
-	shapes, ok := loopShapes(l, true)
+	shapes, ok := loopShapes(l)
 	if !ok {
 		t.Fatal("loopShapes rejected an analyzable loop")
 	}
 	const l2 = 32
-	fp := chunkFoot(shapes, Chunk{Lo: 8, Hi: 16}, 2*l2, l2, nil)
+	fp := chunkFoot(shapes, Chunk{Lo: 8, Hi: 16}, l2, nil)
 	if len(fp.wr) != 0 {
 		t.Errorf("read-only loop has write spans: %v", fp.wr)
 	}
@@ -278,17 +375,16 @@ func TestFootprintChunkSpans(t *testing.T) {
 		}
 		return span{}, false
 	}
-	// A: elements [8,16) = bytes [64,128), plus 64 bytes of prefetch
-	// reach forward = [64,192).
-	if sp, ok := find(a); !ok || sp.lo != a.Base()+64 || sp.hi != a.Base()+192 {
+	// A: elements [8,16) = bytes [64,128), tight.
+	if sp, ok := find(a); !ok || sp.lo != a.Base()+64 || sp.hi != a.Base()+128 {
 		t.Errorf("affine span = %v (base %v)", sp, a.Base())
 	}
-	// G: whole array, no reach.
+	// G: whole array.
 	if sp, ok := find(g); !ok || sp.lo != g.Base() || sp.hi != g.Base()+memsim.Addr(g.SizeBytes()) {
 		t.Errorf("indirect target span = %v (base %v)", sp, g.Base())
 	}
-	// T: entries [8,16) of 4 bytes = bytes [32,64), plus reach = [32,128).
-	if sp, ok := find(tbl); !ok || sp.lo != tbl.Base()+32 || sp.hi != tbl.Base()+128 {
+	// T: entries [8,16) of 4 bytes = bytes [32,64), tight.
+	if sp, ok := find(tbl); !ok || sp.lo != tbl.Base()+32 || sp.hi != tbl.Base()+64 {
 		t.Errorf("table span = %v (base %v)", sp, tbl.Base())
 	}
 }

@@ -144,7 +144,7 @@ func Run(m *machine.Machine, l *loopir.Loop, opts Options) (Result, error) {
 	m.ResetStats()
 
 	P := m.Procs()
-	chunks := Split(l, opts.ChunkBytes)
+	chunks := SplitFor(m.Config(), l, opts.ChunkBytes)
 	runners := make([]*interp.Runner, P)
 	for p := 0; p < P; p++ {
 		runners[p] = interp.New(m.Proc(p))

@@ -42,7 +42,7 @@ func RunUnbounded(cfg machine.Config, l *loopir.Loop, opts Options) (Result, err
 	}
 
 	runner := interp.New(m.Proc(0))
-	chunks := Split(l, opts.ChunkBytes)
+	chunks := SplitFor(m.Config(), l, opts.ChunkBytes)
 
 	var buf *interp.SeqBuf
 	if opts.Helper == HelperRestructure {

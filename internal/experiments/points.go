@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cascade"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/wave5"
@@ -54,6 +55,14 @@ type PointSpec struct {
 	Scale float64 `json:"scale"`
 	// N is the synthetic-loop / kernel array length (0 when unused).
 	N int `json:"n,omitempty"`
+	// ChunkBytes is the exact chunk budget in bytes for decompositions
+	// whose budgets are not KB-quantized (warmsweep); 0 means ChunkKB
+	// rules. Omitted from the canonical form when unused, so the fields'
+	// addition left every existing point key unchanged.
+	ChunkBytes int `json:"chunk_bytes,omitempty"`
+	// Warmup is the number of sequential warm-up calls the point's shared
+	// prefix runs before the measured call (warmsweep); 0 for cold sweeps.
+	Warmup int `json:"warmup,omitempty"`
 }
 
 // PointResult is the serializable outcome of running one PointSpec: the
@@ -66,15 +75,30 @@ type PointResult struct {
 	HelperIters int64            `json:"helper_iters,omitempty"`
 	TotalIters  int64            `json:"total_iters,omitempty"`
 	Metrics     metrics.Snapshot `json:"metrics,omitempty"`
+	// Shared counts the machine components a warm-started point's fork
+	// still shared with its prefix snapshot after the measured call
+	// (warmsweep rows report it; cold sweeps omit it).
+	Shared int `json:"shared_components,omitempty"`
 }
 
 // Decomposition is a sweep driver split into its three distributable
 // phases. Points and Merge run on the coordinating side; Run executes
 // anywhere.
+//
+// The optional warm-prefix pair declares the strategy-independent work a
+// point shares with its sweep siblings. Prefix maps a spec to its
+// resolved PrefixSpec (ok=false for points with no shareable prefix);
+// RunWarm executes the point's tail off a built PrefixState, and MUST
+// produce byte-identical results to Run — the worker substitutes it
+// freely whenever a cached snapshot is at hand. Callers serialize
+// RunWarm invocations per state (PrefixCache holds the state lock).
 type Decomposition struct {
 	Points func(rc RunConfig) []PointSpec
 	Run    func(ctx context.Context, ps PointSpec) (PointResult, error)
 	Merge  func(rc RunConfig, results []PointResult) (Renderable, error)
+
+	Prefix  func(ps PointSpec) (PrefixSpec, bool)
+	RunWarm func(ctx context.Context, st *PrefixState, ps PointSpec) (PointResult, error)
 }
 
 // decompositions maps experiment name → decomposition. The built-ins
@@ -236,20 +260,80 @@ func runPARMVRPoint(ps PointSpec) (PointResult, error) {
 	return res, nil
 }
 
+// parmvrPrefix declares a fig2/fig6 point's shared prefix: the dataset
+// build and machine construction, no distribution, no warm-up calls —
+// exactly the strategy-independent head of RunPARMVR. Fig6 points share
+// one prefix per machine (fixed procs, fixed scale); fig2's processor
+// sweep gets one per (machine, procs).
+func parmvrPrefix(ps PointSpec) (PrefixSpec, bool) {
+	return PrefixSpec{Machine: ps.Machine, Procs: ps.Procs, Scale: ps.Scale}, true
+}
+
+// runPARMVRPointWarm is runPARMVRPoint off a shared prefix: the fork
+// replaces machine.New, the restored space replaces wave5.Build, and the
+// per-loop body is identical — cascade.Run resets caches per loop either
+// way, so the fork of the freshly-constructed machine is observably the
+// freshly-constructed machine.
+func runPARMVRPointWarm(st *PrefixState, ps PointSpec) (PointResult, error) {
+	strat, err := ParseStrategy(ps.Strategy)
+	if err != nil {
+		return PointResult{}, err
+	}
+	m, err := st.fork()
+	if err != nil {
+		return PointResult{}, err
+	}
+	results := make([]cascade.Result, 0, len(st.w.Loops))
+	for _, l := range st.w.Loops {
+		var r cascade.Result
+		if strat == Sequential {
+			r = cascade.RunSequential(m, l, true)
+		} else {
+			opts, oerr := cascade.NewOptions(
+				cascade.WithHelper(strat.helper()),
+				cascade.WithSpace(st.w.Space),
+				cascade.WithChunkBytes(ps.ChunkKB*1024),
+			)
+			if oerr != nil {
+				return PointResult{}, oerr
+			}
+			r, err = cascade.Run(m, l, opts)
+			if err != nil {
+				return PointResult{}, err
+			}
+		}
+		results = append(results, r)
+	}
+	res := PointResult{Index: ps.Index, Cycles: TotalCycles(results), Metrics: MergeMetrics(results)}
+	for _, r := range results {
+		res.HelperIters += int64(r.HelperIters)
+		res.TotalIters += int64(r.TotalIters)
+	}
+	return res, nil
+}
+
 func init() {
 	RegisterDecomposition("fig2", Decomposition{
 		Points: fig2Points,
 		Run: func(ctx context.Context, ps PointSpec) (PointResult, error) {
 			return runPARMVRPoint(ps)
 		},
-		Merge: fig2Merge,
+		Merge:  fig2Merge,
+		Prefix: parmvrPrefix,
+		RunWarm: func(ctx context.Context, st *PrefixState, ps PointSpec) (PointResult, error) {
+			return runPARMVRPointWarm(st, ps)
+		},
 	})
 	RegisterDecomposition("fig6", Decomposition{
 		Points: fig6Points,
 		Run: func(ctx context.Context, ps PointSpec) (PointResult, error) {
 			return runPARMVRPoint(ps)
 		},
-		Merge: fig6Merge,
+		Merge:  fig6Merge,
+		Prefix: parmvrPrefix,
+		RunWarm: func(ctx context.Context, st *PrefixState, ps PointSpec) (PointResult, error) {
+			return runPARMVRPointWarm(st, ps)
+		},
 	})
 }
 

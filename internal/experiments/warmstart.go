@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 
@@ -75,33 +73,38 @@ type WarmSweepResult struct {
 	Rows        []WarmRow `json:"rows"`
 }
 
-// prefixKeySchema versions the warm-prefix content address; bump it when
-// the prefix construction (warm-up strategy, distribution) changes
-// meaning.
-const prefixKeySchema = "cascade-prefix/v1"
+// prefixDesc is the resolved warm-prefix descriptor canon.PrefixKey
+// hashes: the machine configuration's canonical bytes, the dataset
+// parameters, the warm-up call count, and whether the prefix models the
+// surrounding parallel phases' data distribution.
+type prefixDesc struct {
+	Config      string       `json:"config"`
+	Params      wave5.Params `json:"params"`
+	WarmupCalls int          `json:"warmup_calls"`
+	Distribute  bool         `json:"distribute,omitempty"`
+}
 
-// PrefixKey content-addresses a warm prefix: the machine configuration's
-// canonical bytes, the dataset parameters, and the warm-up call count.
-// Two sweeps with equal prefix keys may share one snapshot — the prefix
-// is strategy-independent (sequential calls), so every tail is reachable
-// from it.
-func PrefixKey(cfg machine.Config, p wave5.Params, warmupCalls int) (string, error) {
+// prefixKeyOf content-addresses a resolved warm prefix under
+// canon.PrefixSchema.
+func prefixKeyOf(cfg machine.Config, p wave5.Params, warmupCalls int, distribute bool) (string, error) {
 	cb, err := cfg.CanonicalBytes()
 	if err != nil {
 		return "", fmt.Errorf("prefix key: machine config: %w", err)
 	}
-	pb, err := canon.JSON(p)
-	if err != nil {
-		return "", fmt.Errorf("prefix key: params: %w", err)
-	}
-	h := sha256.New()
-	io.WriteString(h, prefixKeySchema+"\x00")
-	h.Write(cb)
-	h.Write([]byte{0})
-	h.Write(pb)
-	h.Write([]byte{0})
-	fmt.Fprintf(h, "seqcalls=%d", warmupCalls)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return canon.PrefixKey(prefixDesc{
+		Config: string(cb), Params: p,
+		WarmupCalls: warmupCalls, Distribute: distribute,
+	})
+}
+
+// PrefixKey content-addresses a warm-sweep prefix: the machine
+// configuration, the dataset parameters, and the warm-up call count
+// (distribution included — WarmSweep always models the surrounding
+// parallel phases). Two sweeps with equal prefix keys may share one
+// snapshot — the prefix is strategy-independent (sequential calls), so
+// every tail is reachable from it.
+func PrefixKey(cfg machine.Config, p wave5.Params, warmupCalls int) (string, error) {
+	return prefixKeyOf(cfg, p, warmupCalls, true)
 }
 
 // WarmSweep measures every point against one shared warm prefix. The
@@ -180,6 +183,121 @@ func WarmSweep(ctx context.Context, cfg machine.Config, p wave5.Params, warmupCa
 		}
 	}
 	return res, nil
+}
+
+// warmsweepPoints decomposes the warm sweep: per machine, every default
+// warm point in row order. The spec carries the exact chunk budget in
+// bytes (warm budgets are not KB-quantized) and the prefix's warm-up
+// call count.
+func warmsweepPoints(rc RunConfig) []PointSpec {
+	var specs []PointSpec
+	for _, cfg := range Machines() {
+		for _, pt := range DefaultWarmPoints(rc.ChunkBytes) {
+			specs = append(specs, PointSpec{
+				Experiment: "warmsweep", Index: len(specs),
+				Machine: cfg.Name, Procs: cfg.Procs,
+				Strategy: pt.Strat.Token(), ChunkBytes: pt.ChunkBytes,
+				Scale: rc.Scale, Warmup: DefaultWarmupCalls,
+			})
+		}
+	}
+	return specs
+}
+
+// warmsweepPrefix declares a warm point's shared prefix: dataset build,
+// machine construction, data distribution, and the warm-up calls — the
+// most prefix-heavy decomposition in the registry, which is exactly why
+// worker-side snapshot reuse pays here.
+func warmsweepPrefix(ps PointSpec) (PrefixSpec, bool) {
+	return PrefixSpec{
+		Machine: ps.Machine, Procs: ps.Procs, Scale: ps.Scale,
+		WarmupCalls: ps.Warmup, Distribute: true,
+	}, true
+}
+
+// warmsweepRunWarm measures one warm point off a built prefix, exactly
+// as WarmSweep's loop body does: fork, rewind the space, run the
+// steady-state call, count the still-shared components.
+func warmsweepRunWarm(st *PrefixState, ps PointSpec) (PointResult, error) {
+	strat, err := ParseStrategy(ps.Strategy)
+	if err != nil {
+		return PointResult{}, err
+	}
+	m, err := st.fork()
+	if err != nil {
+		return PointResult{}, err
+	}
+	results, err := runWarmPoint(m, st.w, WarmPoint{Strat: strat, ChunkBytes: ps.ChunkBytes})
+	if err != nil {
+		return PointResult{}, err
+	}
+	return PointResult{
+		Index: ps.Index, Cycles: TotalCycles(results),
+		Metrics: MergeMetrics(results), Shared: len(m.SharedComponents()),
+	}, nil
+}
+
+// warmsweepMerge rebuilds the Group of per-machine WarmSweepResults with
+// WarmSweep's exact arithmetic: rows in point order, Speedup from the
+// first sequential row's cycles.
+func warmsweepMerge(rc RunConfig, results []PointResult) (Renderable, error) {
+	machines := Machines()
+	points := DefaultWarmPoints(rc.ChunkBytes)
+	if len(results) != len(machines)*len(points) {
+		return nil, fmt.Errorf("warmsweep merge: %d results, want %d", len(results), len(machines)*len(points))
+	}
+	var g Group
+	k := 0
+	for _, cfg := range machines {
+		key, err := PrefixKey(cfg, rc.Params(), DefaultWarmupCalls)
+		if err != nil {
+			return nil, err
+		}
+		res := &WarmSweepResult{
+			Machine: cfg.Name, Procs: cfg.Procs,
+			WarmupCalls: DefaultWarmupCalls, PrefixKey: key,
+		}
+		var base int64
+		for _, pt := range points {
+			r := results[k]
+			k++
+			if pt.Strat == Sequential && base == 0 {
+				base = r.Cycles
+			}
+			res.Rows = append(res.Rows, WarmRow{
+				Point: pt, Cycles: r.Cycles, Shared: r.Shared, Metrics: r.Metrics,
+			})
+		}
+		if base > 0 {
+			for i := range res.Rows {
+				res.Rows[i].Speedup = float64(base) / float64(res.Rows[i].Cycles)
+			}
+		}
+		g = append(g, res)
+	}
+	return g, nil
+}
+
+func init() {
+	RegisterDecomposition("warmsweep", Decomposition{
+		Points: warmsweepPoints,
+		// The cold path IS the warm path off a private, freshly built
+		// prefix — warm/cold byte-identity by construction; what the
+		// snapshot cache changes is only how often the prefix is built.
+		Run: func(ctx context.Context, ps PointSpec) (PointResult, error) {
+			spec, _ := warmsweepPrefix(ps)
+			st, err := BuildPrefix(ctx, spec)
+			if err != nil {
+				return PointResult{}, err
+			}
+			return warmsweepRunWarm(st, ps)
+		},
+		Merge:  warmsweepMerge,
+		Prefix: warmsweepPrefix,
+		RunWarm: func(ctx context.Context, st *PrefixState, ps PointSpec) (PointResult, error) {
+			return warmsweepRunWarm(st, ps)
+		},
+	})
 }
 
 // runWarmPrefix simulates a sweep's shared prefix on m: the parallel

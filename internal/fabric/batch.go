@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Batched lease sizing. A lease is one dispatch RPC carrying up to N
+// points; the worker streams one outcome frame per retired point. N
+// trades per-point RPC overhead (serialization, connection handling,
+// admission) against lease granularity: a bigger batch amortizes the
+// fixed overhead, a smaller one loses less work when a worker dies
+// mid-lease and rebalances faster across the fleet.
+//
+// With Config.Batch unset the coordinator adapts: a streamed batch's
+// timing separates the two costs for free — the gaps between outcome
+// frames estimate one point's execution cost P, and the time to the
+// first frame, less one point, estimates the fixed RPC overhead R. The
+// lease is then sized so the amortized overhead stays at or below a
+// quarter of a point's cost (N >= R / (P/4)), clamped to
+// [1, maxAdaptiveBatch]. Cheap points on a chatty link get big batches;
+// expensive points make batching pointless and N collapses to 1.
+
+// maxAdaptiveBatch caps the adaptive lease size: past ~16 points the
+// overhead amortization is negligible and bigger leases only concentrate
+// loss on worker death.
+const maxAdaptiveBatch = 16
+
+// seedBatch is the lease size used before any timing exists. Two, not
+// one: a streamed two-point batch is the smallest dispatch whose frame
+// timing separates RPC overhead from point cost, so the tuner gets its
+// first real observation from the first lease.
+const seedBatch = 2
+
+// ewmaAlpha weights new observations; ~0.3 follows a changing fleet
+// within a few leases without chasing single-outlier RPCs.
+const ewmaAlpha = 0.3
+
+// batchTuner holds the coordinator's running estimates.
+type batchTuner struct {
+	mu         sync.Mutex
+	pointNanos float64 // EWMA of one point's execution time
+	rpcNanos   float64 // EWMA of one dispatch RPC's fixed overhead
+}
+
+func ewma(old, sample float64) float64 {
+	if old <= 0 {
+		return sample
+	}
+	return old + ewmaAlpha*(sample-old)
+}
+
+// observe feeds one measured (overhead, per-point cost) pair.
+func (t *batchTuner) observe(overhead, perPoint time.Duration) {
+	if perPoint <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pointNanos = ewma(t.pointNanos, float64(perPoint))
+	if overhead >= 0 {
+		t.rpcNanos = ewma(t.rpcNanos, float64(overhead))
+	}
+}
+
+// observeStream reduces one streamed lease's frame timing to an
+// observation: start is when the RPC was issued, first/last bracket the
+// outcome frames, n counts them.
+func (t *batchTuner) observeStream(start, first, last time.Time, n int) {
+	if n <= 0 || first.IsZero() {
+		return
+	}
+	if n == 1 {
+		// One frame cannot separate R from P; with a P estimate in hand,
+		// attribute the rest of the round trip to overhead.
+		t.mu.Lock()
+		p := t.pointNanos
+		t.mu.Unlock()
+		if p > 0 {
+			if over := float64(first.Sub(start)) - p; over > 0 {
+				t.observe(time.Duration(over), time.Duration(p))
+			}
+		}
+		return
+	}
+	per := last.Sub(first) / time.Duration(n-1)
+	over := first.Sub(start) - per
+	if over < 0 {
+		over = 0
+	}
+	t.observe(over, per)
+}
+
+// size returns the lease size: the configured fixed size when set,
+// otherwise the adaptive estimate (seedBatch until timing exists).
+func (t *batchTuner) size(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pointNanos <= 0 {
+		return seedBatch
+	}
+	if t.rpcNanos <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(4 * t.rpcNanos / t.pointNanos))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxAdaptiveBatch {
+		n = maxAdaptiveBatch
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// TestBatchTunerSizing pins the adaptive lease-size policy: fixed
+// configuration wins outright, no timing means the seed size, negligible
+// RPC overhead collapses to single-point leases, and otherwise the size
+// keeps amortized overhead at or below a quarter of a point's cost,
+// clamped to maxAdaptiveBatch.
+func TestBatchTunerSizing(t *testing.T) {
+	var tn batchTuner
+	if got := tn.size(5); got != 5 {
+		t.Errorf("configured size ignored: got %d, want 5", got)
+	}
+	if got := tn.size(0); got != seedBatch {
+		t.Errorf("untrained tuner: got %d, want seed %d", got, seedBatch)
+	}
+
+	tn.observe(0, 10*time.Millisecond)
+	if got := tn.size(0); got != 1 {
+		t.Errorf("free RPC: got %d, want 1 (batching buys nothing)", got)
+	}
+
+	tn = batchTuner{}
+	tn.observe(5*time.Millisecond, 10*time.Millisecond)
+	if got := tn.size(0); got != 2 {
+		t.Errorf("R=5ms P=10ms: got %d, want ceil(4*5/10)=2", got)
+	}
+
+	tn = batchTuner{}
+	tn.observe(time.Second, time.Millisecond)
+	if got := tn.size(0); got != maxAdaptiveBatch {
+		t.Errorf("chatty link: got %d, want clamp at %d", got, maxAdaptiveBatch)
+	}
+
+	// observeStream with one frame cannot separate R from P and must not
+	// poison the estimates; with several frames the gaps carry P.
+	tn = batchTuner{}
+	start := time.Unix(0, 0)
+	tn.observeStream(start, start.Add(10*time.Millisecond), start.Add(10*time.Millisecond), 1)
+	if got := tn.size(0); got != seedBatch {
+		t.Errorf("single-frame stream trained an untrained tuner: size %d", got)
+	}
+	tn.observeStream(start, start.Add(25*time.Millisecond), start.Add(45*time.Millisecond), 3)
+	// per = 20ms/2 = 10ms, over = 25ms-10ms = 15ms, N = ceil(4*15/10) = 6.
+	if got := tn.size(0); got != 6 {
+		t.Errorf("streamed timing: got %d, want 6", got)
+	}
+}
+
+// TestBatchedStreamProgress pins the ?wait granularity satellite: even
+// with every point of a sweep riding one single lease, the streamed
+// ndjson progress frames advance points_done per completed point —
+// lease-level accounting would only ever show 0 or total.
+func TestBatchedStreamProgress(t *testing.T) {
+	const points = 6
+	registerSweep("fab-batch-progress", points, func(ctx context.Context, ps experiments.PointSpec) (experiments.PointResult, error) {
+		time.Sleep(20 * time.Millisecond) // space the outcome frames out
+		return experiments.PointResult{Index: ps.Index, Cycles: int64(1000 + ps.Index)}, nil
+	})
+	url, stop := newWorker(t, "")
+	defer stop()
+	c, err := New(Config{
+		Experiments:      []experiments.Experiment{syntheticExperiment("fab-batch-progress")},
+		Batch:            points, // the whole sweep is one lease
+		MaxInflight:      1,
+		RetryBackoff:     5 * time.Millisecond,
+		ProgressInterval: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+	c.Register("w", url)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	_, env := httpSubmit(t, ts.URL, "", "fab-batch-progress", server.JobParams{N: 3})
+	if env.Job == nil {
+		t.Fatal("submit returned no job")
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+env.Job.ID+"?wait=15s", nil)
+	req.Header.Set(server.VersionHeader, server.APIVersion)
+	req.Header.Set("Accept", server.NDJSONContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	partials := make(map[int]bool)
+	var final server.Envelope
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f server.Envelope
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		if f.Progress != nil && f.Progress.PointsDone > 0 && f.Progress.PointsDone < f.Progress.PointsTotal {
+			partials[f.Progress.PointsDone] = true
+		}
+		final = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) < 2 {
+		t.Fatalf("progress under a single %d-point lease showed %d distinct partial values %v, want per-point advancement",
+			points, len(partials), partials)
+	}
+	if final.Job == nil || final.Job.State != server.StateDone {
+		t.Fatalf("final frame not a done job: %+v", final)
+	}
+	if want := expectedRender(t, "fab-batch-progress", server.JobParams{N: 3}); !jsonEqualCompact(t, final.Result, want) {
+		t.Fatal("batched streamed result differs from single-node run")
+	}
+}
+
+// TestChaosWorkerDeathMidBatch is the batched-lease chaos variant: a
+// worker dies (connection reset) partway through streaming a lease that
+// carries the whole sweep. The outcomes it delivered before dying must
+// stand — only the unfinished remainder is retried — and the merged
+// result stays byte-identical to a single-node run with the
+// conservation identity exact:
+//
+//	assigned = 6 (first lease) + 3 (remainder) = completed 6 + retried 3.
+func TestChaosWorkerDeathMidBatch(t *testing.T) {
+	const points = 6
+	const delivered = 3 // outcomes streamed before the connection dies
+	release := make(chan struct{})
+	var gate atomic.Bool // armed only for the fabric run, not the local reference run
+	var execs [points]atomic.Int64
+	registerSweep("fab-batch-chaos", points, func(ctx context.Context, ps experiments.PointSpec) (experiments.PointResult, error) {
+		execs[ps.Index].Add(1)
+		if ps.Index >= delivered && gate.Load() {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return experiments.PointResult{}, ctx.Err()
+			}
+		}
+		return experiments.PointResult{Index: ps.Index, Cycles: int64(1000 + ps.Index*7 + ps.N)}, nil
+	})
+
+	s, err := server.New(server.Config{Workers: 4,
+		Experiments: []experiments.Experiment{syntheticExperiment("fab-batch-chaos")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ws := httptest.NewServer(s.Handler())
+	defer ws.Close()
+
+	c, err := New(Config{
+		Experiments:  []experiments.Experiment{syntheticExperiment("fab-batch-chaos")},
+		Batch:        points, // one lease carries the whole sweep
+		MaxInflight:  1,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+	c.Register("w", ws.URL)
+
+	p := server.JobParams{N: 7}
+	// Render the single-node answer first: it runs every point
+	// in-process, and the execution counts below must see only the
+	// fabric's dispatches.
+	want := expectedRender(t, "fab-batch-chaos", p)
+	for i := range execs {
+		execs[i].Store(0)
+	}
+	gate.Store(true)
+	v, err := c.Submit("", "fab-batch-chaos", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the first `delivered` outcomes have streamed back (the
+	// next point blocks on release), then reset every connection: the
+	// lease stream dies with the remainder undelivered.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Metrics().Get(mPointsCompleted) < delivered {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never streamed its first outcomes")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ws.CloseClientConnections()
+	close(release)
+
+	v = awaitDone(t, c, v.ID)
+	if !bytes.Equal(v.Result, want) {
+		t.Fatalf("merged result after mid-batch death differs from single-node run:\n got: %q\nwant: %q", v.Result, want)
+	}
+
+	snap := c.Metrics()
+	if got := snap.Get(mPointsRetried); got != points-delivered {
+		t.Fatalf("points.retried = %d, want exactly the unfinished remainder %d", got, points-delivered)
+	}
+	if got := snap.Get(mPointsCompleted); got != points {
+		t.Fatalf("points.completed = %d, want %d (each point exactly once)", got, points)
+	}
+	if got := snap.Get(mPointsAssigned); got != points+(points-delivered) {
+		t.Fatalf("points.assigned = %d, want %d", got, points+(points-delivered))
+	}
+	if got := snap.Get(mPointsFailed); got != 0 {
+		t.Fatalf("points.failed = %d, want 0 (death must retry, not fail)", got)
+	}
+	if a, cmp, rt, f := snap.Get(mPointsAssigned), snap.Get(mPointsCompleted), snap.Get(mPointsRetried), snap.Get(mPointsFailed); a != cmp+rt+f {
+		t.Fatalf("conservation violated: assigned %d != completed %d + retried %d + failed %d", a, cmp, rt, f)
+	}
+
+	// The pin that makes this the *remainder-only* test: outcomes the
+	// worker delivered before dying were never re-dispatched, so their
+	// points executed exactly once.
+	for i := 0; i < delivered; i++ {
+		if got := execs[i].Load(); got != 1 {
+			t.Errorf("delivered point %d executed %d times, want 1 (must not ride the retry)", i, got)
+		}
+	}
+	for i := delivered; i < points; i++ {
+		if got := execs[i].Load(); got < 1 || got > 2 {
+			t.Errorf("remainder point %d executed %d times, want 1 or 2", i, got)
+		}
+	}
+}

@@ -111,8 +111,15 @@ type Config struct {
 	// HeartbeatTimeout is how long a worker may go silent before it is
 	// declared dead. Default: 15s.
 	HeartbeatTimeout time.Duration
-	// MaxInflight bounds concurrent point dispatches per job. Default: 16.
+	// MaxInflight bounds concurrent lease dispatches per job (each lease
+	// carries up to Batch points). Default: 16.
 	MaxInflight int
+	// Batch bounds how many points one lease carries: a dispatch ships up
+	// to Batch points in one RPC and the worker streams per-point
+	// outcomes back. 1 disables batching. 0 — the default — adapts the
+	// size per lease from measured point cost vs. RPC overhead (see
+	// batch.go); fabric.batch.size gauges the current choice.
+	Batch int
 	// MaxPointAttempts bounds how many workers one point is tried on
 	// before the job fails with the last transport error. Default: 8.
 	MaxPointAttempts int
@@ -146,6 +153,9 @@ type Coordinator struct {
 	// journal has seen, immutable after New.
 	journal *journal.Journal
 	epoch   uint64
+
+	// tuner sizes batched leases when Config.Batch is adaptive.
+	tuner batchTuner
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc

@@ -1,0 +1,120 @@
+package fabric
+
+// Fleet dispatch benchmarks behind `make bench-fabric` (recorded runs
+// live in BENCH_fabric.json):
+//
+//   BenchmarkPointDispatch  isolates per-point RPC overhead: a sweep of
+//     near-zero-cost synthetic points through one serialized
+//     coordinator→worker loop, at fixed lease sizes and under the
+//     adaptive tuner. batch1 ns/point ≈ R + P with P ~ 0, so it reads
+//     as the fixed dispatch cost a batch amortizes; the spread between
+//     batch1 and batch16 is the win ceiling, and break-even is where a
+//     real point's execution cost dwarfs R (size() caps amortized
+//     overhead at P/4).
+//
+//   BenchmarkWarmFleetSweep  is the tentpole's end-to-end claim: the
+//     prefix-heavy warmsweep experiment (per point, the shared prefix —
+//     distribution + warm-up calls — costs a multiple of the measured
+//     call) run through a real coordinator + worker pair, cold and
+//     unbatched vs batched vs batched + warm-prefix snapshot reuse.
+//     Each iteration boots a fresh fleet so no cache answers points and
+//     the warm variant pays its prefix builds inside the measurement.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// dispatchSeq keeps every benchmark job's params distinct so neither the
+// coordinator's merged-result cache nor the worker's point cache can
+// answer an iteration for free.
+var dispatchSeq atomic.Int64
+
+func BenchmarkPointDispatch(b *testing.B) {
+	const pointsPerSweep = 32
+	registerSweep("fab-bench-dispatch", pointsPerSweep, nil)
+	for _, bc := range []struct {
+		name  string
+		batch int
+	}{{"batch1", 1}, {"batch4", 4}, {"batch16", 16}, {"adaptive", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			url, stop := newWorker(b, "")
+			defer stop()
+			c, err := New(Config{
+				Experiments: []experiments.Experiment{syntheticExperiment("fab-bench-dispatch")},
+				Batch:       bc.batch,
+				MaxInflight: 1, // serialize so ns/point is not hidden by pipelining
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Shutdown(context.Background())
+			c.Register("w", url)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := server.JobParams{N: int(dispatchSeq.Add(1))}
+				v, err := c.Submit("", "fab-bench-dispatch", p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				awaitDone(b, c, v.ID)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pointsPerSweep), "ns/point")
+		})
+	}
+}
+
+func BenchmarkWarmFleetSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+		warm  bool
+	}{{"cold_batch1", 1, false}, {"cold_batch4", 4, false}, {"warm_batch4", 4, true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := server.New(server.Config{
+					Workers:      4,
+					WarmPrefixes: bc.warm,
+					Experiments:  experiments.Registry(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(s.Handler())
+				c, err := New(Config{
+					Experiments: experiments.Registry(),
+					Batch:       bc.batch,
+					MaxInflight: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Register("w", ts.URL)
+				// A fractionally distinct scale per iteration keeps the point
+				// keys unique without changing the workload measurably.
+				p := server.JobParams{Scale: 0.01 + float64(dispatchSeq.Add(1))*1e-9}
+				b.StartTimer()
+
+				v, err := c.Submit("", "warmsweep", p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				awaitDone(b, c, v.ID)
+
+				b.StopTimer()
+				c.Shutdown(context.Background())
+				ts.Close()
+				s.Shutdown(context.Background())
+				b.StartTimer()
+			}
+		})
+	}
+}

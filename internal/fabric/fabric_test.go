@@ -68,7 +68,7 @@ func registerSweep(name string, points int, fn func(ctx context.Context, ps expe
 
 // newWorker boots a cascade-server worker over httptest and returns its
 // base URL plus a shutdown func.
-func newWorker(t *testing.T, cacheDir string) (string, func()) {
+func newWorker(t testing.TB, cacheDir string) (string, func()) {
 	t.Helper()
 	s, err := server.New(server.Config{
 		Workers:     4,
@@ -88,7 +88,7 @@ func newWorker(t *testing.T, cacheDir string) (string, func()) {
 
 // expectedRender is the byte-exact single-node answer for a synthetic
 // sweep: run the decomposition locally and render canonically.
-func expectedRender(t *testing.T, name string, p server.JobParams) []byte {
+func expectedRender(t testing.TB, name string, p server.JobParams) []byte {
 	t.Helper()
 	res, ok, err := experiments.RunDecomposed(context.Background(), name, p.WithDefaults().RunConfig())
 	if err != nil || !ok {
@@ -101,7 +101,7 @@ func expectedRender(t *testing.T, name string, p server.JobParams) []byte {
 	return val
 }
 
-func awaitDone(t *testing.T, c *Coordinator, id string) server.JobView {
+func awaitDone(t testing.TB, c *Coordinator, id string) server.JobView {
 	t.Helper()
 	v, ok := c.Await(id, 30*time.Second, nil)
 	if !ok {
@@ -185,6 +185,7 @@ func TestAssignFaultRetry(t *testing.T) {
 		Faults:       inj,
 		RetryBackoff: time.Millisecond,
 		MaxInflight:  1, // serialize so OnCall:1 hits a real dispatch deterministically
+		Batch:        1, // one point per lease so the fault costs exactly one retry
 	})
 	if err != nil {
 		t.Fatal(err)

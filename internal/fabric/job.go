@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -280,8 +282,9 @@ func (c *Coordinator) runJob(j *fjob) {
 	c.mu.Unlock()
 }
 
-// runSharded runs a decomposed sweep: every point dispatched across the
-// fleet (bounded by MaxInflight), results merged in index order, with
+// runSharded runs a decomposed sweep: points are carved into batched
+// leases (size per batch.go), dispatched across the fleet by up to
+// MaxInflight concurrent dispatchers, and merged in index order with
 // the pool's lowest-index-error rule — when points fail, the job
 // reports the failure of the lowest-index one, independent of dispatch
 // interleaving.
@@ -289,28 +292,32 @@ func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte
 	j.pointsTotal.Store(int64(len(specs)))
 	results := make([]experiments.PointResult, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, c.cfg.MaxInflight)
+	var cursor int64
+	dispatchers := c.cfg.MaxInflight
+	if dispatchers > len(specs) {
+		dispatchers = len(specs)
+	}
 	var wg sync.WaitGroup
-	for i := range specs {
-		if c.runCtx.Err() != nil {
-			errs[i] = c.runCtx.Err()
-			continue
-		}
+	for d := 0; d < dispatchers; d++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			res, err := c.runPoint(j, i, specs[i])
-			if err != nil {
-				errs[i] = err
-				return
+		go func() {
+			defer wg.Done()
+			for {
+				// Lease size is re-read per lease, so the adaptive tuner's
+				// estimate from early leases shapes later ones mid-job.
+				size := c.tuner.size(c.cfg.Batch)
+				c.metrics.Set(mBatchSize, int64(size))
+				lo := int(atomic.AddInt64(&cursor, int64(size))) - size
+				if lo >= len(specs) {
+					return
+				}
+				hi := lo + size
+				if hi > len(specs) {
+					hi = len(specs)
+				}
+				c.runLease(j, specs, results, errs, lo, hi)
 			}
-			results[i] = res
-			j.pointsDone.Add(1)
-		}(i)
+		}()
 	}
 	wg.Wait()
 	for i, e := range errs {
@@ -335,94 +342,188 @@ func (c *Coordinator) runSharded(j *fjob, specs []experiments.PointSpec) ([]byte
 	return server.RenderJSON(merged)
 }
 
-// runPoint resolves one spec to its result: the coordinator's own index
-// first, then dispatch along the key's ring candidates until a worker
-// answers, the attempt budget runs out, or the error is terminal.
+// leaseItem is one point riding a batched lease.
+type leaseItem struct {
+	idx  int
+	key  string
+	spec experiments.PointSpec
+}
+
+// runLease resolves specs[lo:hi] to results: the coordinator's own
+// index first, then batched dispatch along the first open point's ring
+// candidates until every point retires, its attempt budget runs out, or
+// its error is terminal. A retry re-ships only the unfinished remainder
+// — points whose outcomes arrived before a worker died are closed and
+// never re-dispatched.
 //
-// Every real dispatch is bracketed by journal records — point_assigned
-// (stamped with this incarnation's epoch) before the RPC, then exactly
-// one of point_completed / point_retried / point_failed after it — so
-// at any instant the log's open assignments are precisely the in-flight
-// leases, and a crash leaves nothing uncountable. Cache-answered points
+// Every shipped point is bracketed by journal records exactly as
+// unbatched dispatch was — point_assigned (stamped with this
+// incarnation's epoch) before the RPC, then exactly one of
+// point_completed / point_retried / point_failed per assignment — so at
+// any instant the log's open assignments are precisely the in-flight
+// leases, a crash leaves nothing uncountable, and the conservation
+// identity (metrics.go) holds at any batch size. Cache-answered points
 // write no records at all: no lease was ever issued for them.
-func (c *Coordinator) runPoint(j *fjob, idx int, spec experiments.PointSpec) (experiments.PointResult, error) {
-	key, err := canon.PointKey(spec)
-	if err != nil {
-		return experiments.PointResult{}, &fabricError{code: server.CodeBadRequest, err: err}
-	}
-	if val, ok := c.cache.Get(key); ok {
-		var res experiments.PointResult
-		if err := json.Unmarshal(val, &res); err == nil {
-			c.metrics.Inc(mCacheHits)
-			return res, nil
+func (c *Coordinator) runLease(j *fjob, specs []experiments.PointSpec, results []experiments.PointResult, errs []error, lo, hi int) {
+	var todo []leaseItem
+	for idx := lo; idx < hi; idx++ {
+		if err := c.runCtx.Err(); err != nil {
+			errs[idx] = err
+			continue
 		}
+		key, err := canon.PointKey(specs[idx])
+		if err != nil {
+			errs[idx] = &fabricError{code: server.CodeBadRequest, err: err}
+			continue
+		}
+		if val, ok := c.cache.Get(key); ok {
+			var res experiments.PointResult
+			if jerr := json.Unmarshal(val, &res); jerr == nil {
+				c.metrics.Inc(mCacheHits)
+				results[idx] = res
+				j.pointsDone.Add(1)
+				continue
+			}
+		}
+		todo = append(todo, leaseItem{idx: idx, key: key, spec: specs[idx]})
 	}
+
+	attempts := make(map[int]int, len(todo))
 	backoff := c.cfg.RetryBackoff
-	var lastErr error = errNoWorkers
-	// attempt advances only on a real dispatch: an empty fleet (workers
-	// still booting, or re-enlisting after a coordinator restart) must
-	// not burn the budget.
-	for attempt := 0; attempt < c.cfg.MaxPointAttempts; {
-		urls, wake := c.candidates(key)
+	rot := 0
+	for len(todo) > 0 {
+		if err := c.runCtx.Err(); err != nil {
+			for _, it := range todo {
+				errs[it.idx] = err
+			}
+			return
+		}
+		urls, wake := c.candidates(todo[0].key)
 		if len(urls) == 0 {
 			select {
 			case <-wake:
 			case <-time.After(backoff):
 				backoff = nextBackoff(backoff)
 			case <-c.runCtx.Done():
-				return experiments.PointResult{}, c.runCtx.Err()
+				for _, it := range todo {
+					errs[it.idx] = c.runCtx.Err()
+				}
+				return
 			}
 			continue
 		}
-		url := urls[attempt%len(urls)]
-		attempt++
-		c.metrics.Inc(mPointsAssigned)
-		c.jappend(journal.Record{Type: journal.TypePointAssigned, Job: j.id,
-			Index: idx, Key: key, Epoch: c.epoch})
-		res, cached, err := c.shipPoint(url, key, spec)
-		if err == nil {
-			c.metrics.Inc(mPointsCompleted)
-			if cached {
-				c.metrics.Inc(mCacheRemoteHits)
-			}
-			if val, merr := json.Marshal(res); merr == nil {
-				_ = c.cache.Put(key, val)
-			}
-			// Close the lease after the result is addressable, and only
-			// once per point ever — a replayed completion that re-ran
-			// because its cached bytes were lost must not double-count.
-			c.mu.Lock()
-			first := !j.jdone[idx]
-			j.jdone[idx] = true
-			c.mu.Unlock()
-			if first {
-				c.jappend(journal.Record{Type: journal.TypePointCompleted, Job: j.id, Index: idx, Key: key})
-			} else {
-				c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: idx})
-			}
-			return res, nil
+		url := urls[rot%len(urls)]
+		rot++
+		c.metrics.Inc(mBatchesDispatched)
+		shipped := todo
+		for _, it := range shipped {
+			attempts[it.idx]++
+			c.metrics.Inc(mPointsAssigned)
+			c.jappend(journal.Record{Type: journal.TypePointAssigned, Job: j.id,
+				Index: it.idx, Key: it.key, Epoch: c.epoch})
 		}
-		var fe *fabricError
-		if errors.As(err, &fe) && terminalCode(fe.code) {
-			c.metrics.Inc(mPointsFailed)
-			c.jappend(journal.Record{Type: journal.TypePointFailed, Job: j.id,
-				Index: idx, Error: err.Error(), Code: fe.code})
-			return experiments.PointResult{}, err
+		// done marks leases closed by an outcome this round — completed or
+		// terminally failed; anything still open afterwards is the
+		// remainder, journaled retried and re-shipped.
+		done := make(map[int]bool, len(shipped))
+		err := c.shipBatch(url, shipped, func(pos int, o server.PointOutcome) {
+			if pos < 0 || pos >= len(shipped) || done[shipped[pos].idx] {
+				return
+			}
+			it := shipped[pos]
+			switch {
+			case o.Error == nil && o.Point != nil:
+				done[it.idx] = true
+				results[it.idx] = *o.Point
+				c.completePoint(j, it, *o.Point, o.Cached)
+			case o.Error != nil && terminalCode(o.Error.Code):
+				done[it.idx] = true
+				ferr := &fabricError{code: o.Error.Code, detail: o.Error.Message,
+					err: fmt.Errorf("worker %s: %s", url, o.Error.Message)}
+				c.metrics.Inc(mPointsFailed)
+				c.jappend(journal.Record{Type: journal.TypePointFailed, Job: j.id,
+					Index: it.idx, Error: ferr.Error(), Code: o.Error.Code})
+				errs[it.idx] = ferr
+				// A malformed or shed outcome (non-terminal error, or a frame
+				// with neither result nor error) leaves the lease open; the
+				// remainder pass below retries it.
+			}
+		})
+		if err != nil {
+			// A batch-level terminal error — the worker refused the request
+			// in a way a retry elsewhere would reproduce — fails every open
+			// lease identically.
+			var fe *fabricError
+			if errors.As(err, &fe) && terminalCode(fe.code) {
+				for _, it := range shipped {
+					if done[it.idx] {
+						continue
+					}
+					done[it.idx] = true
+					c.metrics.Inc(mPointsFailed)
+					c.jappend(journal.Record{Type: journal.TypePointFailed, Job: j.id,
+						Index: it.idx, Error: err.Error(), Code: fe.code})
+					errs[it.idx] = err
+				}
+			}
 		}
-		// The lease died — worker unreachable, saturated, or draining.
-		// Reassign to the next ring candidate after a breather.
-		c.metrics.Inc(mPointsRetried)
-		c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: idx})
-		lastErr = err
+		var rest []leaseItem
+		for _, it := range shipped {
+			if done[it.idx] {
+				continue
+			}
+			c.metrics.Inc(mPointsRetried)
+			c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: it.idx})
+			if attempts[it.idx] >= c.cfg.MaxPointAttempts {
+				cause := err
+				if cause == nil {
+					cause = errors.New("worker shed the point")
+				}
+				errs[it.idx] = fmt.Errorf("point %s undeliverable after %d attempts: %w",
+					it.key[:12], attempts[it.idx], cause)
+				continue
+			}
+			rest = append(rest, it)
+		}
+		todo = rest
+		if len(todo) == 0 {
+			return
+		}
 		select {
 		case <-time.After(backoff):
 		case <-c.runCtx.Done():
-			return experiments.PointResult{}, c.runCtx.Err()
+			for _, it := range todo {
+				errs[it.idx] = c.runCtx.Err()
+			}
+			return
 		}
 		backoff = nextBackoff(backoff)
 	}
-	return experiments.PointResult{}, fmt.Errorf("point %s undeliverable after %d attempts: %w",
-		key[:12], c.cfg.MaxPointAttempts, lastErr)
+}
+
+// completePoint closes one successful lease: the result becomes
+// addressable, the journal closes the assignment (only once per point
+// ever — a replayed completion that re-ran because its cached bytes
+// were lost must not double-count), and job progress advances by one
+// point — which is what keeps ?wait progress per-point under batching.
+func (c *Coordinator) completePoint(j *fjob, it leaseItem, res experiments.PointResult, cached bool) {
+	c.metrics.Inc(mPointsCompleted)
+	if cached {
+		c.metrics.Inc(mCacheRemoteHits)
+	}
+	if val, merr := json.Marshal(res); merr == nil {
+		_ = c.cache.Put(it.key, val)
+	}
+	c.mu.Lock()
+	first := !j.jdone[it.idx]
+	j.jdone[it.idx] = true
+	c.mu.Unlock()
+	if first {
+		c.jappend(journal.Record{Type: journal.TypePointCompleted, Job: j.id, Index: it.idx, Key: it.key})
+	} else {
+		c.jappend(journal.Record{Type: journal.TypePointRetried, Job: j.id, Index: it.idx})
+	}
+	j.pointsDone.Add(1)
 }
 
 func nextBackoff(d time.Duration) time.Duration {
@@ -446,44 +547,104 @@ func terminalCode(code string) bool {
 	}
 }
 
-// shipPoint performs one point dispatch RPC. The error is a
-// *fabricError carrying the worker's typed code when the worker
-// answered with one, or an untyped transport error when it did not.
-func (c *Coordinator) shipPoint(workerURL, key string, spec experiments.PointSpec) (experiments.PointResult, bool, error) {
+// shipBatch performs one batched lease dispatch: every item in one RPC,
+// outcomes streamed back per point (the coordinator negotiates ndjson;
+// a plain single-envelope reply with outcomes is accepted too).
+// onOutcome fires once per received outcome, in arrival order, while
+// the stream is still open — this is what advances job progress and
+// closes leases point by point. The returned error is a *fabricError
+// carrying the worker's typed code when the worker answered with one,
+// or an untyped transport error when it did not; either way, outcomes
+// already delivered stand — only the remainder is the caller's to
+// retry.
+func (c *Coordinator) shipBatch(workerURL string, items []leaseItem, onOutcome func(pos int, o server.PointOutcome)) error {
 	if err := c.faults.Fail(SiteAssign); err != nil {
-		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %w", workerURL, err)
+		return fmt.Errorf("dispatch to %s: %w", workerURL, err)
 	}
-	body, err := json.Marshal(map[string]interface{}{"key": key, "point": spec})
+	wire := make([]map[string]interface{}, len(items))
+	for i, it := range items {
+		wire[i] = map[string]interface{}{"key": it.key, "point": it.spec}
+	}
+	body, err := json.Marshal(map[string]interface{}{"points": wire})
 	if err != nil {
-		return experiments.PointResult{}, false, &fabricError{code: server.CodeBadRequest, err: err}
+		return &fabricError{code: server.CodeBadRequest, err: err}
 	}
 	req, err := http.NewRequestWithContext(c.runCtx, "POST", workerURL+"/v1/points", bytes.NewReader(body))
 	if err != nil {
-		return experiments.PointResult{}, false, &fabricError{code: server.CodeBadRequest, err: err}
+		return &fabricError{code: server.CodeBadRequest, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", server.NDJSONContentType)
 	req.Header.Set(server.VersionHeader, server.APIVersion)
+	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %w", workerURL, err)
+		return fmt.Errorf("dispatch to %s: %w", workerURL, err)
 	}
 	defer resp.Body.Close()
-	var env server.Envelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: bad envelope: %w", workerURL, err)
-	}
-	if resp.StatusCode != http.StatusOK || env.Point == nil {
-		code, msg := "", fmt.Sprintf("status %d", resp.StatusCode)
-		if env.Error != nil {
-			code, msg = env.Error.Code, env.Error.Message
+
+	if !strings.Contains(resp.Header.Get("Content-Type"), server.NDJSONContentType) {
+		// Single-envelope reply: a refusal (shedding, draining, bad
+		// request), or a worker that answered the batch unstreamed.
+		var env server.Envelope
+		if derr := json.NewDecoder(resp.Body).Decode(&env); derr != nil {
+			return fmt.Errorf("dispatch to %s: bad envelope: %w", workerURL, derr)
 		}
-		if !terminalCode(code) {
-			return experiments.PointResult{}, false, fmt.Errorf("dispatch to %s: %s", workerURL, msg)
+		if resp.StatusCode != http.StatusOK || len(env.Outcomes) == 0 {
+			code, msg := "", fmt.Sprintf("status %d", resp.StatusCode)
+			if env.Error != nil {
+				code, msg = env.Error.Code, env.Error.Message
+			}
+			if !terminalCode(code) {
+				return fmt.Errorf("dispatch to %s: %s", workerURL, msg)
+			}
+			return &fabricError{code: code, detail: msg,
+				err: fmt.Errorf("worker %s: %s", workerURL, msg)}
 		}
-		return experiments.PointResult{}, false, &fabricError{code: code, detail: msg,
-			err: fmt.Errorf("worker %s: %s", workerURL, msg)}
+		for _, o := range env.Outcomes {
+			onOutcome(o.Index, o)
+		}
+		return nil
 	}
-	return *env.Point, env.Cached, nil
+
+	// Streamed outcomes: one envelope frame per retired point. Frame
+	// arrival times feed the adaptive batch tuner — the gaps estimate
+	// point cost, the lead-in estimates RPC overhead.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var first, last time.Time
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var env server.Envelope
+		if derr := json.Unmarshal(line, &env); derr != nil {
+			return fmt.Errorf("dispatch to %s: bad frame: %w", workerURL, derr)
+		}
+		if env.Error != nil && len(env.Outcomes) == 0 {
+			if terminalCode(env.Error.Code) {
+				return &fabricError{code: env.Error.Code, detail: env.Error.Message,
+					err: fmt.Errorf("worker %s: %s", workerURL, env.Error.Message)}
+			}
+			return fmt.Errorf("dispatch to %s: %s", workerURL, env.Error.Message)
+		}
+		for _, o := range env.Outcomes {
+			now := time.Now()
+			if first.IsZero() {
+				first = now
+			}
+			last = now
+			n++
+			onOutcome(o.Index, o)
+		}
+	}
+	c.tuner.observeStream(start, first, last, n)
+	if serr := sc.Err(); serr != nil {
+		return fmt.Errorf("dispatch to %s: stream died after %d outcomes: %w", workerURL, n, serr)
+	}
+	return nil
 }
 
 // forwardJob ships a non-decomposable job whole to one worker (chosen

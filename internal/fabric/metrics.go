@@ -29,11 +29,18 @@ const (
 	mJobsQuotaRejected = "fabric.jobs.quota_rejected" // submissions refused by tenant quota
 	mJobsRejected      = "fabric.jobs.rejected"       // submissions refused (shutdown)
 
-	// Point counters (see the conservation identity above).
+	// Point counters (see the conservation identity above). Batched
+	// leases change nothing here: every point in a batch counts one
+	// assignment per dispatch attempt and retires through exactly one of
+	// the three outcomes, so the identity holds at any batch size.
 	mPointsAssigned  = "fabric.points.assigned"  // point dispatches started (one per attempt)
 	mPointsCompleted = "fabric.points.completed" // dispatches that returned a result
 	mPointsRetried   = "fabric.points.retried"   // dispatches lost to a dead/saturated worker and reassigned
 	mPointsFailed    = "fabric.points.failed"    // dispatches that failed terminally (experiment error)
+
+	// Batched-lease counters and gauges (see batch.go).
+	mBatchesDispatched = "fabric.batches.dispatched" // lease RPCs sent (any size)
+	mBatchSize         = "fabric.batch.size"         // gauge: points per lease chosen most recently
 
 	// Cross-node cache counters — the observable proof that the fleet
 	// shares results instead of recomputing them.
@@ -67,6 +74,7 @@ func initMetrics(m *metrics.Synced) {
 		mJobsSubmitted, mJobsCompleted, mJobsFailed, mJobsCacheHits,
 		mJobsForwarded, mJobsQuotaRejected, mJobsRejected,
 		mPointsAssigned, mPointsCompleted, mPointsRetried, mPointsFailed,
+		mBatchesDispatched,
 		mCacheHits, mCacheRemoteHits,
 		mWorkersRegistered, mWorkersDeaths,
 		mJournalRecords, mJournalReplayed, mJournalTruncations, mJournalErrors,
@@ -76,4 +84,5 @@ func initMetrics(m *metrics.Synced) {
 	}
 	m.Set(mWorkersAlive, 0)
 	m.Set(mEpoch, 0)
+	m.Set(mBatchSize, 0)
 }

@@ -305,15 +305,15 @@ func (r *Runner) shadowPlanRuns(p *plan, lo, hi int, budget int64) (done int, cy
 		r.results = r.results[:0]
 		for j := range p.ro {
 			ref := &p.ro[j]
-			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		for j := range p.rw {
 			ref := &p.rw[j]
-			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		for j := range p.wr {
 			ref := &p.wr[j]
-			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut)
 		i++
@@ -378,12 +378,12 @@ func (r *Runner) restructurePlanRuns(p *plan, l *loopir.Loop, lo, hi int, buf *S
 		} else {
 			for _, v := range vals {
 				idx := buf.Push(v)
-				r.timed(buf.arr, idx, true, 1, true)
+				r.timed(buf.arr, idx, true, 1, true, streamUnbounded)
 			}
 		}
 		for s := 0; s < len(p.rw)+len(p.wr); s++ {
 			ref := p.rwwr(s)
-			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, ref.scale*i+ref.off, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
 		i++
@@ -493,7 +493,7 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 		} else {
 			for k := 0; k < nVals; k++ {
 				vals[k] = buf.At(pos)
-				r.timed(buf.arr, pos, false, 1, true)
+				r.timed(buf.arr, pos, false, 1, true, streamUnbounded)
 				pos++
 			}
 		}
@@ -509,7 +509,7 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 		for j := range p.rw {
 			ref := &p.rw[j]
 			idx := ref.scale*i + ref.off
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 			r.rw = append(r.rw, ref.arr.Load(idx))
 		}
 		out := r.final(i, pre, r.rw)
@@ -517,7 +517,7 @@ func (r *Runner) execBufferPlanRuns(p *plan, l *loopir.Loop, lo, hi, buffered in
 			ref := &p.wr[j]
 			idx := ref.scale*i + ref.off
 			ref.arr.Store(idx, out[j])
-			r.timed(ref.arr, idx, true, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, true, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
 		i++

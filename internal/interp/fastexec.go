@@ -22,7 +22,7 @@ func (r *Runner) planIndex(ref *planRef, i int) int {
 		return pos
 	}
 	if ref.dupLoad < 0 {
-		r.timed(ref.tbl, pos, false, ref.scale, true)
+		r.timed(ref.tbl, pos, false, ref.scale, true, r.left(i))
 	}
 	return ref.tbl.LoadInt(pos)
 }
@@ -30,7 +30,7 @@ func (r *Runner) planIndex(ref *planRef, i int) int {
 // planRead performs a timed read of ref at iteration i (compiled readRef).
 func (r *Runner) planRead(ref *planRef, i int) float64 {
 	idx := r.planIndex(ref, i)
-	r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+	r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 	return ref.arr.Load(idx)
 }
 
@@ -55,7 +55,7 @@ func (r *Runner) planIter(p *plan, l *loopir.Loop, i int) int64 {
 		ref := &p.wr[j]
 		idx := r.planIndex(ref, i)
 		ref.arr.Store(idx, out[j])
-		r.timed(ref.arr, idx, true, ref.stride, ref.strideOK)
+		r.timed(ref.arr, idx, true, ref.stride, ref.strideOK, r.left(i))
 	}
 	return machine.OverlapCost(r.results, r.maxOut)
 }
@@ -85,17 +85,17 @@ func (r *Runner) shadowPlan(p *plan, lo, hi int, budget int64) (done int, cycles
 		for j := range p.ro {
 			ref := &p.ro[j]
 			idx := r.planIndex(ref, i)
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		for j := range p.rw {
 			ref := &p.rw[j]
 			idx := r.planIndex(ref, i)
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		for j := range p.wr {
 			ref := &p.wr[j]
 			idx := r.planIndex(ref, i)
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut)
 	}
@@ -126,7 +126,7 @@ func (r *Runner) restructurePlan(p *plan, l *loopir.Loop, lo, hi int, buf *SeqBu
 		}
 		for _, v := range vals {
 			idx := buf.Push(v)
-			r.timed(buf.arr, idx, true, 1, true)
+			r.timed(buf.arr, idx, true, 1, true, streamUnbounded)
 		}
 		// Pack index values and shadow-load the home elements.
 		for s := 0; s < len(p.rw)+len(p.wr); s++ {
@@ -134,9 +134,9 @@ func (r *Runner) restructurePlan(p *plan, l *loopir.Loop, lo, hi int, buf *SeqBu
 			idx := r.planIndex(ref, i)
 			if ref.tbl != nil && ref.dupPush < 0 {
 				slot := buf.Push(float64(idx))
-				r.timed(buf.arr, slot, true, 1, true)
+				r.timed(buf.arr, slot, true, 1, true, streamUnbounded)
 			}
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
 	}
@@ -156,7 +156,7 @@ func (r *Runner) resolveBuffered(p *plan, s, i int, buf *SeqBuf, pos *int) int {
 		return r.packIdx[ref.dupPush]
 	}
 	idx := int(buf.At(*pos))
-	r.timed(buf.arr, *pos, false, 1, true)
+	r.timed(buf.arr, *pos, false, 1, true, streamUnbounded)
 	*pos++
 	r.packIdx[s] = idx
 	return idx
@@ -188,7 +188,7 @@ func (r *Runner) execBufferPlan(p *plan, l *loopir.Loop, lo, hi, buffered int, b
 		r.results = r.results[:0]
 		for k := 0; k < nVals; k++ {
 			vals[k] = buf.At(pos)
-			r.timed(buf.arr, pos, false, 1, true)
+			r.timed(buf.arr, pos, false, 1, true, streamUnbounded)
 			pos++
 		}
 		pre := vals
@@ -203,7 +203,7 @@ func (r *Runner) execBufferPlan(p *plan, l *loopir.Loop, lo, hi, buffered int, b
 		for j := range p.rw {
 			ref := &p.rw[j]
 			idx := r.resolveBuffered(p, j, i, buf, &pos)
-			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, false, ref.stride, ref.strideOK, r.left(i))
 			r.rw = append(r.rw, ref.arr.Load(idx))
 		}
 		out := r.final(i, pre, r.rw)
@@ -211,7 +211,7 @@ func (r *Runner) execBufferPlan(p *plan, l *loopir.Loop, lo, hi, buffered int, b
 			ref := &p.wr[j]
 			idx := r.resolveBuffered(p, len(p.rw)+j, i, buf, &pos)
 			ref.arr.Store(idx, out[j])
-			r.timed(ref.arr, idx, true, ref.stride, ref.strideOK)
+			r.timed(ref.arr, idx, true, ref.stride, ref.strideOK, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
 	}

@@ -21,6 +21,7 @@ type Runner struct {
 	line   int // L1 line size, the granularity of prefetch issue
 
 	pfOn     bool
+	pfEnd    int // exclusive end iteration of the current run-mode call (prefetch wind-down)
 	results  []cache.Result
 	tblSeen  []tblRead
 	packSeen []tblRead
@@ -118,7 +119,16 @@ func (r *Runner) beginIter() {
 // timed performs one demand access and records its latency, issuing a
 // compiler prefetch when the machine models one and the reference's stride
 // is statically known.
-func (r *Runner) timed(arr *memsim.Array, idx int, write bool, strideElems int, strideKnown bool) {
+//
+// left is the number of iterations the reference's stream still executes
+// after this one within the current run-mode call, or streamUnbounded for
+// streams not tied to the call's iteration range (the sequential buffer).
+// It implements the compiler's prefetch wind-down: software-pipelined
+// prefetch streams stop issuing once the target lies beyond the data the
+// remaining iterations of this call will touch, so a chunk's prefetches
+// never escape the chunk's own footprint (DESIGN.md §4.3 relies on this
+// for cross-chunk disjointness).
+func (r *Runner) timed(arr *memsim.Array, idx int, write bool, strideElems int, strideKnown bool, left int) {
 	addr := arr.Addr(idx)
 	r.results = append(r.results, r.proc.Access(addr, arr.ElemSize(), write))
 	if !r.pfOn || !strideKnown || strideElems == 0 {
@@ -136,6 +146,12 @@ func (r *Runner) timed(arr *memsim.Array, idx int, write bool, strideElems int, 
 		return
 	}
 	dist := memsim.Addr(r.pf.Distance * r.line)
+	// Wind-down: the stream's final access of this call is strideBytes*left
+	// bytes ahead; a target beyond it would touch data this call never
+	// uses, which compiled wind-down code does not prefetch.
+	if left >= 0 && memsim.Addr(strideBytes)*memsim.Addr(left) < dist {
+		return
+	}
 	var target memsim.Addr
 	if strideElems > 0 {
 		target = addr + dist
@@ -151,6 +167,17 @@ func (r *Runner) timed(arr *memsim.Array, idx int, write bool, strideElems int, 
 	r.proc.Prefetch(target)
 	r.results = append(r.results, cache.Result{Cycles: r.pf.IssueCost})
 }
+
+// streamUnbounded is the `left` value for reference streams whose extent
+// is not bounded by the current call's iteration range: sequential-buffer
+// streams run to the buffer the compiler sized for the whole chunk, so
+// only the array-bounds clamp applies. The buffer is part of the chunk's
+// own footprint either way.
+const streamUnbounded = -1
+
+// left returns the wind-down bound for a loop-indexed reference stream at
+// iteration i of the current run-mode call (set by the call entries).
+func (r *Runner) left(i int) int { return r.pfEnd - 1 - i }
 
 // readIndex resolves a reference's element index for iteration i,
 // performing (and timing) the index-table load if one is needed and not
@@ -172,7 +199,7 @@ func (r *Runner) readIndex(ref loopir.Ref, i int) int {
 			if s, ok := affineEntryStride(ref.Index); ok {
 				stride = s
 			}
-			r.timed(tbl, pos, false, stride, true)
+			r.timed(tbl, pos, false, stride, true, r.left(i))
 		}
 	}
 	return ref.Index.At(i)
@@ -190,7 +217,7 @@ func affineEntryStride(ix loopir.IndexExpr) (int, bool) {
 func (r *Runner) readRef(ref loopir.Ref, i int) float64 {
 	idx := r.readIndex(ref, i)
 	stride, known := ref.Index.StrideElems()
-	r.timed(ref.Array, idx, false, stride, known)
+	r.timed(ref.Array, idx, false, stride, known, r.left(i))
 	return ref.Array.Load(idx)
 }
 
@@ -199,7 +226,7 @@ func (r *Runner) writeRef(ref loopir.Ref, i int, v float64) {
 	idx := r.readIndex(ref, i)
 	ref.Array.Store(idx, v)
 	stride, known := ref.Index.StrideElems()
-	r.timed(ref.Array, idx, true, stride, known)
+	r.timed(ref.Array, idx, true, stride, known, r.left(i))
 }
 
 // preValues computes the read-only stage of iteration i, reading the RO
@@ -239,6 +266,7 @@ func (r *Runner) finishIter(l *loopir.Loop, i int, pre []float64) int64 {
 func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
 	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	r.pfEnd = hi
 	if p := r.planFor(l); p != nil {
 		return r.execPlan(p, l, lo, hi)
 	}
@@ -261,6 +289,7 @@ func (r *Runner) ExecIters(l *loopir.Loop, lo, hi int) int64 {
 func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int, cycles int64) {
 	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	r.pfEnd = hi
 	if p := r.planFor(l); p != nil {
 		return r.shadowPlan(p, lo, hi, budget)
 	}
@@ -272,17 +301,17 @@ func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int
 		for _, ref := range l.RO {
 			idx := r.readIndex(ref, i)
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, false, stride, known)
+			r.timed(ref.Array, idx, false, stride, known, r.left(i))
 		}
 		for _, ref := range l.RW {
 			idx := r.readIndex(ref, i)
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, false, stride, known)
+			r.timed(ref.Array, idx, false, stride, known, r.left(i))
 		}
 		for _, ref := range l.Writes {
 			idx := r.readIndex(ref, i)
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, false, stride, known)
+			r.timed(ref.Array, idx, false, stride, known, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut)
 	}
@@ -310,6 +339,7 @@ func (r *Runner) ShadowIters(l *loopir.Loop, lo, hi int, budget int64) (done int
 func (r *Runner) RestructureIters(l *loopir.Loop, lo, hi int, buf *SeqBuf, budget int64, precompute bool) (done int, cycles int64) {
 	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	r.pfEnd = hi
 	if p := r.planFor(l); p != nil {
 		return r.restructurePlan(p, l, lo, hi, buf, budget, precompute)
 	}
@@ -332,7 +362,7 @@ func (r *Runner) RestructureIters(l *loopir.Loop, lo, hi int, buf *SeqBuf, budge
 		}
 		for _, v := range vals {
 			idx := buf.Push(v)
-			r.timed(buf.arr, idx, true, 1, true)
+			r.timed(buf.arr, idx, true, 1, true, streamUnbounded)
 		}
 		// Pack index values and shadow-load the home elements.
 		packIndex := func(ref loopir.Ref) {
@@ -340,10 +370,10 @@ func (r *Runner) RestructureIters(l *loopir.Loop, lo, hi int, buf *SeqBuf, budge
 			if tbl, pos := ref.Index.Table(i); tbl != nil && !r.indexPacked(tbl, pos) {
 				r.markPacked(tbl, pos)
 				slot := buf.Push(float64(idx))
-				r.timed(buf.arr, slot, true, 1, true)
+				r.timed(buf.arr, slot, true, 1, true, streamUnbounded)
 			}
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, false, stride, known)
+			r.timed(ref.Array, idx, false, stride, known, r.left(i))
 		}
 		r.packSeen = r.packSeen[:0]
 		for _, ref := range l.RW {
@@ -385,6 +415,7 @@ func (r *Runner) markPacked(tbl *memsim.Array, pos int) {
 func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBuf, precompute bool) int64 {
 	r.bind(l)
 	r.pfOn = r.pf.Enabled && !l.NoCompilerPrefetch
+	r.pfEnd = hi
 	if p := r.planFor(l); p != nil {
 		return r.execBufferPlan(p, l, lo, hi, buffered, buf, precompute)
 	}
@@ -405,7 +436,7 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 		r.beginIter()
 		for k := 0; k < nVals; k++ {
 			vals[k] = buf.At(pos)
-			r.timed(buf.arr, pos, false, 1, true)
+			r.timed(buf.arr, pos, false, 1, true, streamUnbounded)
 			pos++
 		}
 		pre := vals
@@ -431,7 +462,7 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 				}
 			}
 			idx := int(buf.At(pos))
-			r.timed(buf.arr, pos, false, 1, true)
+			r.timed(buf.arr, pos, false, 1, true, streamUnbounded)
 			pos++
 			r.markPacked(tbl, tpos)
 			r.packIdx = append(r.packIdx, idx)
@@ -441,7 +472,7 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 		for _, ref := range l.RW {
 			idx := resolve(ref)
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, false, stride, known)
+			r.timed(ref.Array, idx, false, stride, known, r.left(i))
 			r.rw = append(r.rw, ref.Array.Load(idx))
 		}
 		out := r.final(i, pre, r.rw)
@@ -449,7 +480,7 @@ func (r *Runner) ExecFromBuffer(l *loopir.Loop, lo, hi, buffered int, buf *SeqBu
 			idx := resolve(ref)
 			ref.Array.Store(idx, out[j])
 			stride, known := ref.Index.StrideElems()
-			r.timed(ref.Array, idx, true, stride, known)
+			r.timed(ref.Array, idx, true, stride, known, r.left(i))
 		}
 		cycles += machine.OverlapCost(r.results, r.maxOut) + computeCycles
 	}

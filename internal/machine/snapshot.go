@@ -36,6 +36,20 @@ func (s *Snapshot) Config() Config { return s.cfg }
 // registered sources, run-driver timers included).
 func (s *Snapshot) Metrics() metrics.Snapshot { return s.metrics }
 
+// MemBytes estimates the host memory retained by the snapshot's sealed
+// component state: every processor's cache data and tag arrays plus TLB
+// and victim-buffer entries, bounded by the configured geometries. It is
+// an upper-bound estimate for cache admission accounting (the snapshot
+// LRU's byte ceiling), not an exact measurement — sealed arrays are
+// shared copy-on-write with their machine, so the marginal cost of
+// keeping a snapshot is at most this figure.
+func (s *Snapshot) MemBytes() int64 {
+	// Data arrays dominate; tags, state words, and TLB/victim metadata
+	// are covered by the 2x factor.
+	per := int64(s.cfg.L1.Size+s.cfg.L2.Size) * 2
+	return int64(len(s.hiers)) * per
+}
+
 // Snapshot captures the machine's state. The machine keeps running
 // afterwards; its next write to a sealed component copies that
 // component first. It errors if the bus is isolated or a classification

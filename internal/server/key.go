@@ -20,7 +20,9 @@ import (
 // current derivation so an accidental change is caught at test time and
 // an intentional one forces this constant (and the goldens) to move
 // together.
-const keySchema = "cascade-cache/v1"
+// v2: prefetch wind-down (see internal/interp) changed compiler-prefetch
+// machines' simulated results.
+const keySchema = "cascade-cache/v2"
 
 // JobParams are the client-tunable knobs of an experiment job, in the
 // units clients supply them (the same units as the cascade-sim flags).

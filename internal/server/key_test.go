@@ -122,8 +122,8 @@ func TestPointKeyObservableChanges(t *testing.T) {
 // matching (or worse, a lax canonicalization change could alias distinct
 // configs). On an intentional change, bump keySchema and regenerate.
 const (
-	goldenPointKey = "9c864957d3f465dd508fa180dfe7635571a49e5c2780bcf9a6ec84f5bd0fba75"
-	goldenJobKey   = "8969e3479609562a5742ddb6e2100e498e4b6696643527e740eb9e5d8d4a583b"
+	goldenPointKey = "c5ca8abeb40c3f7df796fd08baecf45bacc5bad0aa8adefe520c1b73d3fbb5cd"
+	goldenJobKey   = "35ac2887283f1fa8d217bac7edfe08c01adf0718c9a6707107ddbdd5bdb4ec9d"
 )
 
 func TestGoldenKeys(t *testing.T) {
@@ -254,8 +254,8 @@ func TestPointKeyCoalesceCanonicalization(t *testing.T) {
 // stable for the same reason the point and job keys must — streams and
 // resume results are shared across jobs by these addresses.
 const (
-	goldenCheckpointKey = "3a449c78cdf4de52535abbcf6e57da032bfcc2812489ba300b32e3aff0b44e61"
-	goldenResumeKey     = "3b5fdfedba4c74f2907eaddeef3add8ede4016716343c69211e19338f6188cc7"
+	goldenCheckpointKey = "869d87e74cbe27fd684a2bd90d142a5ef68a1289c4a7bbbf517e8e9f799d3148"
+	goldenResumeKey     = "a83a22a7ad820e617dfcc896161e8048a3b1a486ed2575d39820c3a856bffea0"
 )
 
 // TestCheckpointKeyGolden pins the checkpoint-stream and resume-result

@@ -31,6 +31,16 @@ const (
 	mPointsRejected    = "points.rejected"     // points refused (saturated or draining)
 	mPointsFailed      = "points.failed"       // point executions that returned an error
 	mPointsKeyMismatch = "points.key_mismatch" // requests whose key != locally-derived key
+	mPointsBatches     = "points.batches"      // batched leases admitted (one per batch, any size)
+	mPointsWarm        = "points.warm"         // points executed through the warm-prefix path
+
+	// Warm-prefix snapshot LRU gauges (mirrors of
+	// experiments.PrefixCacheStats; zero when -warm-prefixes is off).
+	mPrefixHits      = "prefix.hits"
+	mPrefixMisses    = "prefix.misses"
+	mPrefixEvictions = "prefix.evictions"
+	mPrefixEntries   = "prefix.entries"
+	mPrefixBytes     = "prefix.bytes"
 
 	// Checkpoint-stream counters.
 	mCkptCaptured = "checkpoints.captured" // streams captured by a fresh simulation
@@ -60,7 +70,7 @@ func initMetrics(m *metrics.Synced) {
 		mJobsCoalesced, mJobsCacheHits, mJobsRejected,
 		mJobsPanics, mJobsTimeouts, mWorkerRestarts, mCacheWriteRetries,
 		mPointsExecuted, mPointsCacheHits, mPointsRejected,
-		mPointsFailed, mPointsKeyMismatch,
+		mPointsFailed, mPointsKeyMismatch, mPointsBatches, mPointsWarm,
 		mCkptCaptured, mCkptReused,
 		mTimeQueued, mTimeRun,
 		"cache.hits", "cache.misses", "cache.disk_hits",
@@ -72,6 +82,9 @@ func initMetrics(m *metrics.Synced) {
 	}
 	m.Set(mQueueDepth, 0)
 	m.Set(mQueuePeak, 0)
+	for _, name := range []string{mPrefixHits, mPrefixMisses, mPrefixEvictions, mPrefixEntries, mPrefixBytes} {
+		m.Set(name, 0)
+	}
 }
 
 // writeMetrics renders a snapshot in the flat text exposition format of

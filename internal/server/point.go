@@ -37,9 +37,21 @@ import (
 //     sheds load with 503 + Retry-After exactly like job submission,
 //     and the coordinator backs off or reassigns.
 
-// pointRequest is the POST /v1/points body. Key is optional: when
-// present it must equal the key the worker derives from Point.
+// pointRequest is the POST /v1/points body. The single form carries one
+// Point (Key optional: when present it must equal the key the worker
+// derives from the spec). The batched form carries Points — one lease
+// holding several points — and is mutually exclusive with the single
+// form. A batched request that opts into "Accept: application/x-ndjson"
+// streams one outcome frame per retired point; otherwise it gets one
+// envelope with every outcome.
 type pointRequest struct {
+	Key    string                 `json:"key,omitempty"`
+	Point  *experiments.PointSpec `json:"point,omitempty"`
+	Points []pointRequestItem     `json:"points,omitempty"`
+}
+
+// pointRequestItem is one point of a batched request.
+type pointRequestItem struct {
 	Key   string                 `json:"key,omitempty"`
 	Point *experiments.PointSpec `json:"point"`
 }
@@ -65,6 +77,15 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Points) > 0 {
+		if req.Point != nil {
+			writeEnvelopeError(w, http.StatusBadRequest, CodeBadRequest,
+				"point and points are mutually exclusive")
+			return
+		}
+		s.handlePointBatch(w, r, req.Points)
 		return
 	}
 	if req.Point == nil {
@@ -144,6 +165,123 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	writeEnvelope(w, http.StatusOK, Envelope{Point: &res})
 }
 
+// handlePointBatch serves the batched form of POST /v1/points: one
+// admission slot covers the whole lease (the batch is the unit the
+// coordinator dispatched, so it is the unit the worker admits), points
+// execute in order, and each point's outcome is independent — a point
+// that fails terminally does not poison its batch siblings. With ndjson
+// negotiated, outcomes stream one frame per retired point so the
+// coordinator closes leases as they finish; a client that hangs up
+// mid-stream simply stops receiving outcomes, and the points it never
+// saw retire are its to retry (the worker caches their results, so a
+// retry is a cache hit, not a re-simulation).
+func (s *Server) handlePointBatch(w http.ResponseWriter, r *http.Request, items []pointRequestItem) {
+	type resolved struct {
+		spec experiments.PointSpec
+		key  string
+		err  *APIError
+	}
+	rs := make([]resolved, len(items))
+	for i, it := range items {
+		switch {
+		case it.Point == nil:
+			rs[i].err = &APIError{Code: CodeBadRequest, Message: "missing point spec"}
+			continue
+		case !experiments.Decomposable(it.Point.Experiment):
+			rs[i].err = &APIError{Code: CodeNotFound,
+				Message: fmt.Sprintf("experiment %q has no point decomposition", it.Point.Experiment)}
+			continue
+		}
+		rs[i].spec = *it.Point
+		key, err := canon.PointKey(rs[i].spec)
+		if err != nil {
+			rs[i].err = &APIError{Code: CodeBadRequest, Message: err.Error()}
+			continue
+		}
+		rs[i].key = key
+		if it.Key != "" && it.Key != key {
+			s.metrics.Inc(mPointsKeyMismatch)
+			rs[i].err = &APIError{Code: CodeBadRequest,
+				Message: fmt.Sprintf("point key mismatch: request says %s, spec derives %s — coordinator and worker disagree on the key derivation", it.Key, key)}
+		}
+	}
+
+	if s.Draining() {
+		s.metrics.Inc(mPointsRejected)
+		w.Header().Set("Retry-After", pointRetryAfter)
+		writeEnvelopeError(w, http.StatusServiceUnavailable, CodeShuttingDown, ErrShuttingDown.Error())
+		return
+	}
+	release, ok := s.acquirePointSlot(r.Context())
+	if !ok {
+		s.metrics.Inc(mPointsRejected)
+		w.Header().Set("Retry-After", pointRetryAfter)
+		writeEnvelopeError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			"point admission saturated")
+		return
+	}
+	defer release()
+	s.metrics.Inc(mPointsBatches)
+
+	stream := wantsNDJSON(r)
+	var flusher http.Flusher
+	if stream {
+		w.Header().Set("Content-Type", NDJSONContentType)
+		w.WriteHeader(http.StatusOK)
+		flusher, _ = w.(http.Flusher)
+	}
+	outcomes := make([]PointOutcome, 0, len(items))
+	for i, rv := range rs {
+		var o PointOutcome
+		if rv.err != nil {
+			o = PointOutcome{Index: i, Key: rv.key, Error: rv.err}
+		} else {
+			o = s.runBatchPoint(r.Context(), i, rv.key, rv.spec)
+		}
+		if stream {
+			if writeFrame(w, flusher, Envelope{Outcomes: []PointOutcome{o}}) != nil {
+				return // coordinator hung up; its lease timers own the rest
+			}
+			continue
+		}
+		outcomes = append(outcomes, o)
+	}
+	if !stream {
+		writeEnvelope(w, http.StatusOK, Envelope{Outcomes: outcomes})
+	}
+}
+
+// runBatchPoint resolves one batched point to its outcome: local cache
+// first, then execution (warm-prefix path included via executePoint),
+// caching the fresh result for the fleet.
+func (s *Server) runBatchPoint(ctx context.Context, i int, key string, spec experiments.PointSpec) PointOutcome {
+	o := PointOutcome{Index: i, Key: key}
+	if val, ok := s.cache.Get(key); ok {
+		var res experiments.PointResult
+		if err := json.Unmarshal(val, &res); err == nil {
+			s.metrics.Inc(mPointsCacheHits)
+			o.Point, o.Cached = &res, true
+			return o
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		o.Error = &APIError{Code: CodeCancelled, Message: err.Error()}
+		return o
+	}
+	res, err := s.executePoint(spec)
+	if err != nil {
+		s.metrics.Inc(mPointsFailed)
+		o.Error = &APIError{Code: errorCode(err), Message: err.Error()}
+		return o
+	}
+	s.metrics.Inc(mPointsExecuted)
+	if val, merr := json.Marshal(res); merr == nil {
+		_ = s.storeResult(s.runCtx, key, val)
+	}
+	o.Point = &res
+	return o
+}
+
 // acquirePointSlot admits one point execution: at most Workers run at
 // once, at most QueueDepth more wait. Returns false — without blocking
 // indefinitely — when the wait line is full, the client gave up, or the
@@ -190,7 +328,23 @@ func (s *Server) executePoint(spec experiments.PointSpec) (res experiments.Point
 		<-ctx.Done() // a point that never finishes until cancelled
 		return res, ctx.Err()
 	}
-	res, err = experiments.RunPoint(ctx, spec)
+	if s.prefixCache != nil {
+		// Warm path: points whose decomposition declares a shared prefix
+		// fork a cached machine snapshot instead of rebuilding the sweep
+		// prefix. Byte-identical to the cold path by the experiments
+		// layer's RunWarm contract; warm=false falls through untouched.
+		if wres, warm, werr := s.prefixCache.RunPoint(ctx, spec); warm {
+			if werr == nil {
+				s.metrics.Inc(mPointsWarm)
+			}
+			s.publishPrefixStats()
+			res, err = wres, werr
+		} else {
+			res, err = experiments.RunPoint(ctx, spec)
+		}
+	} else {
+		res, err = experiments.RunPoint(ctx, spec)
+	}
 	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.runCtx.Err() == nil {
 		s.metrics.Inc(mJobsTimeouts)
 		err = fmt.Errorf("point exceeded its %v deadline: %w", s.jobTimeout, err)
@@ -202,4 +356,19 @@ func (s *Server) executePoint(spec experiments.PointSpec) (res experiments.Point
 // points (0 = none); coordinators size their lease timeouts above it.
 func (s *Server) PointDeadline() time.Duration {
 	return s.jobTimeout
+}
+
+// publishPrefixStats mirrors the warm-prefix snapshot LRU's counters
+// into the metrics registry, so /metrics exposes hit rates and the
+// memory held by parked snapshots.
+func (s *Server) publishPrefixStats() {
+	if s.prefixCache == nil {
+		return
+	}
+	st := s.prefixCache.Stats()
+	s.metrics.Set(mPrefixHits, st.Hits)
+	s.metrics.Set(mPrefixMisses, st.Misses)
+	s.metrics.Set(mPrefixEvictions, st.Evictions)
+	s.metrics.Set(mPrefixEntries, int64(st.Entries))
+	s.metrics.Set(mPrefixBytes, st.Bytes)
 }

@@ -97,6 +97,17 @@ type Config struct {
 	// disk cache at startup (cache.quarantine_purged counts removals).
 	// 0 means DefaultQuarantineTTL; negative disables the sweep.
 	QuarantineTTL time.Duration
+	// WarmPrefixes enables worker-side prefix-snapshot reuse for shipped
+	// points: a point whose decomposition declares a shared warm prefix
+	// executes against a sealed machine snapshot from a bounded LRU
+	// instead of rebuilding the sweep prefix. Byte-identical results
+	// either way (the experiments layer pins the RunWarm contract) —
+	// purely a wall-clock optimization for prefix-heavy sweeps.
+	WarmPrefixes bool
+	// PrefixCacheBytes bounds the warm-prefix snapshot LRU by estimated
+	// retained bytes; 0 uses experiments.DefaultPrefixCacheBytes. Only
+	// meaningful with WarmPrefixes.
+	PrefixCacheBytes int64
 }
 
 // Server is the serving daemon. Create with New, expose Handler over
@@ -111,6 +122,7 @@ type Server struct {
 	faultSpec    string
 	faultSeed    int64
 	progressTick time.Duration
+	prefixCache  *experiments.PrefixCache // nil unless Config.WarmPrefixes
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -194,6 +206,9 @@ func New(cfg Config) (*Server, error) {
 		ckByKey:       make(map[string]*checkpointStream),
 		ckByJob:       make(map[string]*checkpointStream),
 		nextID:        1,
+	}
+	if cfg.WarmPrefixes {
+		s.prefixCache = experiments.NewPrefixCache(cfg.PrefixCacheBytes)
 	}
 	for _, e := range cfg.Experiments {
 		if _, dup := s.exps[e.Name]; dup {
